@@ -1,0 +1,102 @@
+"""Ablation — the value of implementation widening (``L_g+``).
+
+Algorithm 2 widens each invalid implementation choice to every library
+entry at least as bad in the violated viewpoint's attribute. This bench
+isolates that lever: isomorphism + decomposition stay on, widening is
+toggled. Expected shape: identical optima, but the widened certificates
+prune dominated implementation combinations wholesale, so the unwidened
+run needs strictly more iterations as soon as the library has more than
+a couple of entries per type.
+"""
+
+import time
+
+import pytest
+
+from repro.casestudies import epn, rpl
+from repro.explore import ContrArcExplorer
+from repro.explore.engine import ExplorationStatus
+from repro.reporting.tables import format_seconds, render_table
+
+from benchmarks.conftest import report, scenario_time_limit
+
+CASES = {
+    "rpl(n=1)": lambda: rpl.build_problem(1),
+    "rpl(n=2)": lambda: rpl.build_problem(2),
+    "epn(1,0,0)": lambda: epn.build_problem(1, 0, 0),
+    "epn(1,1,0)": lambda: epn.build_problem(1, 1, 0),
+}
+_RESULTS = {}
+
+
+def _run(case, widen):
+    mt, spec = CASES[case]()
+    return ContrArcExplorer(
+        mt,
+        spec,
+        widen_implementations=widen,
+        max_iterations=20000,
+        time_limit=scenario_time_limit(),
+    ).explore()
+
+
+@pytest.mark.parametrize("case", list(CASES), ids=str)
+@pytest.mark.parametrize("widen", [True, False], ids=["widened", "exact"])
+def test_ablation_widening(benchmark, case, widen):
+    started = time.perf_counter()
+    result = benchmark.pedantic(_run, args=(case, widen), rounds=1, iterations=1)
+    _RESULTS.setdefault(case, {})[widen] = (result, time.perf_counter() - started)
+    assert result.status in (
+        ExplorationStatus.OPTIMAL,
+        ExplorationStatus.TIME_LIMIT,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _module_report(results_dir):
+    yield
+    _render_report(results_dir)
+
+
+def _render_report(results_dir):
+    headers = [
+        "case",
+        "widened time",
+        "widened iters",
+        "exact time",
+        "exact iters",
+        "iter ratio",
+    ]
+    rows = []
+    for case, entries in _RESULTS.items():
+        if True not in entries or False not in entries:
+            continue
+        widened, w_time = entries[True]
+        exact, e_time = entries[False]
+        both_done = all(
+            r.status is ExplorationStatus.OPTIMAL for r in (widened, exact)
+        )
+        if both_done:
+            assert widened.cost == pytest.approx(exact.cost)
+            assert (
+                widened.stats.num_iterations <= exact.stats.num_iterations
+            )
+        ratio = (
+            f"{exact.stats.num_iterations / widened.stats.num_iterations:.1f}x"
+            if widened.stats.num_iterations
+            else "-"
+        )
+        rows.append(
+            [
+                case,
+                format_seconds(w_time),
+                widened.stats.num_iterations,
+                format_seconds(e_time),
+                exact.stats.num_iterations,
+                ratio,
+            ]
+        )
+    text = render_table(
+        headers, rows, title="Ablation - implementation widening (L_g+)"
+    )
+    report(results_dir, "ablation_widening.txt", text)

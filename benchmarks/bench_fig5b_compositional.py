@@ -1,0 +1,137 @@
+"""Figure 5(b) — RPL runtime with and without compositional exploration.
+
+The paper splits the two-line RPL into line A (with line B abstracted
+behind the aggregate *Comb B* component) and line B, synthesizing the
+stages separately. We sweep ``n`` and compare:
+
+* ``flat``          — one exploration over the full two-line template;
+* ``compositional`` — the two-stage split plus the Comb-B contract
+  compatibility check.
+
+Expected shape: both yield the same architecture family; the
+compositional split's advantage grows with n (Fig. 5(b)'s trend).
+"""
+
+import time
+
+import pytest
+
+from repro.casestudies import rpl
+from repro.explore import (
+    CompositionalExplorer,
+    ContrArcExplorer,
+    SubsystemStage,
+)
+from repro.explore.engine import ExplorationStatus
+from repro.reporting.tables import format_seconds, render_table
+
+from benchmarks.conftest import report, rpl_max_n, scenario_time_limit
+
+SIZES = list(range(1, rpl_max_n() + 1))
+COMB_THROUGHPUT = 12.0
+_RESULTS = {}
+
+
+def _run_flat(n):
+    mt, spec = rpl.build_problem(n, n)
+    return ContrArcExplorer(
+        mt, spec, max_iterations=5000, time_limit=scenario_time_limit()
+    ).explore()
+
+
+def _run_compositional(n):
+    stages = [
+        SubsystemStage(
+            "line-A+combB",
+            lambda prev, n=n: rpl.build_line_a_with_comb_b(
+                n, comb_throughput=COMB_THROUGHPUT
+            ),
+        ),
+        SubsystemStage(
+            "line-B",
+            lambda prev, n=n: rpl.build_line_b_only(n),
+            lambda results: rpl.line_b_matches_comb_b(
+                results["line-B"], comb_throughput=COMB_THROUGHPUT
+            ),
+        ),
+    ]
+    return CompositionalExplorer(stages, max_iterations=5000).explore()
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig5b_flat(benchmark, n):
+    started = time.perf_counter()
+    result = benchmark.pedantic(_run_flat, args=(n,), rounds=1, iterations=1)
+    _RESULTS.setdefault(n, {})["flat"] = (result, time.perf_counter() - started)
+    assert result.status is ExplorationStatus.OPTIMAL
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig5b_compositional(benchmark, n):
+    started = time.perf_counter()
+    result = benchmark.pedantic(
+        _run_compositional, args=(n,), rounds=1, iterations=1
+    )
+    _RESULTS.setdefault(n, {})["comp"] = (result, time.perf_counter() - started)
+    assert result.is_optimal
+    assert result.compatible
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _module_report(results_dir):
+    """Render the paper-style table after all scenarios ran."""
+    yield
+    _render_report(results_dir)
+
+
+def _render_report(results_dir):
+    headers = [
+        "n (=n_A=n_B)",
+        "flat time",
+        "flat iters",
+        "compositional time",
+        "comp iters",
+        "speedup",
+    ]
+    rows = []
+    for n in SIZES:
+        entries = _RESULTS.get(n, {})
+        if "flat" not in entries or "comp" not in entries:
+            continue
+        flat, flat_time = entries["flat"]
+        comp, comp_time = entries["comp"]
+        # Same total cost (the shared source is weight-0 in stage B).
+        if flat.cost is not None and comp.total_cost is not None:
+            assert abs(flat.cost - comp.total_cost) < 1e-6, (
+                n,
+                flat.cost,
+                comp.total_cost,
+            )
+        rows.append(
+            [
+                n,
+                format_seconds(flat_time),
+                flat.stats.num_iterations,
+                format_seconds(comp_time),
+                comp.total_iterations,
+                f"{flat_time / comp_time:.2f}x" if comp_time else "-",
+            ]
+        )
+    text = render_table(
+        headers,
+        rows,
+        title="Fig. 5(b) reproduction - RPL compositional exploration",
+    )
+    from repro.reporting.plots import render_series_plot
+
+    series = {"flat": [], "compositional": []}
+    for n in SIZES:
+        entries = _RESULTS.get(n, {})
+        if "flat" in entries:
+            series["flat"].append((n, entries["flat"][1]))
+        if "comp" in entries:
+            series["compositional"].append((n, entries["comp"][1]))
+    plot = render_series_plot(
+        series, title="Fig. 5(b): flat vs compositional runtime (log scale)"
+    )
+    report(results_dir, "fig5b_compositional.txt", text + "\n\n" + plot)

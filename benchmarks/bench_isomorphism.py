@@ -1,0 +1,100 @@
+"""Substrate bench — VF2 embedding enumeration vs networkx.
+
+The certificate generator calls the matcher once per violation with a
+path-shaped pattern and the detached template as the host (the DotMotif
+role in the paper's tool chain). This bench times our matcher against
+networkx's DiGraphMatcher on exactly that workload and asserts both
+enumerate the same number of embeddings.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.casestudies import epn, rpl
+from repro.graph.digraph import DiGraph
+from repro.graph.isomorphism import find_embeddings
+
+_COUNTS = {}
+
+
+def _epn_host():
+    mt, _ = epn.build_problem(2, 2, 1)
+    return mt.template.graph()
+
+
+def _rpl_host():
+    mt, _ = rpl.build_problem(3, 2)
+    return mt.template.graph()
+
+
+def _route_pattern(host, labels):
+    pattern = DiGraph("pattern")
+    previous = None
+    for index, label in enumerate(labels):
+        node = f"p{index}"
+        pattern.add_node(node, label=label)
+        if previous is not None:
+            pattern.add_edge(previous, node)
+        previous = node
+    return pattern
+
+
+EPN_LABELS = ["generator", "ac_bus", "ru", "dc_bus", "load"]
+RPL_LABELS = ["source", "conveyor", "machine_a", "conveyor", "machine_a",
+              "conveyor", "sink"]
+
+CASES = {
+    "epn(2,2,1)-route": (_epn_host, EPN_LABELS),
+    "rpl(3,2)-line": (_rpl_host, RPL_LABELS),
+}
+
+
+def _to_nx(graph):
+    out = nx.DiGraph()
+    for node in graph.nodes():
+        out.add_node(node, label=graph.label(node))
+    out.add_edges_from(graph.edges())
+    return out
+
+
+@pytest.mark.parametrize("case", list(CASES), ids=str)
+def test_vf2_ours(benchmark, case):
+    build_host, labels = CASES[case]
+    host = build_host()
+    pattern = _route_pattern(host, labels)
+    embeddings = benchmark(find_embeddings, host, pattern)
+    _COUNTS.setdefault(case, {})["ours"] = len(embeddings)
+    assert embeddings
+
+
+@pytest.mark.parametrize("case", list(CASES), ids=str)
+def test_vf2_networkx(benchmark, case):
+    build_host, labels = CASES[case]
+    host = _to_nx(build_host())
+    pattern = _to_nx(_route_pattern(DiGraph(), labels)) if False else None
+    # Build the pattern directly in networkx form.
+    pat = nx.DiGraph()
+    previous = None
+    for index, label in enumerate(labels):
+        node = f"p{index}"
+        pat.add_node(node, label=label)
+        if previous is not None:
+            pat.add_edge(previous, node)
+        previous = node
+
+    def enumerate_nx():
+        matcher = nx.algorithms.isomorphism.DiGraphMatcher(
+            host, pat, node_match=lambda a, b: a["label"] == b["label"]
+        )
+        return sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+
+    count = benchmark(enumerate_nx)
+    _COUNTS.setdefault(case, {})["networkx"] = count
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _verify_counts():
+    yield
+    for case, counts in _COUNTS.items():
+        if "ours" in counts and "networkx" in counts:
+            assert counts["ours"] == counts["networkx"], (case, counts)

@@ -1,0 +1,66 @@
+"""Ablation — native branch-and-bound vs scipy/HiGHS MILP backend.
+
+The paper solves its MILPs with Gurobi; this repo ships two
+interchangeable substitutes. This bench runs identical small
+explorations on both and checks they agree on the optimum, quantifying
+the cost of the pure-Python fallback.
+"""
+
+import time
+
+import pytest
+
+from repro.casestudies import rpl
+from repro.explore import ContrArcExplorer
+from repro.explore.engine import ExplorationStatus
+from repro.reporting.tables import format_seconds, render_table
+from repro.solver.feasibility import BACKENDS
+
+from benchmarks.conftest import report, scenario_time_limit
+
+_RESULTS = {}
+
+
+def _run(backend):
+    # Single-line RPL with a mild deadline: small enough for the native
+    # simplex, still needs a few certificate iterations.
+    mt, spec = rpl.build_problem(1, deadline=46.0)
+    return ContrArcExplorer(
+        mt,
+        spec,
+        backend=backend,
+        max_iterations=500,
+        time_limit=scenario_time_limit(),
+    ).explore()
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS), ids=str)
+def test_backend(benchmark, backend):
+    started = time.perf_counter()
+    result = benchmark.pedantic(_run, args=(backend,), rounds=1, iterations=1)
+    _RESULTS[backend] = (result, time.perf_counter() - started)
+    assert result.status is ExplorationStatus.OPTIMAL
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _module_report(results_dir):
+    yield
+    _render_report(results_dir)
+
+
+def _render_report(results_dir):
+    if len(_RESULTS) < 2:
+        return
+    costs = {round(r.cost, 6) for r, _ in _RESULTS.values()}
+    assert len(costs) == 1, f"backends disagree: {costs}"
+    rows = [
+        [name, format_seconds(elapsed), result.stats.num_iterations,
+         f"{result.cost:g}"]
+        for name, (result, elapsed) in sorted(_RESULTS.items())
+    ]
+    text = render_table(
+        ["backend", "time", "iterations", "cost"],
+        rows,
+        title="Ablation - MILP backend (Gurobi stand-ins)",
+    )
+    report(results_dir, "solver_backends.txt", text)

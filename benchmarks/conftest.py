@@ -1,0 +1,51 @@
+"""Benchmark harness configuration.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_RPL_MAX_N``   — largest RPL size for the Fig. 5 sweeps
+  (default 3; the paper sweeps to larger n on Gurobi).
+* ``REPRO_BENCH_EPN_FULL``    — set to 1 to run all ten Table II
+  templates; default runs a representative six-row subset.
+* ``REPRO_BENCH_TIME_LIMIT``  — per-scenario wall-clock budget in
+  seconds (default 120). Scenarios that exceed it are reported as
+  ``>limit`` — the paper's slowest cells run for thousands of seconds
+  by design, which is the very effect being demonstrated.
+
+Each bench writes its paper-style table to ``benchmarks/results/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def rpl_max_n() -> int:
+    return int(os.environ.get("REPRO_BENCH_RPL_MAX_N", "3"))
+
+
+def epn_templates():
+    from repro.casestudies.epn import TABLE2_TEMPLATES
+
+    if os.environ.get("REPRO_BENCH_EPN_FULL", "0") == "1":
+        return list(TABLE2_TEMPLATES)
+    return [(1, 0, 0), (2, 0, 0), (1, 1, 0), (2, 1, 0), (1, 1, 1), (2, 1, 1)]
+
+
+def scenario_time_limit() -> float:
+    return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", "120"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def report(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Defining a custom requirement viewpoint.
+
+The built-in generators cover the paper's interconnection, flow/power
+and timing viewpoints. This example adds a *weight* viewpoint for a
+drone delivery network: every implementation has a mass attribute, the
+airframe has a per-route payload budget, and heavier implementations are
+"worse" — so the certificate generator automatically widens invalid
+choices to every heavier implementation.
+
+Run:  python examples/custom_viewpoint.py
+"""
+
+from typing import Optional, Sequence
+
+from repro import (
+    Component,
+    ComponentType,
+    ContrArcExplorer,
+    Library,
+    MappingTemplate,
+    Template,
+)
+from repro.contracts import AttributeDirection, Contract, Viewpoint
+from repro.contracts.viewpoints import FLOW
+from repro.expr import TRUE, LinExpr, conjunction
+from repro.spec import FlowSpec, InterconnectionSpec, Specification
+from repro.spec.base import ViewpointSpec
+
+WEIGHT = Viewpoint(
+    "weight",
+    path_specific=True,
+    attribute="mass",
+    direction=AttributeDirection.HIGHER_IS_WORSE,
+)
+
+
+class WeightSpec(ViewpointSpec):
+    """Per-route payload budget: sum of masses along a route."""
+
+    def __init__(self, max_route_mass: float) -> None:
+        super().__init__(WEIGHT)
+        self.max_route_mass = max_route_mass
+
+    def component_contract(self, mapping_template, component) -> Contract:
+        # Mass is purely an attribute of the chosen implementation; the
+        # binding u(mass, i) = sum m(i,x) * mass(x) comes from the
+        # interconnection contract, so nothing extra is needed locally.
+        return Contract(f"C^weight[{component.name}]", TRUE, TRUE)
+
+    def system_contract(
+        self, mapping_template, path: Optional[Sequence[str]] = None
+    ) -> Contract:
+        assert path is not None, "weight is path-specific"
+        masses = [
+            mapping_template.attribute("mass", name).to_expr()
+            for name in path
+            if "mass" in mapping_template.template.component(name).ctype.attributes
+        ]
+        guarantee = (
+            LinExpr.sum(masses) <= self.max_route_mass if masses else TRUE
+        )
+        return Contract(f"C_s^weight[{path[0]}->{path[-1]}]", TRUE, guarantee)
+
+
+def main():
+    hub_t = ComponentType("hub")
+    battery_t = ComponentType("battery", ("mass", "throughput"))
+    motor_t = ComponentType("motor", ("mass", "throughput"))
+    payload_t = ComponentType("payload")
+
+    library = Library()
+    library.new("hub_std", "hub", cost=1.0)
+    library.new("bay_std", "payload", cost=1.0)
+    library.new("bat_light", "battery", cost=9.0, mass=1.0, throughput=5.0)
+    library.new("bat_heavy", "battery", cost=4.0, mass=3.0, throughput=5.0)
+    library.new("mot_light", "motor", cost=8.0, mass=0.8, throughput=5.0)
+    library.new("mot_heavy", "motor", cost=3.0, mass=2.5, throughput=5.0)
+
+    template = Template("drone")
+    template.add_component(
+        Component("hub", hub_t, max_fan_out=1, generated_flow=2.0,
+                  params={"required": 1})
+    )
+    template.add_component(Component("battery", battery_t, max_fan_in=1, max_fan_out=1))
+    template.add_component(Component("motor", motor_t, max_fan_in=1, max_fan_out=1))
+    template.add_component(
+        Component("bay", payload_t, max_fan_in=1, consumed_flow=2.0,
+                  params={"required": 1})
+    )
+    template.connect("hub", "battery")
+    template.connect("battery", "motor")
+    template.connect("motor", "bay")
+    template.mark_source_type("hub")
+    template.mark_sink_type("payload")
+
+    mapping_template = MappingTemplate(template, library)
+    specification = Specification(
+        InterconnectionSpec(),
+        [
+            FlowSpec(FLOW, min_delivery=2.0),
+            WeightSpec(max_route_mass=2.5),
+        ],
+    )
+
+    result = ContrArcExplorer(mapping_template, specification).explore_or_raise()
+    print("=== custom weight viewpoint ===")
+    print(f"cost: {result.cost:g}, iterations: {result.stats.num_iterations}")
+    for name in sorted(result.architecture.selected_impls):
+        impl = result.architecture.implementation_of(name)
+        mass = (
+            f", mass {impl.attribute('mass'):g}"
+            if impl.has_attribute("mass")
+            else ""
+        )
+        print(f"  {name:8s} -> {impl.name} (cost {impl.cost:g}{mass})")
+    rejected = [
+        r.violated_viewpoint for r in result.stats.iterations
+        if r.violated_viewpoint
+    ]
+    print(f"violations along the way: {rejected}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Quickstart: explore a three-stage system with ContrArc.
+
+Builds a tiny video-analytics pipeline — camera -> processor -> storage —
+where two candidate processors compete. Requirements: the pipeline must
+sustain 4 streams (flow viewpoint) and deliver each frame end-to-end
+within 12 ms (timing viewpoint). The cheap processor is too slow, so the
+exploration loop visibly iterates: candidate, refinement failure,
+certificate, next candidate.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Component,
+    ComponentType,
+    ContrArcExplorer,
+    Library,
+    MappingTemplate,
+    Template,
+)
+from repro.contracts.viewpoints import FLOW, TIMING
+from repro.spec import FlowSpec, InterconnectionSpec, Specification, TimingSpec
+
+
+def build_problem():
+    camera_t = ComponentType("camera")
+    processor_t = ComponentType("processor", ("latency", "throughput"))
+    storage_t = ComponentType("storage")
+
+    library = Library()
+    library.new("cam_hd", "camera", cost=2.0)
+    library.new("store_ssd", "storage", cost=3.0)
+    library.new("proc_embedded", "processor", cost=5.0, latency=20.0, throughput=6.0)
+    library.new("proc_gpu", "processor", cost=12.0, latency=4.0, throughput=16.0)
+
+    template = Template("video-pipeline")
+    template.add_component(
+        Component(
+            "camera",
+            camera_t,
+            max_fan_out=1,
+            generated_flow=4.0,
+            output_jitter=0.5,
+            params={"required": 1},
+        )
+    )
+    for slot in ("proc_a", "proc_b"):
+        template.add_component(
+            Component(
+                slot,
+                processor_t,
+                max_fan_in=1,
+                max_fan_out=1,
+                input_jitter=1.0,
+                output_jitter=0.5,
+            )
+        )
+    template.add_component(
+        Component(
+            "storage",
+            storage_t,
+            max_fan_in=1,
+            consumed_flow=4.0,
+            input_jitter=1.0,
+            params={"required": 1},
+        )
+    )
+    template.connect_all(["camera"], ["proc_a", "proc_b"])
+    template.connect_all(["proc_a", "proc_b"], ["storage"])
+    template.mark_source_type("camera")
+    template.mark_sink_type("storage")
+
+    mapping_template = MappingTemplate(template, library, time_bound=100.0)
+    specification = Specification(
+        InterconnectionSpec(),
+        [
+            FlowSpec(FLOW, max_source_flow=50.0, max_loss=0.5, min_delivery=4.0),
+            TimingSpec(
+                TIMING, max_latency=12.0, source_jitter=1.0, sink_jitter=2.0
+            ),
+        ],
+    )
+    return mapping_template, specification
+
+
+def main():
+    mapping_template, specification = build_problem()
+    explorer = ContrArcExplorer(mapping_template, specification)
+    result = explorer.explore_or_raise()
+
+    print("=== ContrArc quickstart ===")
+    print(f"status:     {result.status.value}")
+    print(f"cost:       {result.cost:g}")
+    print(f"iterations: {result.stats.num_iterations}")
+    print(f"cuts:       {result.stats.total_cuts}")
+    print()
+    print("selected architecture:")
+    for name in sorted(result.architecture.selected_impls):
+        impl = result.architecture.implementation_of(name)
+        print(f"  {name:10s} -> {impl.name} (cost {impl.cost:g})")
+    print("connections:")
+    for src, dst in result.architecture.selected_edges:
+        print(f"  {src} -> {dst}")
+    print()
+    print("iteration log:")
+    for record in result.stats.iterations:
+        verdict = record.violated_viewpoint or "ACCEPTED"
+        print(
+            f"  #{record.index}: cost={record.candidate_cost:g} "
+            f"verdict={verdict} (+{record.cuts_added} cuts)"
+        )
+
+
+if __name__ == "__main__":
+    main()

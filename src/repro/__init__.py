@@ -1,0 +1,51 @@
+"""ContrArc — contract-based CPS architecture exploration.
+
+Reproduction of "Efficient Exploration of Cyber-Physical System
+Architectures Using Contracts and Subgraph Isomorphism" (DATE 2024).
+
+Public entry points:
+
+* :mod:`repro.arch`      — templates, libraries, candidates;
+* :mod:`repro.spec`      — contract generators (interconnection, flow, timing);
+* :mod:`repro.contracts` — the A/G contract algebra;
+* :mod:`repro.explore`   — the ContrArc engine and baselines;
+* :mod:`repro.casestudies` — the paper's RPL and EPN generators.
+"""
+
+__version__ = "1.0.0"
+
+from repro.arch import (
+    CandidateArchitecture,
+    Component,
+    ComponentType,
+    Implementation,
+    Library,
+    MappingTemplate,
+    Template,
+)
+from repro.contracts import Contract, Viewpoint, compose, conjoin, refines
+from repro.explore import ContrArcExplorer, ExplorationResult, ExplorationStatus
+from repro.spec import FlowSpec, InterconnectionSpec, Specification, TimingSpec
+
+__all__ = [
+    "__version__",
+    "CandidateArchitecture",
+    "Component",
+    "ComponentType",
+    "Implementation",
+    "Library",
+    "MappingTemplate",
+    "Template",
+    "Contract",
+    "Viewpoint",
+    "compose",
+    "conjoin",
+    "refines",
+    "ContrArcExplorer",
+    "ExplorationResult",
+    "ExplorationStatus",
+    "FlowSpec",
+    "InterconnectionSpec",
+    "Specification",
+    "TimingSpec",
+]

@@ -1,0 +1,17 @@
+"""Architecture modeling: components, libraries, templates, candidates."""
+
+from repro.arch.component import Component, ComponentType
+from repro.arch.library import Implementation, Library
+from repro.arch.template import MappingTemplate, Template
+from repro.arch.architecture import CandidateArchitecture, SubArchitecture
+
+__all__ = [
+    "Component",
+    "ComponentType",
+    "Implementation",
+    "Library",
+    "MappingTemplate",
+    "Template",
+    "CandidateArchitecture",
+    "SubArchitecture",
+]

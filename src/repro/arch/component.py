@@ -1,0 +1,103 @@
+"""Component types and template components (Definitions 1-2).
+
+A :class:`ComponentType` names a partition of the architecture graph
+(e.g. ``machine``, ``conveyor``, ``ac_bus``) and declares the attributes
+its implementations must provide. A :class:`Component` is a node of the
+template: an *instantiable slot* of some type, with per-slot parameters
+(generated/consumed flow, fan-in/fan-out caps, jitter bounds) consumed
+by the contract generators in :mod:`repro.spec`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ArchitectureError
+
+
+class ComponentType:
+    """A node type / partition label.
+
+    ``attributes`` lists the implementation attributes every library
+    entry of this type must define (beyond ``cost``).
+    """
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(self, name: str, attributes: Tuple[str, ...] = ()) -> None:
+        if not name:
+            raise ArchitectureError("component type name must be non-empty")
+        self.name = name
+        self.attributes = tuple(attributes)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ComponentType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("ComponentType", self.name))
+
+    def __repr__(self) -> str:
+        return f"ComponentType({self.name!r}, attrs={list(self.attributes)})"
+
+
+class Component:
+    """A template slot that exploration may or may not instantiate."""
+
+    __slots__ = (
+        "name",
+        "ctype",
+        "max_fan_in",
+        "max_fan_out",
+        "generated_flow",
+        "consumed_flow",
+        "input_jitter",
+        "output_jitter",
+        "params",
+        "weight",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        ctype: ComponentType,
+        max_fan_in: int = 0,
+        max_fan_out: int = 0,
+        generated_flow: float = 0.0,
+        consumed_flow: float = 0.0,
+        input_jitter: float = math.inf,
+        output_jitter: float = math.inf,
+        weight: float = 1.0,
+        params: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """``max_fan_in``/``max_fan_out`` of 0 mean "no explicit cap"
+        (bounded only by the number of candidate neighbours). ``weight``
+        is the cost weight ``alpha_i`` of the paper's objective."""
+        if not name:
+            raise ArchitectureError("component name must be non-empty")
+        self.name = name
+        self.ctype = ctype
+        self.max_fan_in = max_fan_in
+        self.max_fan_out = max_fan_out
+        self.generated_flow = float(generated_flow)
+        self.consumed_flow = float(consumed_flow)
+        self.input_jitter = float(input_jitter)
+        self.output_jitter = float(output_jitter)
+        self.weight = float(weight)
+        self.params: Dict[str, float] = dict(params or {})
+
+    @property
+    def type_name(self) -> str:
+        return self.ctype.name
+
+    def param(self, key: str, default: float = 0.0) -> float:
+        return self.params.get(key, default)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Component) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Component", self.name))
+
+    def __repr__(self) -> str:
+        return f"Component({self.name!r}, type={self.ctype.name!r})"

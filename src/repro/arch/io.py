@@ -1,0 +1,177 @@
+"""JSON (de)serialization for libraries and templates.
+
+ArchEx-style tools consume design-space descriptions from files; this
+module provides the interchange format: one JSON document holding the
+component types, the implementation library, the template slots with
+their per-slot parameters, the candidate edges, and the source/sink
+partitions. Contracts are *generated* from this data by
+:mod:`repro.spec`, so they are not serialized.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, TextIO, Union
+
+from repro.exceptions import ArchitectureError
+from repro.arch.component import Component, ComponentType
+from repro.arch.library import Implementation, Library
+from repro.arch.template import Template
+
+FORMAT_VERSION = 1
+
+
+def _encode_float(value: float) -> Union[float, str]:
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return value
+
+
+def _decode_float(value: Union[float, int, str]) -> float:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return float(value)
+
+
+# -- library ------------------------------------------------------------------
+
+
+def library_to_dict(library: Library) -> Dict[str, Any]:
+    return {
+        "implementations": [
+            {
+                "name": impl.name,
+                "type": impl.type_name,
+                "cost": impl.cost,
+                "attrs": dict(impl.attrs),
+            }
+            for impl in library
+        ]
+    }
+
+
+def library_from_dict(data: Dict[str, Any]) -> Library:
+    library = Library()
+    for entry in data.get("implementations", []):
+        library.add(
+            Implementation(
+                entry["name"],
+                entry["type"],
+                float(entry["cost"]),
+                **{k: float(v) for k, v in entry.get("attrs", {}).items()},
+            )
+        )
+    return library
+
+
+# -- template ---------------------------------------------------------------------
+
+
+def template_to_dict(template: Template) -> Dict[str, Any]:
+    types: Dict[str, ComponentType] = {}
+    for component in template.components():
+        types.setdefault(component.type_name, component.ctype)
+    return {
+        "name": template.name,
+        "types": [
+            {"name": t.name, "attributes": list(t.attributes)}
+            for t in types.values()
+        ],
+        "components": [
+            {
+                "name": c.name,
+                "type": c.type_name,
+                "max_fan_in": c.max_fan_in,
+                "max_fan_out": c.max_fan_out,
+                "generated_flow": c.generated_flow,
+                "consumed_flow": c.consumed_flow,
+                "input_jitter": _encode_float(c.input_jitter),
+                "output_jitter": _encode_float(c.output_jitter),
+                "weight": c.weight,
+                "params": dict(c.params),
+            }
+            for c in template.components()
+        ],
+        "edges": [list(edge) for edge in template.edges()],
+        "source_types": sorted(template.source_types),
+        "sink_types": sorted(template.sink_types),
+    }
+
+
+def template_from_dict(data: Dict[str, Any]) -> Template:
+    types = {
+        entry["name"]: ComponentType(
+            entry["name"], tuple(entry.get("attributes", ()))
+        )
+        for entry in data.get("types", [])
+    }
+    template = Template(data.get("name", "template"))
+    for entry in data.get("components", []):
+        type_name = entry["type"]
+        if type_name not in types:
+            raise ArchitectureError(
+                f"component {entry['name']!r} references undeclared type "
+                f"{type_name!r}"
+            )
+        template.add_component(
+            Component(
+                entry["name"],
+                types[type_name],
+                max_fan_in=int(entry.get("max_fan_in", 0)),
+                max_fan_out=int(entry.get("max_fan_out", 0)),
+                generated_flow=float(entry.get("generated_flow", 0.0)),
+                consumed_flow=float(entry.get("consumed_flow", 0.0)),
+                input_jitter=_decode_float(entry.get("input_jitter", "inf")),
+                output_jitter=_decode_float(entry.get("output_jitter", "inf")),
+                weight=float(entry.get("weight", 1.0)),
+                params={
+                    k: float(v) for k, v in entry.get("params", {}).items()
+                },
+            )
+        )
+    for src, dst in data.get("edges", []):
+        template.connect(src, dst)
+    for type_name in data.get("source_types", []):
+        template.mark_source_type(type_name)
+    for type_name in data.get("sink_types", []):
+        template.mark_sink_type(type_name)
+    return template
+
+
+# -- combined problem documents --------------------------------------------------------
+
+
+def problem_to_dict(template: Template, library: Library) -> Dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "template": template_to_dict(template),
+        "library": library_to_dict(library),
+    }
+
+
+def problem_from_dict(data: Dict[str, Any]):
+    version = data.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ArchitectureError(
+            f"unsupported problem format version {version}"
+        )
+    return (
+        template_from_dict(data["template"]),
+        library_from_dict(data["library"]),
+    )
+
+
+def save_problem(template: Template, library: Library, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(problem_to_dict(template, library), handle, indent=2)
+
+
+def load_problem(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return problem_from_dict(data)

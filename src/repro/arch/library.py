@@ -1,0 +1,138 @@
+"""Implementation libraries (the paper's ``L = union of L_k``).
+
+Each :class:`Implementation` is a concrete part a component slot of the
+matching type can be mapped to, with a cost and the attribute values the
+type declares (latency, throughput, ...). A :class:`Library` groups
+implementations by type and answers the attribute-ordering queries the
+certificate generator needs (``ImplementationSearch``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ArchitectureError
+from repro.arch.component import ComponentType
+from repro.contracts.viewpoints import AttributeDirection
+
+
+class Implementation:
+    """A concrete library part."""
+
+    __slots__ = ("name", "type_name", "cost", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        type_name: str,
+        cost: float,
+        **attrs: float,
+    ) -> None:
+        if not name:
+            raise ArchitectureError("implementation name must be non-empty")
+        self.name = name
+        self.type_name = type_name
+        self.cost = float(cost)
+        self.attrs: Dict[str, float] = {k: float(v) for k, v in attrs.items()}
+
+    def attribute(self, key: str) -> float:
+        if key == "cost":
+            return self.cost
+        try:
+            return self.attrs[key]
+        except KeyError:
+            raise ArchitectureError(
+                f"implementation {self.name!r} has no attribute {key!r}"
+            )
+
+    def has_attribute(self, key: str) -> bool:
+        return key == "cost" or key in self.attrs
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Implementation) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Implementation", self.name))
+
+    def __repr__(self) -> str:
+        return f"Implementation({self.name!r}, type={self.type_name!r}, cost={self.cost:g})"
+
+
+class Library:
+    """Implementations grouped by component type."""
+
+    def __init__(self, implementations: Iterable[Implementation] = ()) -> None:
+        self._by_type: Dict[str, List[Implementation]] = {}
+        self._by_name: Dict[str, Implementation] = {}
+        for impl in implementations:
+            self.add(impl)
+
+    def add(self, impl: Implementation) -> Implementation:
+        if impl.name in self._by_name:
+            raise ArchitectureError(
+                f"duplicate implementation name {impl.name!r} in library"
+            )
+        self._by_name[impl.name] = impl
+        self._by_type.setdefault(impl.type_name, []).append(impl)
+        return impl
+
+    def new(self, name: str, type_name: str, cost: float, **attrs: float) -> Implementation:
+        return self.add(Implementation(name, type_name, cost, **attrs))
+
+    # -- lookups ---------------------------------------------------------------
+
+    def implementations_of(self, type_name: str) -> List[Implementation]:
+        """Sub-library ``L_k`` for a type (empty list if none)."""
+        return list(self._by_type.get(type_name, []))
+
+    def get(self, name: str) -> Implementation:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ArchitectureError(f"no implementation named {name!r} in library")
+
+    def types(self) -> List[str]:
+        return sorted(self._by_type)
+
+    def validate_against(self, ctype: ComponentType) -> None:
+        """Check every implementation of a type provides its attributes."""
+        for impl in self.implementations_of(ctype.name):
+            for attr in ctype.attributes:
+                if not impl.has_attribute(attr):
+                    raise ArchitectureError(
+                        f"implementation {impl.name!r} of type {ctype.name!r} "
+                        f"lacks required attribute {attr!r}"
+                    )
+
+    # -- ImplementationSearch support (Algorithm 2, line 8) ------------------------
+
+    def at_least_as_bad(
+        self,
+        reference: Implementation,
+        attribute: str,
+        direction: AttributeDirection,
+    ) -> List[Implementation]:
+        """All implementations of ``reference``'s type whose ``attribute``
+        is at least as bad as the reference's (the reference included)."""
+        ref_value = reference.attribute(attribute)
+        return [
+            impl
+            for impl in self.implementations_of(reference.type_name)
+            if impl.has_attribute(attribute)
+            and direction.at_least_as_bad(impl.attribute(attribute), ref_value)
+        ]
+
+    # -- misc ----------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Implementation]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        sizes = {t: len(v) for t, v in sorted(self._by_type.items())}
+        return f"Library({sizes})"

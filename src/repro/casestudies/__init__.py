@@ -1,0 +1,14 @@
+"""Case-study generators.
+
+* :mod:`repro.casestudies.rpl` — the paper's reconfigurable production
+  line (Section V-A, Table I, Fig. 4a/5);
+* :mod:`repro.casestudies.epn` — the paper's aircraft electrical power
+  network (Section V-B, Table II, Fig. 4b);
+* :mod:`repro.casestudies.wsn` — a wireless sensor network with a
+  reliability viewpoint (the domain of the paper's ref [9]),
+  demonstrating generality beyond the paper's two studies.
+"""
+
+from repro.casestudies import epn, rpl, wsn
+
+__all__ = ["epn", "rpl", "wsn"]

@@ -1,0 +1,260 @@
+"""Aircraft electrical power distribution network (EPN) case study
+(Section V-B, Table II).
+
+Power flows from generators through AC buses, rectifier units (RUs) and
+DC buses to loads:
+
+    GEN (L/R/APU)  ->  AC bus (L/R)  ->  RU (L/R)  ->  DC bus (L/R)  ->  Load (L/R)
+
+Components are grouped by side; left generators feed left AC buses,
+right generators feed right ones, and APUs (the paper's MG type) can
+feed either side. The template axis is the paper's ``(L, R, APU)``
+triple: the number of components per type on each side plus the number
+of APUs; each type has four library implementations.
+
+Requirements:
+
+* **power** (global flow viewpoint): loads' demands are met, total
+  conversion losses stay within a budget — losses are per-implementation
+  attributes, so the certificate widening orders implementations by
+  ``loss``;
+* **timing** (path-specific): bounded generator-to-load delivery delay,
+  with per-implementation latencies on buses and RUs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.arch.component import Component, ComponentType
+from repro.arch.library import Library
+from repro.arch.template import MappingTemplate, Template
+from repro.contracts.viewpoints import AttributeDirection, TIMING, Viewpoint
+from repro.spec.base import Specification
+from repro.spec.flow import FlowSpec
+from repro.spec.interconnection import InterconnectionSpec
+from repro.spec.timing import TimingSpec
+
+GENERATOR = ComponentType("generator", ("capacity",))
+AC_BUS = ComponentType("ac_bus", ("latency", "throughput", "loss"))
+RU = ComponentType("ru", ("latency", "throughput", "loss"))
+DC_BUS = ComponentType("dc_bus", ("latency", "throughput", "loss"))
+LOAD = ComponentType("load")
+
+#: The power viewpoint orders implementations by conversion loss and is
+#: verified per delivery route (the paper's "power consumption
+#: constraints on certain routes"), which is what makes contract
+#: decomposition effective on the EPN.
+POWER = Viewpoint(
+    "power",
+    path_specific=True,
+    attribute="loss",
+    direction=AttributeDirection.HIGHER_IS_WORSE,
+)
+
+#: Per-load power demand (flow units).
+DEFAULT_LOAD_DEMAND = 2.0
+#: Default generator-to-load delivery deadline. The cheapest chain needs
+#: 4 + 5 + 3 (+1 jitter) = 13 time units, so 11 forces iteration.
+DEFAULT_DEADLINE = 11.0
+#: Default per-route conversion-loss budget. The cheapest delivery
+#: route loses 0.4 + 0.8 + 0.3 = 1.5, so 1.2 forces iteration.
+DEFAULT_LOSS_BUDGET = 1.2
+
+_JITTER_IN = 1.0
+_JITTER_OUT = 0.5
+
+
+def build_library() -> Library:
+    """Four implementations per node type (Section V-B)."""
+    library = Library()
+    # Generators: capacity/cost trade-off.
+    library.new("gen_aps500", "generator", cost=10.0, capacity=4.0)
+    library.new("gen_aps1000", "generator", cost=14.0, capacity=6.0)
+    library.new("gen_aps2000", "generator", cost=22.0, capacity=10.0)
+    library.new("gen_aps5000", "generator", cost=30.0, capacity=16.0)
+    # AC buses: latency/loss/cost trade-off.
+    library.new("acb_eco", "ac_bus", cost=3.0, latency=4.0, throughput=8.0, loss=0.4)
+    library.new("acb_std", "ac_bus", cost=5.0, latency=3.0, throughput=10.0, loss=0.3)
+    library.new("acb_pro", "ac_bus", cost=8.0, latency=2.0, throughput=12.0, loss=0.2)
+    library.new("acb_max", "ac_bus", cost=12.0, latency=1.0, throughput=16.0, loss=0.1)
+    # Rectifier units: the dominant loss contributors.
+    library.new("ru_basic", "ru", cost=4.0, latency=5.0, throughput=6.0, loss=0.8)
+    library.new("ru_std", "ru", cost=7.0, latency=4.0, throughput=8.0, loss=0.5)
+    library.new("ru_eff", "ru", cost=11.0, latency=3.0, throughput=10.0, loss=0.3)
+    library.new("ru_prem", "ru", cost=16.0, latency=2.0, throughput=12.0, loss=0.15)
+    # DC buses.
+    library.new("dcb_eco", "dc_bus", cost=2.0, latency=3.0, throughput=8.0, loss=0.3)
+    library.new("dcb_std", "dc_bus", cost=4.0, latency=2.0, throughput=10.0, loss=0.2)
+    library.new("dcb_pro", "dc_bus", cost=6.0, latency=1.5, throughput=12.0, loss=0.12)
+    library.new("dcb_max", "dc_bus", cost=9.0, latency=1.0, throughput=16.0, loss=0.05)
+    # Loads (instrument panels): fixed sinks.
+    library.new("load_panel_a", "load", cost=1.0)
+    library.new("load_panel_b", "load", cost=1.5)
+    library.new("load_panel_c", "load", cost=2.0)
+    library.new("load_panel_d", "load", cost=2.5)
+    return library
+
+
+def _side_names(prefix: str, side: str, count: int) -> List[str]:
+    return [f"{prefix}_{side}{i}" for i in range(1, count + 1)]
+
+
+def build_template(
+    left: int,
+    right: int = 0,
+    apu: int = 0,
+    load_demand: float = DEFAULT_LOAD_DEMAND,
+) -> Template:
+    """EPN template for the paper's ``(L, R, APU)`` axis.
+
+    ``left``/``right`` give the per-type component count on each side;
+    ``apu`` the number of auxiliary power units (connectable to both
+    sides' AC buses).
+    """
+    if left < 1:
+        raise ValueError("need at least one left-side component per type")
+    template = Template(f"epn[{left},{right},{apu}]")
+    template.mark_source_type("generator")
+    template.mark_sink_type("load")
+
+    sides: List[Tuple[str, int]] = [("L", left)]
+    if right:
+        sides.append(("R", right))
+
+    all_ac: List[str] = []
+    for side, count in sides:
+        gens = _side_names("gen", side, count)
+        acs = _side_names("acb", side, count)
+        rus = _side_names("ru", side, count)
+        dcs = _side_names("dcb", side, count)
+        loads = _side_names("load", side, count)
+        for name in gens:
+            template.add_component(
+                Component(name, GENERATOR, max_fan_out=1, output_jitter=_JITTER_OUT)
+            )
+        for name in acs:
+            template.add_component(
+                Component(
+                    name,
+                    AC_BUS,
+                    max_fan_in=2,
+                    max_fan_out=2,
+                    input_jitter=_JITTER_IN,
+                    output_jitter=_JITTER_OUT,
+                )
+            )
+        for name in rus:
+            template.add_component(
+                Component(
+                    name,
+                    RU,
+                    max_fan_in=1,
+                    max_fan_out=1,
+                    input_jitter=_JITTER_IN,
+                    output_jitter=_JITTER_OUT,
+                )
+            )
+        for name in dcs:
+            template.add_component(
+                Component(
+                    name,
+                    DC_BUS,
+                    max_fan_in=2,
+                    max_fan_out=2,
+                    input_jitter=_JITTER_IN,
+                    output_jitter=_JITTER_OUT,
+                )
+            )
+        for name in loads:
+            template.add_component(
+                Component(
+                    name,
+                    LOAD,
+                    max_fan_in=1,
+                    consumed_flow=load_demand,
+                    input_jitter=_JITTER_IN,
+                    params={"required": 1},
+                )
+            )
+        template.connect_all(gens, acs)
+        template.connect_all(acs, rus)
+        template.connect_all(rus, dcs)
+        template.connect_all(dcs, loads)
+        all_ac.extend(acs)
+
+    for index in range(1, apu + 1):
+        name = f"apu_{index}"
+        template.add_component(
+            Component(name, GENERATOR, max_fan_out=1, output_jitter=_JITTER_OUT)
+        )
+        template.connect_all([name], all_ac)
+    return template
+
+
+def build_specification(
+    total_demand: float,
+    deadline: float = DEFAULT_DEADLINE,
+    loss_budget: float = DEFAULT_LOSS_BUDGET,
+    max_source_flow: float = 200.0,
+) -> Specification:
+    """EPN requirements: power (global) + timing (path deadline)."""
+    return Specification(
+        InterconnectionSpec(),
+        [
+            FlowSpec(
+                POWER,
+                max_source_flow=max_source_flow,
+                min_delivery=total_demand,
+                throughput_attribute="throughput",
+                loss_attribute="loss",
+                source_capacity_attribute="capacity",
+                path_loss_budget=loss_budget,
+            ),
+            TimingSpec(
+                TIMING,
+                max_latency=deadline,
+                source_jitter=1.0,
+                sink_jitter=2.0,
+            ),
+        ],
+    )
+
+
+def build_problem(
+    left: int,
+    right: int = 0,
+    apu: int = 0,
+    deadline: float = DEFAULT_DEADLINE,
+    loss_budget: float = DEFAULT_LOSS_BUDGET,
+    load_demand: float = DEFAULT_LOAD_DEMAND,
+) -> Tuple[MappingTemplate, Specification]:
+    """Complete EPN exploration problem for one Table II row."""
+    template = build_template(left, right, apu, load_demand=load_demand)
+    num_loads = left + (right if right else 0)
+    library = build_library()
+    mapping_template = MappingTemplate(
+        template, library, flow_bound=64.0, time_bound=200.0
+    )
+    specification = build_specification(
+        total_demand=num_loads * load_demand,
+        deadline=deadline,
+        loss_budget=loss_budget,
+    )
+    return mapping_template, specification
+
+
+#: The Table II template axis.
+TABLE2_TEMPLATES: Tuple[Tuple[int, int, int], ...] = (
+    (1, 0, 0),
+    (2, 0, 0),
+    (3, 0, 0),
+    (4, 0, 0),
+    (1, 1, 0),
+    (2, 1, 0),
+    (2, 2, 0),
+    (1, 1, 1),
+    (2, 1, 1),
+    (2, 2, 1),
+)

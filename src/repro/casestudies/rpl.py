@@ -1,0 +1,324 @@
+"""Reconfigurable production line (RPL) case study (Section V-A).
+
+The system assembles two products: line A and line B each run
+
+    Src -> C1 -> M1 -> C2 -> M2 -> C3 -> Sink
+
+with conveyors ``C*`` and machines ``M*``; both lines share the source.
+The template axes are the paper's problem parameters ``n_A`` and
+``n_B`` — the number of *candidate* conveyors and machines per stage of
+each line — so templates grow as ``5 * n`` slots per line while every
+valid architecture remains a simple chain per line.
+
+The library (Table I analogue) offers four implementations per type
+spanning a cheap-but-slow to expensive-but-fast trade-off; the
+system-level requirements are a per-path deadline (timing viewpoint) and
+flow delivery/loss bounds (flow viewpoint). The deadline is chosen so
+the cost-optimal unconstrained choice violates it — exploration must
+iterate, which is where the certificates pay off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.component import Component, ComponentType
+from repro.arch.library import Implementation, Library
+from repro.arch.template import MappingTemplate, Template
+from repro.contracts.viewpoints import FLOW, TIMING
+from repro.spec.base import Specification
+from repro.spec.flow import FlowSpec
+from repro.spec.interconnection import InterconnectionSpec
+from repro.spec.timing import TimingSpec
+
+SOURCE = ComponentType("source")
+SINK = ComponentType("sink")
+CONVEYOR = ComponentType("conveyor", ("latency", "throughput"))
+#: Machines carry a *subtype* per product (Table I's ``s`` column):
+#: line A's machines assemble product A and cannot stand in for line
+#: B's, so the two lines draw from disjoint machine sub-libraries.
+MACHINE_A = ComponentType("machine_a", ("latency", "throughput"))
+MACHINE_B = ComponentType("machine_b", ("latency", "throughput"))
+COMB = ComponentType("comb", ("throughput",))
+
+_MACHINE_TYPES = {"A": MACHINE_A, "B": MACHINE_B}
+
+
+def _line_stages(line: str) -> Tuple[Tuple[ComponentType, str], ...]:
+    """Stage layout of one production line, in path order."""
+    machine = _MACHINE_TYPES[line]
+    return (
+        (CONVEYOR, "c1"),
+        (machine, "m1"),
+        (CONVEYOR, "c2"),
+        (machine, "m2"),
+        (CONVEYOR, "c3"),
+    )
+
+#: Default per-line product demand (flow units).
+DEFAULT_DEMAND = 4.0
+#: Default end-to-end deadline. The all-cheapest chain needs
+#: 3*5 + 2*16 + 2 = 49 time units, so any deadline below that forces
+#: iteration; 44 yields paper-like iteration counts (tens, not hundreds).
+DEFAULT_DEADLINE = 44.0
+
+_JITTER_IN = 1.0
+_JITTER_OUT = 0.5
+
+
+def build_library() -> Library:
+    """Four implementations per type (Table I analogue)."""
+    library = Library()
+    library.new("src_std", "source", cost=1.0)
+    library.new("sink_std", "sink", cost=1.0)
+    # Conveyors: latency/cost trade-off, ample throughput.
+    library.new("c_belt_eco", "conveyor", cost=2.0, latency=5.0, throughput=6.0)
+    library.new("c_belt_std", "conveyor", cost=4.0, latency=4.0, throughput=8.0)
+    library.new("c_belt_fast", "conveyor", cost=6.0, latency=3.0, throughput=10.0)
+    library.new("c_belt_turbo", "conveyor", cost=8.0, latency=2.0, throughput=12.0)
+    # Machines: the dominant latency contributors. One sub-library per
+    # product subtype (Table I's ``s``): same trade-off curve, distinct
+    # parts — a product-A machine cannot serve line B.
+    for line, machine_type in (("a", "machine_a"), ("b", "machine_b")):
+        library.new(
+            f"m_manual_{line}", machine_type, cost=6.0, latency=16.0, throughput=5.0
+        )
+        library.new(
+            f"m_semi_{line}", machine_type, cost=10.0, latency=12.0, throughput=6.0
+        )
+        library.new(
+            f"m_auto_{line}", machine_type, cost=15.0, latency=8.0, throughput=8.0
+        )
+        library.new(
+            f"m_robotic_{line}", machine_type, cost=20.0, latency=5.0, throughput=10.0
+        )
+    # The aggregate "Comb B" stand-in used by compositional exploration.
+    library.new("comb_b", "comb", cost=0.0, throughput=12.0)
+    return library
+
+
+def _add_line(
+    template: Template,
+    line: str,
+    num_candidates: int,
+    demand: float,
+    source_name: str,
+) -> None:
+    """Append one production line (stages + sink) hanging off ``source_name``."""
+    previous: List[str] = [source_name]
+    for ctype, stage in _line_stages(line):
+        current: List[str] = []
+        for index in range(1, num_candidates + 1):
+            name = f"{stage}_{line}_{index}"
+            template.add_component(
+                Component(
+                    name,
+                    ctype,
+                    max_fan_in=1,
+                    max_fan_out=1,
+                    input_jitter=_JITTER_IN,
+                    output_jitter=_JITTER_OUT,
+                )
+            )
+            current.append(name)
+        template.connect_all(previous, current)
+        previous = current
+    sink_name = f"sink_{line}"
+    template.add_component(
+        Component(
+            sink_name,
+            SINK,
+            max_fan_in=1,
+            consumed_flow=demand,
+            input_jitter=_JITTER_IN,
+            params={"required": 1},
+        )
+    )
+    template.connect_all(previous, [sink_name])
+
+
+def build_template(
+    n_a: int,
+    n_b: int = 0,
+    demand_a: float = DEFAULT_DEMAND,
+    demand_b: float = DEFAULT_DEMAND,
+) -> Template:
+    """RPL template with ``n_a`` candidates/stage on line A and ``n_b``
+    on line B (``n_b = 0`` omits line B entirely)."""
+    if n_a < 1:
+        raise ValueError("n_a must be at least 1")
+    template = Template(f"rpl[{n_a},{n_b}]")
+    total = demand_a + (demand_b if n_b else 0.0)
+    fan_out = 2 if n_b else 1
+    template.add_component(
+        Component(
+            "src",
+            SOURCE,
+            max_fan_out=fan_out,
+            generated_flow=total,
+            output_jitter=_JITTER_OUT,
+            params={"required": 1},
+        )
+    )
+    template.mark_source_type("source")
+    template.mark_sink_type("sink")
+    _add_line(template, "A", n_a, demand_a, "src")
+    if n_b:
+        _add_line(template, "B", n_b, demand_b, "src")
+    return template
+
+
+def build_specification(
+    deadline: float = DEFAULT_DEADLINE,
+    min_delivery: Optional[float] = None,
+    max_loss: float = 0.5,
+    max_source_flow: float = 100.0,
+) -> Specification:
+    """The RPL requirements: flow (global) + timing (path deadline)."""
+    return Specification(
+        InterconnectionSpec(),
+        [
+            FlowSpec(
+                FLOW,
+                max_source_flow=max_source_flow,
+                max_loss=max_loss,
+                min_delivery=min_delivery or 0.0,
+            ),
+            TimingSpec(
+                TIMING,
+                max_latency=deadline,
+                source_jitter=1.0,
+                sink_jitter=2.0,
+            ),
+        ],
+    )
+
+
+def build_problem(
+    n_a: int,
+    n_b: int = 0,
+    deadline: float = DEFAULT_DEADLINE,
+    demand_a: float = DEFAULT_DEMAND,
+    demand_b: float = DEFAULT_DEMAND,
+) -> Tuple[MappingTemplate, Specification]:
+    """Complete RPL exploration problem (template + library + spec)."""
+    template = build_template(n_a, n_b, demand_a, demand_b)
+    library = build_library()
+    mapping_template = MappingTemplate(template, library, time_bound=500.0)
+    delivered = demand_a + (demand_b if n_b else 0.0)
+    specification = build_specification(
+        deadline=deadline, min_delivery=delivered
+    )
+    return mapping_template, specification
+
+
+# -- compositional decomposition (Fig. 5b) -------------------------------------
+
+
+def build_line_a_with_comb_b(
+    n_a: int,
+    comb_throughput: float,
+    deadline: float = DEFAULT_DEADLINE,
+    demand_a: float = DEFAULT_DEMAND,
+    demand_b: float = DEFAULT_DEMAND,
+) -> Tuple[MappingTemplate, Specification]:
+    """Stage 1 of the decomposition: line A plus the aggregated *Comb B*
+    component that abstracts the whole of line B behind an assumed
+    throughput ``f^P`` (the paper's Section V-A construction)."""
+    template = Template(f"rpl-lineA[{n_a}]+combB")
+    template.add_component(
+        Component(
+            "src",
+            SOURCE,
+            max_fan_out=2,
+            generated_flow=demand_a + demand_b,
+            output_jitter=_JITTER_OUT,
+            params={"required": 1},
+        )
+    )
+    template.mark_source_type("source")
+    template.mark_sink_type("sink")
+    _add_line(template, "A", n_a, demand_a, "src")
+    # Comb B: a single required pseudo-component consuming line B's share.
+    template.add_component(
+        Component(
+            "comb_B",
+            COMB,
+            max_fan_in=1,
+            consumed_flow=demand_b,
+            input_jitter=_JITTER_IN,
+            params={"required": 1},
+        )
+    )
+    template.connect("src", "comb_B")
+    template.mark_sink_type("comb")
+
+    library = build_library()
+    # Pin the aggregate's assumed throughput.
+    comb = library.get("comb_b")
+    comb.attrs["throughput"] = float(comb_throughput)
+    mapping_template = MappingTemplate(template, library, time_bound=500.0)
+    specification = build_specification(
+        deadline=deadline, min_delivery=demand_a + demand_b
+    )
+    return mapping_template, specification
+
+
+def build_line_b_only(
+    n_b: int,
+    deadline: float = DEFAULT_DEADLINE,
+    demand_b: float = DEFAULT_DEMAND,
+) -> Tuple[MappingTemplate, Specification]:
+    """Stage 2 of the decomposition: line B synthesized on its own,
+    assuming line A's architecture is fixed (its source share carved out)."""
+    template = Template(f"rpl-lineB[{n_b}]")
+    # The source is line A's already-paid-for source, assumed here:
+    # weight 0 keeps it out of this stage's cost.
+    template.add_component(
+        Component(
+            "src",
+            SOURCE,
+            max_fan_out=1,
+            generated_flow=demand_b,
+            output_jitter=_JITTER_OUT,
+            weight=0.0,
+            params={"required": 1},
+        )
+    )
+    template.mark_source_type("source")
+    template.mark_sink_type("sink")
+    _add_line(template, "B", n_b, demand_b, "src")
+    library = build_library()
+    mapping_template = MappingTemplate(template, library, time_bound=500.0)
+    specification = build_specification(deadline=deadline, min_delivery=demand_b)
+    return mapping_template, specification
+
+
+def line_b_matches_comb_b(
+    result, comb_throughput: float, demand_b: float = DEFAULT_DEMAND
+) -> bool:
+    """Compatibility check: the synthesized line B must honour the
+    Comb B abstraction — accept ``demand_b`` within the assumed
+    throughput at its entry stage.
+
+    The entry stage of line B is its first conveyor; the selected
+    implementation's throughput must cover the abstraction's assumed
+    ``f^P`` share actually used (``demand_b``), and the line must be
+    synthesizable at all (checked by the stage's optimality).
+    """
+    architecture = result.architecture
+    if architecture is None:
+        return False
+    entry = [
+        name
+        for name in architecture.selected_impls
+        if name.startswith("c1_B")
+    ]
+    if not entry:
+        return False
+    entry_throughput = sum(
+        architecture.implementation_of(name).attribute("throughput")
+        for name in entry
+    )
+    return entry_throughput >= demand_b and demand_b <= comb_throughput

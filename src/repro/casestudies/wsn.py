@@ -1,0 +1,194 @@
+"""Wireless sensor network (WSN) case study.
+
+A third design-space family, in the domain of the paper's reference [9]
+("optimized selection of wireless network topologies"): sensor nodes
+stream measurements through candidate relay tiers to a gateway, under
+
+* **flow** — the gateway must collect every sensor's data rate within
+  relay throughput limits (global viewpoint);
+* **timing** — bounded sensor-to-gateway forwarding delay
+  (path-specific viewpoint);
+* **reliability** — each delivery route must meet a minimum end-to-end
+  success probability, handled in the log domain by
+  :class:`repro.spec.reliability.ReliabilitySpec` (path-specific).
+
+The template axis is ``(num_sensors, num_relays, tiers)``: every sensor
+must reach the gateway through ``tiers`` layers of candidate relays.
+Relay implementations trade cost against latency, throughput, and link
+reliability, so all three viewpoints bite during exploration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.arch.component import Component, ComponentType
+from repro.arch.library import Library
+from repro.arch.template import MappingTemplate, Template
+from repro.contracts.viewpoints import FLOW, TIMING
+from repro.spec.base import Specification
+from repro.spec.flow import FlowSpec
+from repro.spec.interconnection import InterconnectionSpec
+from repro.spec.reliability import ReliabilitySpec, log_fail_of
+from repro.spec.timing import TimingSpec
+
+SENSOR = ComponentType("sensor")
+RELAY = ComponentType("relay", ("latency", "throughput", "log_fail"))
+GATEWAY = ComponentType("gateway")
+
+#: Data rate per sensor (flow units).
+DEFAULT_SENSOR_RATE = 1.0
+#: Default end-to-end forwarding deadline.
+DEFAULT_DEADLINE = 9.0
+#: Default minimum per-route delivery probability. The cheapest relay
+#: (0.985) misses it, so exploration iterates on reliability.
+DEFAULT_MIN_RELIABILITY = 0.99
+
+_JITTER_IN = 1.0
+_JITTER_OUT = 0.5
+
+
+def build_library() -> Library:
+    """Relay radios trading cost vs latency/throughput/reliability."""
+    library = Library()
+    library.new("sense_std", "sensor", cost=1.0)
+    library.new("gw_std", "gateway", cost=2.0)
+    library.new(
+        "relay_lowpower",
+        "relay",
+        cost=3.0,
+        latency=6.0,
+        throughput=3.0,
+        log_fail=log_fail_of(0.985),
+    )
+    library.new(
+        "relay_mesh",
+        "relay",
+        cost=5.0,
+        latency=4.0,
+        throughput=5.0,
+        log_fail=log_fail_of(0.992),
+    )
+    library.new(
+        "relay_longrange",
+        "relay",
+        cost=8.0,
+        latency=3.0,
+        throughput=8.0,
+        log_fail=log_fail_of(0.996),
+    )
+    library.new(
+        "relay_industrial",
+        "relay",
+        cost=12.0,
+        latency=2.0,
+        throughput=12.0,
+        log_fail=log_fail_of(0.999),
+    )
+    return library
+
+
+def build_template(
+    num_sensors: int = 2,
+    num_relays: int = 2,
+    tiers: int = 1,
+    sensor_rate: float = DEFAULT_SENSOR_RATE,
+) -> Template:
+    """Sensors -> ``tiers`` layers of candidate relays -> gateway."""
+    if num_sensors < 1 or num_relays < 1 or tiers < 1:
+        raise ValueError("need at least one sensor, relay, and tier")
+    template = Template(f"wsn[{num_sensors},{num_relays},{tiers}]")
+    template.mark_source_type("sensor")
+    template.mark_sink_type("gateway")
+
+    sensors: List[str] = []
+    for index in range(1, num_sensors + 1):
+        name = f"sensor_{index}"
+        template.add_component(
+            Component(
+                name,
+                SENSOR,
+                max_fan_out=1,
+                generated_flow=sensor_rate,
+                output_jitter=_JITTER_OUT,
+                params={"required": 1},
+            )
+        )
+        sensors.append(name)
+
+    previous = sensors
+    for tier in range(1, tiers + 1):
+        current: List[str] = []
+        for index in range(1, num_relays + 1):
+            name = f"relay_t{tier}_{index}"
+            template.add_component(
+                Component(
+                    name,
+                    RELAY,
+                    max_fan_in=num_sensors,
+                    max_fan_out=1,
+                    input_jitter=_JITTER_IN,
+                    output_jitter=_JITTER_OUT,
+                )
+            )
+            current.append(name)
+        template.connect_all(previous, current)
+        previous = current
+
+    template.add_component(
+        Component(
+            "gateway",
+            GATEWAY,
+            max_fan_in=num_relays,
+            consumed_flow=num_sensors * sensor_rate,
+            input_jitter=_JITTER_IN,
+            params={"required": 1},
+        )
+    )
+    template.connect_all(previous, ["gateway"])
+    return template
+
+
+def build_specification(
+    total_rate: float,
+    deadline: float = DEFAULT_DEADLINE,
+    min_reliability: float = DEFAULT_MIN_RELIABILITY,
+) -> Specification:
+    return Specification(
+        InterconnectionSpec(),
+        [
+            FlowSpec(
+                FLOW,
+                max_source_flow=100.0,
+                max_loss=0.0,
+                min_delivery=total_rate,
+            ),
+            TimingSpec(
+                TIMING,
+                max_latency=deadline,
+                source_jitter=1.0,
+                sink_jitter=2.0,
+            ),
+            ReliabilitySpec(min_route_reliability=min_reliability),
+        ],
+    )
+
+
+def build_problem(
+    num_sensors: int = 2,
+    num_relays: int = 2,
+    tiers: int = 1,
+    deadline: float = DEFAULT_DEADLINE,
+    min_reliability: float = DEFAULT_MIN_RELIABILITY,
+    sensor_rate: float = DEFAULT_SENSOR_RATE,
+) -> Tuple[MappingTemplate, Specification]:
+    """Complete WSN exploration problem."""
+    template = build_template(num_sensors, num_relays, tiers, sensor_rate)
+    library = build_library()
+    mapping_template = MappingTemplate(template, library, time_bound=200.0)
+    specification = build_specification(
+        total_rate=num_sensors * sensor_rate,
+        deadline=deadline,
+        min_reliability=min_reliability,
+    )
+    return mapping_template, specification

@@ -1,0 +1,315 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``rpl``      — explore a reconfigurable production line instance;
+* ``epn``      — explore an aircraft power network instance;
+* ``wsn``      — explore a wireless sensor network instance;
+* ``table2``   — run the Table II scenario comparison on one EPN template;
+* ``topk``     — enumerate the K cheapest valid architectures of a case study;
+* ``diagnose`` — explain why an over-constrained design space is empty.
+
+Each exploration command prints the summary, an audit of the selected
+architecture, and optionally writes it as Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.casestudies import epn, rpl, wsn
+from repro.explore.audit import audit_architecture
+from repro.explore.engine import ContrArcExplorer, ExplorationStatus
+from repro.explore.enumeration import TopKExplorer
+from repro.graph.dot import write_dot
+from repro.reporting.tables import format_seconds, render_table
+
+#: Case-study problem builders addressable from the command line. The
+#: ``--demand`` override scales the load (useful with ``diagnose`` to
+#: produce an explainable over-constrained space).
+CASE_BUILDERS = {
+    "rpl": lambda args: rpl.build_problem(
+        args.n_a, args.n_b, demand_a=args.demand
+    ),
+    "epn": lambda args: epn.build_problem(
+        args.left, args.right, args.apu, load_demand=args.demand
+    ),
+    "wsn": lambda args: wsn.build_problem(
+        args.sensors, args.relays, args.tiers, sensor_rate=args.demand
+    ),
+}
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-isomorphism",
+        action="store_true",
+        help="disable subgraph-isomorphism certificate generalization",
+    )
+    parser.add_argument(
+        "--no-decomposition",
+        action="store_true",
+        help="disable path-by-path refinement checking",
+    )
+    parser.add_argument(
+        "--backend",
+        default="scipy",
+        choices=["scipy", "native"],
+        help="MILP backend (default scipy/HiGHS)",
+    )
+    parser.add_argument(
+        "--max-iterations", type=int, default=2000, help="iteration cap"
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None, help="wall-clock cap (s)"
+    )
+    parser.add_argument(
+        "--dot", metavar="FILE", help="write the selected architecture as DOT"
+    )
+
+
+def _make_explorer(mapping_template, specification, args) -> ContrArcExplorer:
+    return ContrArcExplorer(
+        mapping_template,
+        specification,
+        backend=args.backend,
+        use_isomorphism=not args.no_isomorphism,
+        use_decomposition=not args.no_decomposition,
+        max_iterations=args.max_iterations,
+        time_limit=args.time_limit,
+    )
+
+
+def _print_result(
+    result,
+    dot_path: Optional[str],
+    audit_context=None,
+) -> int:
+    print(f"status:     {result.status.value}")
+    if result.status is not ExplorationStatus.OPTIMAL:
+        return 1
+    print(f"cost:       {result.cost:g}")
+    print(f"iterations: {result.stats.num_iterations}")
+    print(f"time:       {result.stats.total_time:.2f}s")
+    print(f"milp size:  {result.stats.milp_variables} vars x "
+          f"{result.stats.milp_constraints} constraints")
+    print("selected implementations:")
+    for name in sorted(result.architecture.selected_impls):
+        impl = result.architecture.implementation_of(name)
+        print(f"  {name:14s} -> {impl.name}")
+    if audit_context is not None:
+        mapping_template, specification = audit_context
+        print(
+            audit_architecture(
+                mapping_template, specification, result.architecture
+            ).render()
+        )
+    if dot_path:
+        write_dot(result.architecture.mapping_graph(), dot_path)
+        print(f"wrote {dot_path}")
+    return 0
+
+
+def _cmd_rpl(args) -> int:
+    mapping_template, specification = rpl.build_problem(
+        args.n_a, args.n_b, deadline=args.deadline
+    )
+    result = _make_explorer(mapping_template, specification, args).explore()
+    return _print_result(
+        result, args.dot, audit_context=(mapping_template, specification)
+    )
+
+
+def _cmd_epn(args) -> int:
+    mapping_template, specification = epn.build_problem(
+        args.left,
+        args.right,
+        args.apu,
+        deadline=args.deadline,
+        loss_budget=args.loss_budget,
+    )
+    result = _make_explorer(mapping_template, specification, args).explore()
+    return _print_result(
+        result, args.dot, audit_context=(mapping_template, specification)
+    )
+
+
+def _cmd_wsn(args) -> int:
+    mapping_template, specification = wsn.build_problem(
+        args.sensors,
+        args.relays,
+        args.tiers,
+        deadline=args.deadline,
+        min_reliability=args.min_reliability,
+    )
+    result = _make_explorer(mapping_template, specification, args).explore()
+    return _print_result(
+        result, args.dot, audit_context=(mapping_template, specification)
+    )
+
+
+def _cmd_topk(args) -> int:
+    mapping_template, specification = CASE_BUILDERS[args.case](args)
+    explorer = TopKExplorer(
+        mapping_template,
+        specification,
+        k=args.k,
+        backend=args.backend,
+        max_iterations=args.max_iterations,
+        time_limit=args.time_limit,
+    )
+    architectures = explorer.explore()
+    if not architectures:
+        print("no valid architecture exists")
+        return 1
+    for rank, architecture in enumerate(architectures, start=1):
+        picks = ", ".join(
+            f"{name}={impl.name}"
+            for name, impl in sorted(architecture.selected_impls.items())
+        )
+        print(f"#{rank}: cost {architecture.cost:g} [{picks}]")
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.solver.diagnostics import diagnose_infeasible_exploration
+
+    mapping_template, specification = CASE_BUILDERS[args.case](args)
+    try:
+        print(diagnose_infeasible_exploration(mapping_template, specification))
+    except Exception as error:  # feasible design spaces included
+        print(f"diagnosis unavailable: {error}")
+        return 1
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    scenarios = {
+        "only-iso": dict(use_isomorphism=True, use_decomposition=False),
+        "only-decomp": dict(
+            use_isomorphism=False,
+            use_decomposition=True,
+            widen_implementations=False,
+        ),
+        "complete": dict(use_isomorphism=True, use_decomposition=True),
+    }
+    rows = []
+    for name, flags in scenarios.items():
+        mapping_template, specification = epn.build_problem(
+            args.left, args.right, args.apu
+        )
+        explorer = ContrArcExplorer(
+            mapping_template,
+            specification,
+            backend=args.backend,
+            max_iterations=args.max_iterations,
+            time_limit=args.time_limit,
+            **flags,
+        )
+        result = explorer.explore()
+        rows.append(
+            [
+                name,
+                result.status.value,
+                format_seconds(result.stats.total_time),
+                result.stats.num_iterations,
+                f"{result.cost:g}" if result.cost is not None else "-",
+            ]
+        )
+    print(
+        render_table(
+            ["scenario", "status", "time", "iterations", "cost"],
+            rows,
+            title=f"EPN ({args.left},{args.right},{args.apu}) scenarios",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ContrArc: contract-based CPS architecture exploration",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    rpl_cmd = commands.add_parser("rpl", help="explore a production line")
+    rpl_cmd.add_argument("--n-a", type=int, default=2)
+    rpl_cmd.add_argument("--n-b", type=int, default=0)
+    rpl_cmd.add_argument("--deadline", type=float, default=rpl.DEFAULT_DEADLINE)
+    _add_engine_flags(rpl_cmd)
+    rpl_cmd.set_defaults(func=_cmd_rpl)
+
+    epn_cmd = commands.add_parser("epn", help="explore a power network")
+    epn_cmd.add_argument("--left", type=int, default=1)
+    epn_cmd.add_argument("--right", type=int, default=1)
+    epn_cmd.add_argument("--apu", type=int, default=0)
+    epn_cmd.add_argument("--deadline", type=float, default=epn.DEFAULT_DEADLINE)
+    epn_cmd.add_argument(
+        "--loss-budget", type=float, default=epn.DEFAULT_LOSS_BUDGET
+    )
+    _add_engine_flags(epn_cmd)
+    epn_cmd.set_defaults(func=_cmd_epn)
+
+    wsn_cmd = commands.add_parser("wsn", help="explore a sensor network")
+    wsn_cmd.add_argument("--sensors", type=int, default=2)
+    wsn_cmd.add_argument("--relays", type=int, default=2)
+    wsn_cmd.add_argument("--tiers", type=int, default=2)
+    wsn_cmd.add_argument("--deadline", type=float, default=wsn.DEFAULT_DEADLINE)
+    wsn_cmd.add_argument(
+        "--min-reliability", type=float, default=wsn.DEFAULT_MIN_RELIABILITY
+    )
+    _add_engine_flags(wsn_cmd)
+    wsn_cmd.set_defaults(func=_cmd_wsn)
+
+    t2_cmd = commands.add_parser(
+        "table2", help="compare the three certificate scenarios on one EPN"
+    )
+    t2_cmd.add_argument("--left", type=int, default=1)
+    t2_cmd.add_argument("--right", type=int, default=1)
+    t2_cmd.add_argument("--apu", type=int, default=0)
+    t2_cmd.add_argument("--backend", default="scipy", choices=["scipy", "native"])
+    t2_cmd.add_argument("--max-iterations", type=int, default=5000)
+    t2_cmd.add_argument("--time-limit", type=float, default=300.0)
+    t2_cmd.set_defaults(func=_cmd_table2)
+
+    def _add_case_flags(sub):
+        sub.add_argument("case", choices=sorted(CASE_BUILDERS))
+        sub.add_argument("--n-a", type=int, default=1)
+        sub.add_argument("--n-b", type=int, default=0)
+        sub.add_argument("--left", type=int, default=1)
+        sub.add_argument("--right", type=int, default=0)
+        sub.add_argument("--apu", type=int, default=0)
+        sub.add_argument("--sensors", type=int, default=2)
+        sub.add_argument("--relays", type=int, default=2)
+        sub.add_argument("--tiers", type=int, default=1)
+        sub.add_argument("--demand", type=float, default=2.0)
+
+    topk_cmd = commands.add_parser(
+        "topk", help="enumerate the K cheapest valid architectures"
+    )
+    _add_case_flags(topk_cmd)
+    topk_cmd.add_argument("-k", type=int, default=3)
+    topk_cmd.add_argument("--backend", default="scipy", choices=["scipy", "native"])
+    topk_cmd.add_argument("--max-iterations", type=int, default=5000)
+    topk_cmd.add_argument("--time-limit", type=float, default=None)
+    topk_cmd.set_defaults(func=_cmd_topk)
+
+    diag_cmd = commands.add_parser(
+        "diagnose", help="explain why a design space admits no candidate"
+    )
+    _add_case_flags(diag_cmd)
+    diag_cmd.set_defaults(func=_cmd_diagnose)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

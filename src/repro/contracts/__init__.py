@@ -1,0 +1,35 @@
+"""Assume/guarantee contract algebra."""
+
+from repro.contracts.contract import Contract, contract
+from repro.contracts.operations import compose, conjoin
+from repro.contracts.quotient import quotient
+from repro.contracts.refinement import (
+    RefinementFailure,
+    RefinementResult,
+    check_refinement,
+    refines,
+)
+from repro.contracts.viewpoints import (
+    FLOW,
+    POWER,
+    TIMING,
+    AttributeDirection,
+    Viewpoint,
+)
+
+__all__ = [
+    "Contract",
+    "contract",
+    "compose",
+    "conjoin",
+    "quotient",
+    "RefinementFailure",
+    "RefinementResult",
+    "check_refinement",
+    "refines",
+    "FLOW",
+    "POWER",
+    "TIMING",
+    "AttributeDirection",
+    "Viewpoint",
+]

@@ -1,0 +1,60 @@
+"""Contract composition and conjunction.
+
+Both operations are defined on saturated contracts (Benveniste et al.):
+
+* composition ``C1 (x) C2``:  ``G = G1 and G2``,
+  ``A = (A1 and A2) or not G`` — the composite assumes whatever lets
+  both parts assume their environments, discharging mutual assumptions
+  through the guarantees;
+* conjunction ``C1 /\\ C2`` (viewpoint merge): ``A = A1 or A2``,
+  ``G = G1 and G2``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.exceptions import ContractError
+from repro.contracts.contract import Contract
+from repro.expr.constraints import Or, conjunction, disjunction
+from repro.expr.transform import negate
+
+
+def compose(
+    contracts: Iterable[Contract], name: str = "", saturate: bool = True
+) -> Contract:
+    """Compose contracts (the paper's ``(x)`` operator, n-ary).
+
+    ``saturate=False`` combines the *raw* formulas — ``A = and(A_i)``,
+    ``G = and(G_i)`` — the form the paper's refinement queries consume
+    (see :func:`repro.contracts.refinement.check_refinement`).
+    """
+    operands: List[Contract] = [
+        c.saturate() if saturate else c for c in contracts
+    ]
+    if not operands:
+        raise ContractError("compose() needs at least one contract")
+    if len(operands) == 1:
+        only = operands[0]
+        return only.renamed(name) if name else only
+    guarantees = conjunction(c.guarantees for c in operands)
+    joint_assumptions = conjunction(c.assumptions for c in operands)
+    label = name or "(" + " (x) ".join(c.name for c in operands) + ")"
+    if not saturate:
+        return Contract(label, joint_assumptions, guarantees)
+    assumptions = Or(joint_assumptions, negate(guarantees))
+    return Contract(label, assumptions, guarantees, _saturated=True)
+
+
+def conjoin(contracts: Iterable[Contract], name: str = "") -> Contract:
+    """Conjoin contracts across viewpoints (the paper's ``/\\`` operator)."""
+    saturated: List[Contract] = [c.saturate() for c in contracts]
+    if not saturated:
+        raise ContractError("conjoin() needs at least one contract")
+    if len(saturated) == 1:
+        only = saturated[0]
+        return only.renamed(name) if name else only
+    assumptions = disjunction(c.assumptions for c in saturated)
+    guarantees = conjunction(c.guarantees for c in saturated)
+    label = name or "(" + " /\\ ".join(c.name for c in saturated) + ")"
+    return Contract(label, assumptions, guarantees, _saturated=True)

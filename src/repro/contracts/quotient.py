@@ -1,0 +1,43 @@
+"""Contract quotient — specification of the missing component.
+
+Given a system-level contract ``C_s`` and the contract ``C_1`` of an
+already-fixed part, the *quotient* ``C_s / C_1`` is the weakest
+specification a missing part must satisfy so the composition meets the
+system contract (Incer et al.; the algebraic completion of the
+composition operator used throughout the paper):
+
+    A_q = A_s and G_1
+    G_q = (A_s and G_1 -> G_s) and (G_s and G_q ... )   — in saturated
+          form simply  G_s or not (A_s and G_1),
+    plus the obligation to re-establish C_1's assumptions:
+          A_1 or not A_s.
+
+This implementation uses the standard closed form on saturated
+contracts:
+
+    C_s / C_1 = (A_s ∧ G_1,  (G_s ∧ A_1) ∨ ¬(A_s ∧ G_1))
+
+which satisfies the universal property: for any contract C,
+``C_1 (x) C <= C_s``  iff  ``C <= C_s / C_1``.
+
+In the exploration setting the quotient is how compositional stages are
+justified formally: the *Comb B* abstraction of the RPL case study is a
+hand-written strengthening of ``C_s / C_lineA``.
+"""
+
+from __future__ import annotations
+
+from repro.contracts.contract import Contract
+from repro.expr.constraints import And, Or
+from repro.expr.transform import negate
+
+
+def quotient(system: Contract, part: Contract, name: str = "") -> Contract:
+    """The weakest contract completing ``part`` to meet ``system``."""
+    system_sat = system.saturate()
+    part_sat = part.saturate()
+    assumptions = And(system_sat.assumptions, part_sat.guarantees)
+    obligations = And(system_sat.guarantees, part_sat.assumptions)
+    guarantees = Or(obligations, negate(assumptions))
+    label = name or f"({system.name} / {part.name})"
+    return Contract(label, assumptions, guarantees, _saturated=True)

@@ -1,0 +1,90 @@
+"""Requirement viewpoints (timing, flow/power, interconnection, ...).
+
+A viewpoint groups the contracts of one requirement dimension and
+carries the metadata the exploration engine needs:
+
+* whether the system-level requirement is *path-specific* (checked per
+  source-to-sink path, Algorithm 1 lines 4-9) or global;
+* which implementation attribute the viewpoint judges and in which
+  direction it degrades, used by ``ImplementationSearch`` (Algorithm 2)
+  to widen an invalid implementation choice to every choice that is at
+  least as bad.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class AttributeDirection(enum.Enum):
+    """How an implementation attribute relates to requirement violation."""
+
+    #: Larger attribute values are worse (e.g. latency vs a deadline).
+    HIGHER_IS_WORSE = "higher_is_worse"
+    #: Smaller attribute values are worse (e.g. throughput vs demand).
+    LOWER_IS_WORSE = "lower_is_worse"
+
+    def at_least_as_bad(self, candidate: float, reference: float) -> bool:
+        """True iff ``candidate`` is at least as bad as ``reference``."""
+        if self is AttributeDirection.HIGHER_IS_WORSE:
+            return candidate >= reference
+        return candidate <= reference
+
+
+class Viewpoint:
+    """A named requirement dimension."""
+
+    __slots__ = ("name", "path_specific", "attribute", "direction")
+
+    def __init__(
+        self,
+        name: str,
+        path_specific: bool = False,
+        attribute: Optional[str] = None,
+        direction: Optional[AttributeDirection] = None,
+    ) -> None:
+        if (attribute is None) != (direction is None):
+            raise ValueError(
+                "attribute and direction must be given together (or neither)"
+            )
+        self.name = name
+        self.path_specific = path_specific
+        self.attribute = attribute
+        self.direction = direction
+
+    @property
+    def supports_widening(self) -> bool:
+        """Whether Algorithm 2's implementation widening applies."""
+        return self.attribute is not None
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Viewpoint) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Viewpoint", self.name))
+
+    def __repr__(self) -> str:
+        kind = "path" if self.path_specific else "global"
+        return f"Viewpoint({self.name!r}, {kind})"
+
+
+#: The viewpoints used by the paper's case studies.
+TIMING = Viewpoint(
+    "timing",
+    path_specific=True,
+    attribute="latency",
+    direction=AttributeDirection.HIGHER_IS_WORSE,
+)
+FLOW = Viewpoint(
+    "flow",
+    path_specific=False,
+    attribute="throughput",
+    direction=AttributeDirection.LOWER_IS_WORSE,
+)
+POWER = Viewpoint(
+    "power",
+    path_specific=False,
+    attribute="throughput",
+    direction=AttributeDirection.LOWER_IS_WORSE,
+)

@@ -1,0 +1,37 @@
+"""Exception hierarchy shared across the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ExpressionError(ReproError):
+    """Malformed or unsupported expression construction."""
+
+
+class BoundsError(ExpressionError):
+    """A variable or expression lacks the finite bounds an operation needs."""
+
+
+class SolverError(ReproError):
+    """A solver backend failed or was used incorrectly."""
+
+
+class UnboundedProblemError(SolverError):
+    """The LP/MILP objective is unbounded below."""
+
+
+class ContractError(ReproError):
+    """Invalid contract construction or operation."""
+
+
+class ArchitectureError(ReproError):
+    """Invalid template, library, or candidate-architecture operation."""
+
+
+class ExplorationError(ReproError):
+    """The exploration engine reached an invalid state."""
+
+
+class NoFeasibleArchitectureError(ExplorationError):
+    """The search space contains no architecture satisfying all contracts."""

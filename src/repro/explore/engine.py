@@ -1,0 +1,223 @@
+"""The ContrArc exploration loop (Fig. 1 / Problems 2-4).
+
+Iterate:
+
+1. solve the Problem-2 MILP (component contracts + accumulated cuts) for
+   the cheapest candidate;
+2. run Algorithm 1 (refinement verification) on the candidate;
+3. if a viewpoint fails, run Algorithm 2 to turn the invalid fragment
+   into isomorphism-generalized cuts and go to 1;
+4. otherwise the candidate is the optimum of Problem 1.
+
+The two scalability levers of the paper map to constructor flags:
+``use_isomorphism`` (certificate generalization over embeddings +
+implementation widening) and ``use_decomposition`` (path-by-path
+refinement). Table II's three scenarios are
+``(True, False)``, ``(False, True)`` and ``(True, True)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import List, Optional
+
+from repro.exceptions import ExplorationError, NoFeasibleArchitectureError
+from repro.arch.architecture import CandidateArchitecture
+from repro.arch.template import MappingTemplate
+from repro.explore.certificates import generate_cuts
+from repro.explore.encoding import Cut, build_candidate_milp
+from repro.explore.refinement_check import RefinementChecker, Violation
+from repro.explore.stats import ExplorationStats, IterationRecord
+from repro.solver.encoder import FormulaEncoder
+from repro.solver.feasibility import get_backend
+from repro.solver.result import SolveStatus
+from repro.spec.base import Specification
+
+
+class ExplorationStatus(enum.Enum):
+    """Terminal state of an exploration run."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    ITERATION_LIMIT = "iteration_limit"
+    TIME_LIMIT = "time_limit"
+
+
+class ExplorationResult:
+    """Outcome of one exploration run."""
+
+    __slots__ = ("status", "architecture", "stats", "cuts", "last_violation")
+
+    def __init__(
+        self,
+        status: ExplorationStatus,
+        architecture: Optional[CandidateArchitecture],
+        stats: ExplorationStats,
+        cuts: List[Cut],
+        last_violation: Optional[Violation] = None,
+    ) -> None:
+        self.status = status
+        self.architecture = architecture
+        self.stats = stats
+        self.cuts = cuts
+        self.last_violation = last_violation
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is ExplorationStatus.OPTIMAL
+
+    @property
+    def cost(self) -> Optional[float]:
+        return self.architecture.cost if self.architecture else None
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplorationResult({self.status.value}, cost={self.cost}, "
+            f"iterations={self.stats.num_iterations})"
+        )
+
+
+class ContrArcExplorer:
+    """The complete methodology (both levers on by default)."""
+
+    def __init__(
+        self,
+        mapping_template: MappingTemplate,
+        specification: Specification,
+        backend: str = "scipy",
+        use_isomorphism: bool = True,
+        use_decomposition: bool = True,
+        widen_implementations: bool = True,
+        check_assumptions: bool = False,
+        max_iterations: int = 1000,
+        max_embeddings: int = 0,
+        time_limit: Optional[float] = None,
+        matcher: str = "native",
+    ) -> None:
+        #: Subgraph-isomorphism backend for certificate generation.
+        self.matcher = matcher
+        if max_iterations < 1:
+            raise ExplorationError("max_iterations must be at least 1")
+        #: Wall-clock budget in seconds; exploration stops with
+        #: TIME_LIMIT when exceeded (checked between iterations).
+        self.time_limit = time_limit
+        self.mapping_template = mapping_template
+        self.specification = specification
+        self.backend = backend
+        self.use_isomorphism = use_isomorphism
+        self.use_decomposition = use_decomposition
+        self.widen_implementations = widen_implementations
+        self.max_iterations = max_iterations
+        self.max_embeddings = max_embeddings
+        self.checker = RefinementChecker(
+            mapping_template,
+            specification,
+            backend=backend,
+            decompose=use_decomposition,
+            check_assumptions=check_assumptions,
+        )
+
+    # -- main loop -------------------------------------------------------------
+
+    def explore(self) -> ExplorationResult:
+        """Run the select/verify/prune loop to the optimal architecture."""
+        solve = get_backend(self.backend)
+        stats = ExplorationStats()
+        cuts: List[Cut] = []
+        last_violation: Optional[Violation] = None
+        started = time.perf_counter()
+
+        # The contract encoding never changes across iterations; build it
+        # once and keep appending certificate constraints to it.
+        model = build_candidate_milp(self.mapping_template, self.specification)
+        cut_encoder = FormulaEncoder(model, prefix="cut")
+
+        for index in range(1, self.max_iterations + 1):
+            if (
+                self.time_limit is not None
+                and time.perf_counter() - started > self.time_limit
+            ):
+                stats.total_time = time.perf_counter() - started
+                return ExplorationResult(
+                    ExplorationStatus.TIME_LIMIT, None, stats, cuts, last_violation
+                )
+            record = IterationRecord(index)
+
+            t0 = time.perf_counter()
+            solve_result = solve(model)
+            record.milp_time = time.perf_counter() - t0
+            if index == 1:
+                stats.milp_variables = model.num_variables
+                stats.milp_constraints = model.num_constraints
+
+            if solve_result.status is SolveStatus.INFEASIBLE:
+                stats.record(record)
+                stats.total_time = time.perf_counter() - started
+                return ExplorationResult(
+                    ExplorationStatus.INFEASIBLE, None, stats, cuts, last_violation
+                )
+            if solve_result.status is not SolveStatus.OPTIMAL:
+                raise ExplorationError(
+                    f"candidate MILP ended with status "
+                    f"{solve_result.status.value}: {solve_result.message}"
+                )
+
+            candidate = CandidateArchitecture.from_assignment(
+                self.mapping_template, solve_result.assignment
+            )
+            record.candidate_cost = candidate.cost
+
+            t0 = time.perf_counter()
+            violation = self.checker.check(candidate)
+            record.refinement_time = time.perf_counter() - t0
+
+            if violation is None:
+                stats.record(record)
+                stats.total_time = time.perf_counter() - started
+                return ExplorationResult(
+                    ExplorationStatus.OPTIMAL, candidate, stats, cuts
+                )
+
+            last_violation = violation
+            record.violated_viewpoint = violation.viewpoint.name
+            t0 = time.perf_counter()
+            new_cuts = generate_cuts(
+                self.mapping_template,
+                candidate,
+                violation,
+                use_isomorphism=self.use_isomorphism,
+                widen=self.widen_implementations,
+                max_embeddings=self.max_embeddings,
+                matcher=self.matcher,
+            )
+            record.certificate_time = time.perf_counter() - t0
+            record.cuts_added = len(new_cuts)
+            cuts.extend(new_cuts)
+            for cut in new_cuts:
+                cut_encoder.enforce(cut.formula)
+            stats.record(record)
+
+        stats.total_time = time.perf_counter() - started
+        return ExplorationResult(
+            ExplorationStatus.ITERATION_LIMIT, None, stats, cuts, last_violation
+        )
+
+    def explore_or_raise(self) -> ExplorationResult:
+        """Like :meth:`explore` but raises when no architecture exists."""
+        result = self.explore()
+        if result.status is ExplorationStatus.INFEASIBLE:
+            raise NoFeasibleArchitectureError(
+                "the design space contains no architecture satisfying all "
+                "system-level contracts"
+            )
+        if result.status is ExplorationStatus.ITERATION_LIMIT:
+            raise ExplorationError(
+                f"exploration did not converge within "
+                f"{self.max_iterations} iterations"
+            )
+        if result.status is ExplorationStatus.TIME_LIMIT:
+            raise ExplorationError(
+                f"exploration exceeded the {self.time_limit:g}s time budget"
+            )
+        return result

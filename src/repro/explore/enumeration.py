@@ -1,0 +1,136 @@
+"""Ranked enumeration of valid architectures.
+
+A natural extension of the ContrArc loop (the paper returns only the
+optimum): after an architecture passes refinement, exclude *exactly
+that* candidate with a no-good cut and continue — the next accepted
+candidate is the next-cheapest valid architecture. Infeasibility
+certificates keep accumulating across accepted solutions, so the search
+never revisits invalid regions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.exceptions import ExplorationError
+from repro.arch.architecture import CandidateArchitecture
+from repro.arch.template import MappingTemplate
+from repro.explore.certificates import generate_cuts
+from repro.explore.encoding import Cut, build_candidate_milp
+from repro.explore.refinement_check import RefinementChecker
+from repro.explore.stats import ExplorationStats, IterationRecord
+from repro.expr.terms import LinExpr
+from repro.solver.encoder import FormulaEncoder
+from repro.solver.feasibility import get_backend
+from repro.solver.result import SolveStatus
+from repro.spec.base import Specification
+
+
+def exclude_candidate_cut(
+    mapping_template: MappingTemplate, candidate: CandidateArchitecture
+) -> Cut:
+    """No-good cut excluding exactly one structural assignment."""
+    assignment = candidate.structural_assignment()
+    selected = [var for var, value in assignment.items() if value >= 0.5]
+    unselected = [var for var, value in assignment.items() if value < 0.5]
+    # sum(selected) - sum(unselected) <= |selected| - 1.
+    expr = LinExpr.sum(selected) - LinExpr.sum(unselected)
+    return Cut(expr <= len(selected) - 1, "accepted-solution no-good")
+
+
+class TopKExplorer:
+    """Enumerates the K cheapest contract-valid architectures."""
+
+    def __init__(
+        self,
+        mapping_template: MappingTemplate,
+        specification: Specification,
+        k: int,
+        backend: str = "scipy",
+        use_isomorphism: bool = True,
+        use_decomposition: bool = True,
+        max_iterations: int = 5000,
+        time_limit: Optional[float] = None,
+    ) -> None:
+        if k < 1:
+            raise ExplorationError("k must be at least 1")
+        self.mapping_template = mapping_template
+        self.specification = specification
+        self.k = k
+        self.backend = backend
+        self.use_isomorphism = use_isomorphism
+        self.use_decomposition = use_decomposition
+        self.max_iterations = max_iterations
+        self.time_limit = time_limit
+        self.checker = RefinementChecker(
+            mapping_template,
+            specification,
+            backend=backend,
+            decompose=use_decomposition,
+        )
+        self.stats = ExplorationStats()
+
+    def explore(self) -> List[CandidateArchitecture]:
+        """Return up to K valid architectures in non-decreasing cost order."""
+        solve = get_backend(self.backend)
+        model = build_candidate_milp(self.mapping_template, self.specification)
+        encoder = FormulaEncoder(model, prefix="cut")
+        accepted: List[CandidateArchitecture] = []
+        started = time.perf_counter()
+
+        for index in range(1, self.max_iterations + 1):
+            if (
+                self.time_limit is not None
+                and time.perf_counter() - started > self.time_limit
+            ):
+                break
+            record = IterationRecord(index)
+            t0 = time.perf_counter()
+            result = solve(model)
+            record.milp_time = time.perf_counter() - t0
+            if index == 1:
+                self.stats.milp_variables = model.num_variables
+                self.stats.milp_constraints = model.num_constraints
+            if result.status is SolveStatus.INFEASIBLE:
+                self.stats.record(record)
+                break
+            if result.status is not SolveStatus.OPTIMAL:
+                raise ExplorationError(
+                    f"candidate MILP ended with {result.status.value}"
+                )
+            candidate = CandidateArchitecture.from_assignment(
+                self.mapping_template, result.assignment
+            )
+            record.candidate_cost = candidate.cost
+
+            t0 = time.perf_counter()
+            violation = self.checker.check(candidate)
+            record.refinement_time = time.perf_counter() - t0
+
+            if violation is None:
+                accepted.append(candidate)
+                cut = exclude_candidate_cut(self.mapping_template, candidate)
+                encoder.enforce(cut.formula)
+                record.cuts_added = 1
+                self.stats.record(record)
+                if len(accepted) >= self.k:
+                    break
+                continue
+
+            record.violated_viewpoint = violation.viewpoint.name
+            t0 = time.perf_counter()
+            cuts = generate_cuts(
+                self.mapping_template,
+                candidate,
+                violation,
+                use_isomorphism=self.use_isomorphism,
+            )
+            record.certificate_time = time.perf_counter() - t0
+            record.cuts_added = len(cuts)
+            for cut in cuts:
+                encoder.enforce(cut.formula)
+            self.stats.record(record)
+
+        self.stats.total_time = time.perf_counter() - started
+        return accepted

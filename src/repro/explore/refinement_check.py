@@ -1,0 +1,232 @@
+"""Algorithm 1 — compositional refinement verification.
+
+Given a candidate, specialize every component contract to the selected
+structure (edge/mapping variables pinned, attribute variables pinned to
+the chosen implementations' values) and check, per viewpoint, that the
+composition of the specialized contracts refines the system contract.
+
+With decomposition enabled (the ContrArc default), path-specific
+viewpoints are verified path by path — a failure yields a *small*
+invalid sub-architecture, hence a more general certificate. With
+decomposition disabled (Table II's "only subgraph isomorphism"
+scenario), every viewpoint is checked once against the whole candidate;
+path-specific system contracts are conjoined over all source-to-sink
+paths of the candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.architecture import CandidateArchitecture, SubArchitecture
+from repro.arch.template import MappingTemplate
+from repro.contracts.contract import Contract
+from repro.contracts.operations import compose
+from repro.contracts.refinement import RefinementResult, check_refinement
+from repro.contracts.viewpoints import Viewpoint
+from repro.expr.constraints import conjunction
+from repro.expr.terms import Var
+from repro.graph.paths import all_source_sink_paths
+from repro.spec.base import Specification, ViewpointSpec
+
+
+class Violation:
+    """A refinement failure: which fragment broke which viewpoint."""
+
+    __slots__ = ("sub_architecture", "viewpoint", "refinement")
+
+    def __init__(
+        self,
+        sub_architecture: SubArchitecture,
+        viewpoint: Viewpoint,
+        refinement: RefinementResult,
+    ) -> None:
+        self.sub_architecture = sub_architecture
+        self.viewpoint = viewpoint
+        self.refinement = refinement
+
+    def __repr__(self) -> str:
+        return (
+            f"Violation(viewpoint={self.viewpoint.name!r}, "
+            f"nodes={self.sub_architecture.nodes})"
+        )
+
+
+class RefinementChecker:
+    """Checks candidates against system-level contracts."""
+
+    def __init__(
+        self,
+        mapping_template: MappingTemplate,
+        specification: Specification,
+        backend: str = "scipy",
+        decompose: bool = True,
+        check_assumptions: bool = False,
+    ) -> None:
+        self.mapping_template = mapping_template
+        self.specification = specification
+        self.backend = backend
+        self.decompose = decompose
+        #: The assumptions half of refinement is skipped by default: the
+        #: candidate MILP already enforces every component assumption, so
+        #: only guarantee containment is informative here (see DESIGN.md).
+        self.check_assumptions = check_assumptions
+        # Contract generation is pure in (spec, component/path); cache the
+        # unsubstituted contracts across iterations.
+        self._component_cache: Dict[tuple, Contract] = {}
+        self._system_cache: Dict[tuple, Contract] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def check(self, candidate: CandidateArchitecture) -> Optional[Violation]:
+        """Return the first violation, or None if all refinements hold."""
+        assignment = self._candidate_assignment(candidate)
+        paths = self._candidate_paths(candidate)
+
+        if self.decompose:
+            for spec in self.specification.path_specific_specs:
+                for path in paths:
+                    violation = self._check_path(candidate, spec, path, assignment)
+                    if violation is not None:
+                        return violation
+            for spec in self.specification.global_specs:
+                violation = self._check_whole(candidate, spec, paths, assignment)
+                if violation is not None:
+                    return violation
+            return None
+
+        # No decomposition: every viewpoint against the whole candidate.
+        for spec in self.specification.viewpoint_specs:
+            violation = self._check_whole(candidate, spec, paths, assignment)
+            if violation is not None:
+                return violation
+        return None
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _candidate_assignment(
+        self, candidate: CandidateArchitecture
+    ) -> Dict[Var, float]:
+        assignment = candidate.structural_assignment()
+        assignment.update(candidate.attribute_assignment())
+        return assignment
+
+    def _candidate_paths(self, candidate: CandidateArchitecture) -> List[Sequence[str]]:
+        graph = candidate.graph()
+        template = self.mapping_template.template
+        sources = [
+            c.name
+            for c in template.source_components()
+            if candidate.is_instantiated(c.name)
+        ]
+        sinks = [
+            c.name
+            for c in template.sink_components()
+            if candidate.is_instantiated(c.name)
+        ]
+        return [list(p) for p in all_source_sink_paths(graph, sources, sinks)]
+
+    def _component_contract(
+        self,
+        spec: ViewpointSpec,
+        component_name: str,
+        assignment: Dict[Var, float],
+    ) -> Contract:
+        key = (spec.name, component_name)
+        if key not in self._component_cache:
+            component = self.mapping_template.template.component(component_name)
+            self._component_cache[key] = spec.component_contract(
+                self.mapping_template, component
+            )
+        return self._component_cache[key].substitute(assignment)
+
+    def _system_contract_for_path(
+        self, spec: ViewpointSpec, path: Sequence[str]
+    ) -> Contract:
+        key = (spec.name, tuple(path))
+        if key not in self._system_cache:
+            self._system_cache[key] = spec.system_contract(
+                self.mapping_template, path
+            )
+        return self._system_cache[key]
+
+    def _check_path(
+        self,
+        candidate: CandidateArchitecture,
+        spec: ViewpointSpec,
+        path: Sequence[str],
+        assignment: Dict[Var, float],
+    ) -> Optional[Violation]:
+        composed = compose(
+            [self._component_contract(spec, name, assignment) for name in path],
+            name=f"C_p^{spec.name}",
+            saturate=False,
+        )
+        system = self._system_contract_for_path(spec, path).substitute(assignment)
+        result = check_refinement(
+            composed,
+            system,
+            backend=self.backend,
+            check_assumptions=self.check_assumptions,
+            saturate_concrete=False,
+        )
+        if result:
+            return None
+        return Violation(
+            candidate.sub_architecture(list(path)), spec.viewpoint, result
+        )
+
+    def _check_whole(
+        self,
+        candidate: CandidateArchitecture,
+        spec: ViewpointSpec,
+        paths: List[Sequence[str]],
+        assignment: Dict[Var, float],
+    ) -> Optional[Violation]:
+        instantiated = sorted(candidate.selected_impls)
+        if not instantiated:
+            return None
+        composed = compose(
+            [
+                self._component_contract(spec, name, assignment)
+                for name in instantiated
+            ],
+            name=f"C_c^{spec.name}",
+            saturate=False,
+        )
+        system = self._system_contract_whole(spec, paths).substitute(assignment)
+        result = check_refinement(
+            composed,
+            system,
+            backend=self.backend,
+            check_assumptions=self.check_assumptions,
+            saturate_concrete=False,
+        )
+        if result:
+            return None
+        return Violation(candidate.whole_architecture(), spec.viewpoint, result)
+
+    def _system_contract_whole(
+        self, spec: ViewpointSpec, paths: List[Sequence[str]]
+    ) -> Contract:
+        """System contract for whole-candidate checking.
+
+        Global viewpoints have one; path-specific viewpoints get the
+        conjunction (same-viewpoint merge: A and G both conjoined) of
+        their per-path contracts.
+        """
+        if not spec.viewpoint.path_specific:
+            key = (spec.name, None)
+            if key not in self._system_cache:
+                self._system_cache[key] = spec.system_contract(
+                    self.mapping_template, None
+                )
+            return self._system_cache[key]
+        per_path = [self._system_contract_for_path(spec, path) for path in paths]
+        if not per_path:
+            from repro.expr.constraints import TRUE
+
+            return Contract(f"C_s^{spec.name}[all-paths]", TRUE, TRUE)
+        assumptions = conjunction(c.assumptions for c in per_path)
+        guarantees = conjunction(c.guarantees for c in per_path)
+        return Contract(f"C_s^{spec.name}[all-paths]", assumptions, guarantees)

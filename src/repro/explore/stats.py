@@ -1,0 +1,86 @@
+"""Exploration statistics (feeds the Table II columns)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class IterationRecord:
+    """What happened in one candidate-select/refine/prune round."""
+
+    __slots__ = (
+        "index",
+        "milp_time",
+        "refinement_time",
+        "certificate_time",
+        "candidate_cost",
+        "violated_viewpoint",
+        "cuts_added",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        milp_time: float = 0.0,
+        refinement_time: float = 0.0,
+        certificate_time: float = 0.0,
+        candidate_cost: Optional[float] = None,
+        violated_viewpoint: Optional[str] = None,
+        cuts_added: int = 0,
+    ) -> None:
+        self.index = index
+        self.milp_time = milp_time
+        self.refinement_time = refinement_time
+        self.certificate_time = certificate_time
+        self.candidate_cost = candidate_cost
+        self.violated_viewpoint = violated_viewpoint
+        self.cuts_added = cuts_added
+
+    @property
+    def total_time(self) -> float:
+        return self.milp_time + self.refinement_time + self.certificate_time
+
+    def __repr__(self) -> str:
+        verdict = self.violated_viewpoint or "accepted"
+        return (
+            f"IterationRecord(#{self.index}, {verdict}, "
+            f"{self.total_time:.3f}s, +{self.cuts_added} cuts)"
+        )
+
+
+class ExplorationStats:
+    """Aggregate statistics for one exploration run."""
+
+    def __init__(self) -> None:
+        self.iterations: List[IterationRecord] = []
+        self.total_time: float = 0.0
+        self.milp_variables: int = 0
+        self.milp_constraints: int = 0
+        self.total_cuts: int = 0
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def milp_time(self) -> float:
+        return sum(r.milp_time for r in self.iterations)
+
+    @property
+    def refinement_time(self) -> float:
+        return sum(r.refinement_time for r in self.iterations)
+
+    @property
+    def certificate_time(self) -> float:
+        return sum(r.certificate_time for r in self.iterations)
+
+    def record(self, record: IterationRecord) -> None:
+        self.iterations.append(record)
+        self.total_cuts += record.cuts_added
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplorationStats(iterations={self.num_iterations}, "
+            f"time={self.total_time:.3f}s, cuts={self.total_cuts}, "
+            f"milp={self.milp_variables}x{self.milp_constraints})"
+        )

@@ -1,0 +1,59 @@
+"""Linear/boolean constraint language used by contracts and the encoder."""
+
+from repro.expr.terms import Domain, LinExpr, Var, binary, continuous, integer
+from repro.expr.constraints import (
+    And,
+    BoolAtom,
+    BoolConst,
+    Comparison,
+    FALSE,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Sense,
+    TRUE,
+    conjunction,
+    disjunction,
+)
+from repro.expr.transform import (
+    NEGATION_EPS,
+    formula_size,
+    negate,
+    simplify,
+    substitute,
+    to_nnf,
+)
+from repro.expr.bounds import expr_interval, require_finite
+
+__all__ = [
+    "Domain",
+    "LinExpr",
+    "Var",
+    "binary",
+    "continuous",
+    "integer",
+    "And",
+    "BoolAtom",
+    "BoolConst",
+    "Comparison",
+    "FALSE",
+    "Formula",
+    "Iff",
+    "Implies",
+    "Not",
+    "Or",
+    "Sense",
+    "TRUE",
+    "conjunction",
+    "disjunction",
+    "NEGATION_EPS",
+    "formula_size",
+    "negate",
+    "simplify",
+    "substitute",
+    "to_nnf",
+    "expr_interval",
+    "require_finite",
+]

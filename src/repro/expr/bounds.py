@@ -1,0 +1,62 @@
+"""Interval arithmetic over linear expressions.
+
+Used by the big-M encoder to derive tight activation constants from
+variable bounds instead of falling back to a blanket large constant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.exceptions import BoundsError
+from repro.expr.terms import LinExpr, Var
+
+
+def var_interval(var: Var) -> Tuple[float, float]:
+    """Return the (lb, ub) interval of a variable."""
+    return (var.lb, var.ub)
+
+
+def expr_interval(expr: LinExpr) -> Tuple[float, float]:
+    """Return the tightest interval containing all values of ``expr``.
+
+    Infinite variable bounds propagate to infinite interval ends.
+    """
+    lo = hi = expr.constant
+    for var, coef in expr.coeffs.items():
+        if coef >= 0:
+            term_lo, term_hi = coef * var.lb, coef * var.ub
+        else:
+            term_lo, term_hi = coef * var.ub, coef * var.lb
+        lo += term_lo
+        hi += term_hi
+        if math.isnan(lo) or math.isnan(hi):
+            raise BoundsError(
+                f"indeterminate bound for {var.name!r} (0 * inf); give the "
+                "variable finite bounds"
+            )
+    return (lo, hi)
+
+
+def expr_upper_bound(expr: LinExpr, default: float = math.inf) -> float:
+    """Upper bound of ``expr``; ``default`` when unbounded."""
+    hi = expr_interval(expr)[1]
+    return hi if math.isfinite(hi) else default
+
+def expr_lower_bound(expr: LinExpr, default: float = -math.inf) -> float:
+    """Lower bound of ``expr``; ``default`` when unbounded."""
+    lo = expr_interval(expr)[0]
+    return lo if math.isfinite(lo) else default
+
+
+def require_finite(expr: LinExpr) -> Tuple[float, float]:
+    """Interval of ``expr``, raising :class:`BoundsError` if unbounded."""
+    lo, hi = expr_interval(expr)
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        unbounded = [v.name for v in expr.coeffs if not v.has_finite_bounds]
+        raise BoundsError(
+            "expression has unbounded range; variables without finite bounds: "
+            + ", ".join(sorted(unbounded))
+        )
+    return (lo, hi)

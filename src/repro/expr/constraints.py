@@ -1,0 +1,365 @@
+"""Boolean constraint formulas over linear-arithmetic atoms.
+
+The formula language is the one needed by the paper's contract theory:
+conjunction, disjunction, negation, implication and bi-implication over
+
+* linear comparisons (``expr <= 0`` / ``expr == 0`` in canonical form), and
+* boolean atoms backed by binary decision variables.
+
+Formulas are immutable trees. Structural helpers (negation-normal form,
+substitution, simplification) live in :mod:`repro.expr.transform`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterator, Mapping, Tuple, Union
+
+from repro.exceptions import ExpressionError
+from repro.expr.terms import LinExpr, Number, Var
+
+#: Absolute tolerance when evaluating comparisons on concrete values.
+EVAL_TOL = 1e-6
+
+
+class Sense(enum.Enum):
+    """Comparison sense for a canonical atom ``expr SENSE 0``."""
+
+    LE = "<="
+    EQ = "=="
+
+
+class Formula:
+    """Base class for boolean formulas. Supports ``&``, ``|``, ``~``."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, _check(other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, _check(other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Implies(self, _check(other))
+
+    def iff(self, other: "Formula") -> "Formula":
+        return Iff(self, _check(other))
+
+    # Subclasses provide: variables(), evaluate(), children, __eq__/__hash__.
+
+    def variables(self) -> FrozenSet[Var]:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[Var, Number]) -> bool:
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["Formula"]:
+        """Yield all Comparison/BoolAtom leaves (with repetition)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (Comparison, BoolAtom, BoolConst)):
+                yield node
+            else:
+                stack.extend(node.children)  # type: ignore[attr-defined]
+
+    def __bool__(self) -> bool:
+        raise ExpressionError(
+            "formulas have no implicit truth value; use evaluate() or the "
+            "feasibility oracle"
+        )
+
+
+def _check(value: object) -> Formula:
+    if not isinstance(value, Formula):
+        raise ExpressionError(
+            f"expected a Formula, got {type(value).__name__}; wrap comparisons "
+            "with <=, >=, or .eq()"
+        )
+    return value
+
+
+class BoolConst(Formula):
+    """Constant true/false formula."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset()
+
+    def evaluate(self, assignment: Mapping[Var, Number]) -> bool:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BoolConst) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("BoolConst", self.value))
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+class Comparison(Formula):
+    """Canonical linear atom ``expr <= 0`` or ``expr == 0``."""
+
+    __slots__ = ("expr", "sense")
+
+    def __init__(self, expr: LinExpr, sense: Sense) -> None:
+        if not isinstance(expr, LinExpr):
+            raise ExpressionError("Comparison expects a LinExpr")
+        self.expr = expr
+        self.sense = sense
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset(self.expr.coeffs)
+
+    def evaluate(self, assignment: Mapping[Var, Number]) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.sense is Sense.LE:
+            return value <= EVAL_TOL
+        return abs(value) <= EVAL_TOL
+
+    def substitute(self, assignment: Mapping[Var, Number]) -> Formula:
+        expr = self.expr.substitute(assignment)
+        if expr.is_constant:
+            if self.sense is Sense.LE:
+                return TRUE if expr.constant <= EVAL_TOL else FALSE
+            return TRUE if abs(expr.constant) <= EVAL_TOL else FALSE
+        return Comparison(expr, self.sense)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.sense is other.sense
+            and self.expr == other.expr
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.expr, self.sense))
+
+    def __repr__(self) -> str:
+        return f"({self.expr} {self.sense.value} 0)"
+
+
+class BoolAtom(Formula):
+    """A boolean atom backed by a binary decision variable.
+
+    Truth corresponds to the variable taking value 1.
+    """
+
+    __slots__ = ("var",)
+
+    def __init__(self, var: Var) -> None:
+        if not var.is_binary:
+            raise ExpressionError(
+                f"BoolAtom requires a binary variable, got {var!r}"
+            )
+        self.var = var
+
+    def variables(self) -> FrozenSet[Var]:
+        return frozenset((self.var,))
+
+    def evaluate(self, assignment: Mapping[Var, Number]) -> bool:
+        if self.var not in assignment:
+            raise ExpressionError(f"no value assigned to {self.var.name!r}")
+        return float(assignment[self.var]) >= 0.5
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BoolAtom) and self.var is other.var
+
+    def __hash__(self) -> int:
+        return hash(("BoolAtom", self.var))
+
+    def __repr__(self) -> str:
+        return f"atom({self.var.name})"
+
+
+class _NaryOp(Formula):
+    """Shared machinery for And/Or: flattening, identity, hashing."""
+
+    __slots__ = ("children",)
+
+    _symbol = "?"
+
+    def __init__(self, *children: Formula) -> None:
+        flat = []
+        for child in children:
+            _check(child)
+            if isinstance(child, type(self)):
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if not flat:
+            raise ExpressionError(f"{type(self).__name__} needs at least one child")
+        self.children: Tuple[Formula, ...] = tuple(flat)
+
+    def variables(self) -> FrozenSet[Var]:
+        result: FrozenSet[Var] = frozenset()
+        for child in self.children:
+            result |= child.variables()
+        return result
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.children))
+
+    def __repr__(self) -> str:
+        inner = f" {self._symbol} ".join(map(repr, self.children))
+        return f"({inner})"
+
+
+class And(_NaryOp):
+    """Conjunction."""
+
+    __slots__ = ()
+    _symbol = "&"
+
+    def evaluate(self, assignment: Mapping[Var, Number]) -> bool:
+        return all(child.evaluate(assignment) for child in self.children)
+
+
+class Or(_NaryOp):
+    """Disjunction."""
+
+    __slots__ = ()
+    _symbol = "|"
+
+    def evaluate(self, assignment: Mapping[Var, Number]) -> bool:
+        return any(child.evaluate(assignment) for child in self.children)
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Formula) -> None:
+        self.child = _check(child)
+
+    @property
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.child,)
+
+    def variables(self) -> FrozenSet[Var]:
+        return self.child.variables()
+
+    def evaluate(self, assignment: Mapping[Var, Number]) -> bool:
+        return not self.child.evaluate(assignment)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Not) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.child))
+
+    def __repr__(self) -> str:
+        return f"~{self.child!r}"
+
+
+class Implies(Formula):
+    """Implication ``antecedent -> consequent``."""
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Formula, consequent: Formula) -> None:
+        self.antecedent = _check(antecedent)
+        self.consequent = _check(consequent)
+
+    @property
+    def children(self) -> Tuple[Formula, Formula]:
+        return (self.antecedent, self.consequent)
+
+    def variables(self) -> FrozenSet[Var]:
+        return self.antecedent.variables() | self.consequent.variables()
+
+    def evaluate(self, assignment: Mapping[Var, Number]) -> bool:
+        return (not self.antecedent.evaluate(assignment)) or self.consequent.evaluate(
+            assignment
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Implies)
+            and self.antecedent == other.antecedent
+            and self.consequent == other.consequent
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Implies", self.antecedent, self.consequent))
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} -> {self.consequent!r})"
+
+
+class Iff(Formula):
+    """Bi-implication ``left <-> right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula) -> None:
+        self.left = _check(left)
+        self.right = _check(right)
+
+    @property
+    def children(self) -> Tuple[Formula, Formula]:
+        return (self.left, self.right)
+
+    def variables(self) -> FrozenSet[Var]:
+        return self.left.variables() | self.right.variables()
+
+    def evaluate(self, assignment: Mapping[Var, Number]) -> bool:
+        return self.left.evaluate(assignment) == self.right.evaluate(assignment)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Iff)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Iff", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} <-> {self.right!r})"
+
+
+FormulaLike = Union[Formula]
+
+
+def conjunction(formulas) -> Formula:
+    """And together an iterable of formulas; empty iterable gives TRUE."""
+    items = [f for f in formulas if not (isinstance(f, BoolConst) and f.value)]
+    if any(isinstance(f, BoolConst) and not f.value for f in items):
+        return FALSE
+    if not items:
+        return TRUE
+    if len(items) == 1:
+        return items[0]
+    return And(*items)
+
+
+def disjunction(formulas) -> Formula:
+    """Or together an iterable of formulas; empty iterable gives FALSE."""
+    items = [f for f in formulas if not (isinstance(f, BoolConst) and not f.value)]
+    if any(isinstance(f, BoolConst) and f.value for f in items):
+        return TRUE
+    if not items:
+        return FALSE
+    if len(items) == 1:
+        return items[0]
+    return Or(*items)

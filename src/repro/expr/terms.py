@@ -1,0 +1,319 @@
+"""Variables and linear expressions.
+
+This module provides the arithmetic half of the constraint language used
+throughout the package: typed decision variables (:class:`Var`) and
+affine combinations of them (:class:`LinExpr`). Comparisons between
+expressions produce :class:`repro.expr.constraints.Comparison` atoms.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import ExpressionError
+
+Number = Union[int, float]
+
+_var_counter = itertools.count()
+
+
+class Domain(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+    @property
+    def is_integral(self) -> bool:
+        return self in (Domain.INTEGER, Domain.BINARY)
+
+
+class Var:
+    """A decision variable with a domain and (optional) finite bounds.
+
+    Variables compare by identity; two variables with the same name are
+    distinct objects. Names are kept unique per-variable for readable
+    output but are not used for identity.
+    """
+
+    __slots__ = ("name", "domain", "lb", "ub", "_uid", "__weakref__")
+
+    def __init__(
+        self,
+        name: str,
+        domain: Domain = Domain.CONTINUOUS,
+        lb: Number = -math.inf,
+        ub: Number = math.inf,
+    ) -> None:
+        if not name:
+            raise ExpressionError("variable name must be non-empty")
+        if domain is Domain.BINARY:
+            lb, ub = max(0.0, lb), min(1.0, ub)
+        if lb > ub:
+            raise ExpressionError(
+                f"variable {name!r}: lower bound {lb} exceeds upper bound {ub}"
+            )
+        self.name = name
+        self.domain = domain
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self._uid = next(_var_counter)
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def is_binary(self) -> bool:
+        return self.domain is Domain.BINARY
+
+    @property
+    def is_integral(self) -> bool:
+        return self.domain.is_integral
+
+    @property
+    def has_finite_bounds(self) -> bool:
+        return math.isfinite(self.lb) and math.isfinite(self.ub)
+
+    # -- arithmetic (delegates to LinExpr) ------------------------------
+
+    def to_expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0}, 0.0)
+
+    def __add__(self, other):
+        return self.to_expr() + other
+
+    def __radd__(self, other):
+        return self.to_expr() + other
+
+    def __sub__(self, other):
+        return self.to_expr() - other
+
+    def __rsub__(self, other):
+        return (-self.to_expr()) + other
+
+    def __mul__(self, other):
+        return self.to_expr() * other
+
+    def __rmul__(self, other):
+        return self.to_expr() * other
+
+    def __neg__(self):
+        return -self.to_expr()
+
+    def __truediv__(self, other):
+        return self.to_expr() / other
+
+    # -- comparisons -----------------------------------------------------
+
+    def __le__(self, other):
+        return self.to_expr() <= other
+
+    def __ge__(self, other):
+        return self.to_expr() >= other
+
+    def eq(self, other):
+        """Equality constraint (``==`` is reserved for identity)."""
+        return self.to_expr().eq(other)
+
+    # -- misc -------------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return hash(self._uid)
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r}, {self.domain.value}, [{self.lb}, {self.ub}])"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def binary(name: str) -> Var:
+    """Create a binary (0/1) variable."""
+    return Var(name, Domain.BINARY, 0, 1)
+
+
+def integer(name: str, lb: Number = -math.inf, ub: Number = math.inf) -> Var:
+    """Create an integer variable."""
+    return Var(name, Domain.INTEGER, lb, ub)
+
+
+def continuous(name: str, lb: Number = -math.inf, ub: Number = math.inf) -> Var:
+    """Create a continuous variable."""
+    return Var(name, Domain.CONTINUOUS, lb, ub)
+
+
+_COEF_EPS = 1e-12
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``.
+
+    Instances are immutable; arithmetic returns new expressions.
+    """
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(
+        self,
+        coeffs: Optional[Mapping[Var, Number]] = None,
+        constant: Number = 0.0,
+    ) -> None:
+        cleaned: Dict[Var, float] = {}
+        if coeffs:
+            for var, coef in coeffs.items():
+                if not isinstance(var, Var):
+                    raise ExpressionError(f"expected Var key, got {type(var).__name__}")
+                coef = float(coef)
+                if abs(coef) > _COEF_EPS:
+                    cleaned[var] = coef
+        self.coeffs: Dict[Var, float] = cleaned
+        self.constant = float(constant)
+
+    # -- construction helpers ---------------------------------------------
+
+    @staticmethod
+    def coerce(value: Union["LinExpr", Var, Number]) -> "LinExpr":
+        """Convert a var or number into a LinExpr (idempotent on LinExpr)."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Var):
+            return value.to_expr()
+        if isinstance(value, (int, float)):
+            return LinExpr({}, value)
+        raise ExpressionError(
+            f"cannot interpret {type(value).__name__} as a linear expression"
+        )
+
+    @staticmethod
+    def sum(terms: Iterable[Union["LinExpr", Var, Number]]) -> "LinExpr":
+        """Sum an iterable of expressions/vars/numbers efficiently."""
+        coeffs: Dict[Var, float] = {}
+        constant = 0.0
+        for term in terms:
+            expr = LinExpr.coerce(term)
+            constant += expr.constant
+            for var, coef in expr.coeffs.items():
+                coeffs[var] = coeffs.get(var, 0.0) + coef
+        return LinExpr(coeffs, constant)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def variables(self) -> Tuple[Var, ...]:
+        return tuple(self.coeffs)
+
+    def coefficient(self, var: Var) -> float:
+        return self.coeffs.get(var, 0.0)
+
+    def evaluate(self, assignment: Mapping[Var, Number]) -> float:
+        """Evaluate under a (complete, for the vars used here) assignment."""
+        total = self.constant
+        for var, coef in self.coeffs.items():
+            if var not in assignment:
+                raise ExpressionError(f"no value assigned to variable {var.name!r}")
+            total += coef * float(assignment[var])
+        return total
+
+    def substitute(self, assignment: Mapping[Var, Number]) -> "LinExpr":
+        """Replace any subset of variables by fixed values."""
+        coeffs: Dict[Var, float] = {}
+        constant = self.constant
+        for var, coef in self.coeffs.items():
+            if var in assignment:
+                constant += coef * float(assignment[var])
+            else:
+                coeffs[var] = coef
+        return LinExpr(coeffs, constant)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other):
+        other = LinExpr.coerce(other)
+        coeffs = dict(self.coeffs)
+        for var, coef in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0.0) + coef
+        return LinExpr(coeffs, self.constant + other.constant)
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        return self.__add__(-LinExpr.coerce(other))
+
+    def __rsub__(self, other):
+        return (-self).__add__(other)
+
+    def __neg__(self):
+        return LinExpr({v: -c for v, c in self.coeffs.items()}, -self.constant)
+
+    def __mul__(self, scalar):
+        if isinstance(scalar, (LinExpr, Var)):
+            raise ExpressionError("only multiplication by a scalar is supported")
+        scalar = float(scalar)
+        return LinExpr(
+            {v: c * scalar for v, c in self.coeffs.items()}, self.constant * scalar
+        )
+
+    def __rmul__(self, scalar):
+        return self.__mul__(scalar)
+
+    def __truediv__(self, scalar):
+        if isinstance(scalar, (LinExpr, Var)):
+            raise ExpressionError("division by an expression is not linear")
+        return self.__mul__(1.0 / float(scalar))
+
+    # -- comparisons (produce constraint atoms) --------------------------------
+
+    def __le__(self, other):
+        from repro.expr.constraints import Comparison, Sense
+
+        return Comparison(self - LinExpr.coerce(other), Sense.LE)
+
+    def __ge__(self, other):
+        from repro.expr.constraints import Comparison, Sense
+
+        return Comparison(LinExpr.coerce(other) - self, Sense.LE)
+
+    def eq(self, other):
+        from repro.expr.constraints import Comparison, Sense
+
+        return Comparison(self - LinExpr.coerce(other), Sense.EQ)
+
+    # -- misc --------------------------------------------------------------------
+
+    def __hash__(self):
+        return hash((frozenset(self.coeffs.items()), self.constant))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.constant == other.constant
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for var, coef in sorted(self.coeffs.items(), key=lambda kv: kv[0].name):
+            if coef == 1.0:
+                parts.append(f"+ {var.name}")
+            elif coef == -1.0:
+                parts.append(f"- {var.name}")
+            elif coef < 0:
+                parts.append(f"- {abs(coef):g}*{var.name}")
+            else:
+                parts.append(f"+ {coef:g}*{var.name}")
+        if self.constant or not parts:
+            sign = "-" if self.constant < 0 else "+"
+            parts.append(f"{sign} {abs(self.constant):g}")
+        text = " ".join(parts)
+        return text[2:] if text.startswith("+ ") else text

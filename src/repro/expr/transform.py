@@ -1,0 +1,147 @@
+"""Structural transforms on formulas: negation, NNF, substitution.
+
+Negating a non-strict linear atom produces a *strict* inequality; over
+the rational-coefficient models used here we soundly approximate strict
+inequalities with an epsilon margin (:data:`NEGATION_EPS`), which is the
+standard practice when discharging such queries to an LP/MILP oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import ExpressionError
+from repro.expr.constraints import (
+    And,
+    BoolAtom,
+    BoolConst,
+    Comparison,
+    FALSE,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Sense,
+    TRUE,
+    conjunction,
+    disjunction,
+)
+from repro.expr.terms import LinExpr, Number, Var
+
+#: Margin used to turn the strict inequality ``expr > 0`` (arising from
+#: the negation of ``expr <= 0``) into the oracle-friendly ``expr >= eps``.
+#:
+#: The margin must dominate the MILP backend's *integrality tolerance
+#: amplified by the big-M constants* (HiGHS accepts binaries within 1e-6
+#: of integral, which lets an activation constraint with M ~ 1e3 leak
+#: ~1e-3 of slack); otherwise the oracle can fake satisfaction of a
+#: strict inequality exactly at a requirement boundary. 1e-2 is safe for
+#: models whose variable bounds stay below ~1e4 and whose attribute
+#: values are coarser than 0.01.
+NEGATION_EPS = 1e-2
+
+
+def negate_atom(atom: Comparison, eps: float = NEGATION_EPS) -> Formula:
+    """Negate a canonical comparison.
+
+    ``not (e <= 0)``  becomes  ``-e <= -eps``  (i.e. ``e >= eps``);
+    ``not (e == 0)``  becomes  ``e >= eps  or  e <= -eps``.
+    """
+    if atom.sense is Sense.LE:
+        return Comparison((-atom.expr) + eps, Sense.LE)
+    # e == 0  ->  e >= eps  or  e <= -eps
+    ge_branch = Comparison((-atom.expr) + eps, Sense.LE)
+    le_branch = Comparison(atom.expr + eps, Sense.LE)
+    return Or(ge_branch, le_branch)
+
+
+def to_nnf(formula: Formula, negated: bool = False, eps: float = NEGATION_EPS) -> Formula:
+    """Rewrite into negation-normal form.
+
+    The result contains only And/Or over Comparison, BoolAtom,
+    Not(BoolAtom), and boolean constants.
+    """
+    if isinstance(formula, BoolConst):
+        return BoolConst(formula.value != negated)
+    if isinstance(formula, Comparison):
+        return negate_atom(formula, eps) if negated else formula
+    if isinstance(formula, BoolAtom):
+        return Not(formula) if negated else formula
+    if isinstance(formula, Not):
+        return to_nnf(formula.child, not negated, eps)
+    if isinstance(formula, And):
+        children = [to_nnf(c, negated, eps) for c in formula.children]
+        return disjunction(children) if negated else conjunction(children)
+    if isinstance(formula, Or):
+        children = [to_nnf(c, negated, eps) for c in formula.children]
+        return conjunction(children) if negated else disjunction(children)
+    if isinstance(formula, Implies):
+        rewritten = Or(Not(formula.antecedent), formula.consequent)
+        return to_nnf(rewritten, negated, eps)
+    if isinstance(formula, Iff):
+        left, right = formula.left, formula.right
+        rewritten = And(Or(Not(left), right), Or(Not(right), left))
+        return to_nnf(rewritten, negated, eps)
+    raise ExpressionError(f"unsupported formula node {type(formula).__name__}")
+
+
+def negate(formula: Formula, eps: float = NEGATION_EPS) -> Formula:
+    """Return the NNF of ``not formula``."""
+    return to_nnf(formula, negated=True, eps=eps)
+
+
+def substitute(formula: Formula, assignment: Mapping[Var, Number]) -> Formula:
+    """Fix a subset of variables and constant-fold the result."""
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Comparison):
+        return formula.substitute(assignment)
+    if isinstance(formula, BoolAtom):
+        if formula.var in assignment:
+            return TRUE if float(assignment[formula.var]) >= 0.5 else FALSE
+        return formula
+    if isinstance(formula, Not):
+        child = substitute(formula.child, assignment)
+        if isinstance(child, BoolConst):
+            return BoolConst(not child.value)
+        return Not(child)
+    if isinstance(formula, And):
+        return conjunction(substitute(c, assignment) for c in formula.children)
+    if isinstance(formula, Or):
+        return disjunction(substitute(c, assignment) for c in formula.children)
+    if isinstance(formula, Implies):
+        antecedent = substitute(formula.antecedent, assignment)
+        consequent = substitute(formula.consequent, assignment)
+        if isinstance(antecedent, BoolConst):
+            return consequent if antecedent.value else TRUE
+        if isinstance(consequent, BoolConst) and consequent.value:
+            return TRUE
+        return Implies(antecedent, consequent)
+    if isinstance(formula, Iff):
+        left = substitute(formula.left, assignment)
+        right = substitute(formula.right, assignment)
+        if isinstance(left, BoolConst):
+            return right if left.value else simplify(Not(right))
+        if isinstance(right, BoolConst):
+            return left if right.value else simplify(Not(left))
+        return Iff(left, right)
+    raise ExpressionError(f"unsupported formula node {type(formula).__name__}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Light constant folding (no NNF rewriting)."""
+    return substitute(formula, {})
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of nodes in the formula tree (a rough complexity measure)."""
+    if isinstance(formula, (BoolConst, Comparison, BoolAtom)):
+        return 1
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.child)
+    if isinstance(formula, (And, Or)):
+        return 1 + sum(formula_size(c) for c in formula.children)
+    if isinstance(formula, (Implies, Iff)):
+        return 1 + sum(formula_size(c) for c in formula.children)
+    raise ExpressionError(f"unsupported formula node {type(formula).__name__}")

@@ -1,0 +1,239 @@
+"""A small typed directed graph.
+
+This is the graph substrate for templates, candidate architectures, and
+isomorphism patterns. Nodes are arbitrary hashable identifiers carrying
+a *label* (the component type in the paper's sense) plus free-form
+attributes; edges are ordered pairs with optional attributes.
+
+We implement our own structure rather than relying on networkx so that
+the isomorphism engine, path search, and the exploration algorithms are
+self-contained; tests cross-check behaviour against networkx.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import ArchitectureError
+
+NodeId = Hashable
+Edge = Tuple[NodeId, NodeId]
+
+
+class DiGraph:
+    """Directed graph with labelled nodes and attribute dictionaries."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._labels: Dict[NodeId, Optional[str]] = {}
+        self._node_attrs: Dict[NodeId, Dict[str, Any]] = {}
+        self._succ: Dict[NodeId, Set[NodeId]] = {}
+        self._pred: Dict[NodeId, Set[NodeId]] = {}
+        self._edge_attrs: Dict[Edge, Dict[str, Any]] = {}
+
+    # -- nodes ----------------------------------------------------------------
+
+    def add_node(self, node: NodeId, label: Optional[str] = None, **attrs: Any) -> None:
+        if node in self._labels:
+            if label is not None:
+                self._labels[node] = label
+            self._node_attrs[node].update(attrs)
+            return
+        self._labels[node] = label
+        self._node_attrs[node] = dict(attrs)
+        self._succ[node] = set()
+        self._pred[node] = set()
+
+    def remove_node(self, node: NodeId) -> None:
+        self._require_node(node)
+        for succ in list(self._succ[node]):
+            self.remove_edge(node, succ)
+        for pred in list(self._pred[node]):
+            self.remove_edge(pred, node)
+        del self._labels[node]
+        del self._node_attrs[node]
+        del self._succ[node]
+        del self._pred[node]
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._labels
+
+    def label(self, node: NodeId) -> Optional[str]:
+        self._require_node(node)
+        return self._labels[node]
+
+    def node_attrs(self, node: NodeId) -> Dict[str, Any]:
+        self._require_node(node)
+        return self._node_attrs[node]
+
+    def nodes(self) -> List[NodeId]:
+        return list(self._labels)
+
+    def nodes_with_label(self, label: str) -> List[NodeId]:
+        return [n for n, lab in self._labels.items() if lab == label]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._labels)
+
+    # -- edges ----------------------------------------------------------------
+
+    def add_edge(self, src: NodeId, dst: NodeId, **attrs: Any) -> None:
+        self._require_node(src)
+        self._require_node(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+        existing = self._edge_attrs.setdefault((src, dst), {})
+        existing.update(attrs)
+
+    def remove_edge(self, src: NodeId, dst: NodeId) -> None:
+        if not self.has_edge(src, dst):
+            raise ArchitectureError(f"edge ({src!r}, {dst!r}) not in graph")
+        self._succ[src].discard(dst)
+        self._pred[dst].discard(src)
+        self._edge_attrs.pop((src, dst), None)
+
+    def has_edge(self, src: NodeId, dst: NodeId) -> bool:
+        return src in self._succ and dst in self._succ[src]
+
+    def edge_attrs(self, src: NodeId, dst: NodeId) -> Dict[str, Any]:
+        if not self.has_edge(src, dst):
+            raise ArchitectureError(f"edge ({src!r}, {dst!r}) not in graph")
+        return self._edge_attrs[(src, dst)]
+
+    def edges(self) -> List[Edge]:
+        return list(self._edge_attrs)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_attrs)
+
+    # -- adjacency ----------------------------------------------------------------
+
+    def successors(self, node: NodeId) -> Set[NodeId]:
+        self._require_node(node)
+        return set(self._succ[node])
+
+    def predecessors(self, node: NodeId) -> Set[NodeId]:
+        self._require_node(node)
+        return set(self._pred[node])
+
+    def out_degree(self, node: NodeId) -> int:
+        self._require_node(node)
+        return len(self._succ[node])
+
+    def in_degree(self, node: NodeId) -> int:
+        self._require_node(node)
+        return len(self._pred[node])
+
+    def sources(self) -> List[NodeId]:
+        """Nodes with no incoming edges."""
+        return [n for n in self._labels if not self._pred[n]]
+
+    def sinks(self) -> List[NodeId]:
+        """Nodes with no outgoing edges."""
+        return [n for n in self._labels if not self._succ[n]]
+
+    # -- derived graphs ---------------------------------------------------------------
+
+    def copy(self) -> "DiGraph":
+        clone = DiGraph(self.name)
+        for node, label in self._labels.items():
+            clone.add_node(node, label, **self._node_attrs[node])
+        for (src, dst), attrs in self._edge_attrs.items():
+            clone.add_edge(src, dst, **attrs)
+        return clone
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "DiGraph":
+        """Induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        missing = keep - set(self._labels)
+        if missing:
+            raise ArchitectureError(f"nodes not in graph: {sorted(map(repr, missing))}")
+        sub = DiGraph(self.name)
+        for node in keep:
+            sub.add_node(node, self._labels[node], **self._node_attrs[node])
+        for (src, dst), attrs in self._edge_attrs.items():
+            if src in keep and dst in keep:
+                sub.add_edge(src, dst, **attrs)
+        return sub
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "DiGraph":
+        """Subgraph containing exactly ``edges`` and their endpoints."""
+        sub = DiGraph(self.name)
+        for src, dst in edges:
+            if not self.has_edge(src, dst):
+                raise ArchitectureError(f"edge ({src!r}, {dst!r}) not in graph")
+            for node in (src, dst):
+                if not sub.has_node(node):
+                    sub.add_node(node, self._labels[node], **self._node_attrs[node])
+            sub.add_edge(src, dst, **self._edge_attrs[(src, dst)])
+        return sub
+
+    # -- traversal ----------------------------------------------------------------------
+
+    def topological_order(self) -> List[NodeId]:
+        """Kahn's algorithm; raises on cycles."""
+        in_deg = {n: len(self._pred[n]) for n in self._labels}
+        frontier = [n for n, d in in_deg.items() if d == 0]
+        order: List[NodeId] = []
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for succ in self._succ[node]:
+                in_deg[succ] -= 1
+                if in_deg[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self._labels):
+            raise ArchitectureError("graph has a cycle; no topological order")
+        return order
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+        except ArchitectureError:
+            return False
+        return True
+
+    def reachable_from(self, node: NodeId) -> Set[NodeId]:
+        """All nodes reachable from ``node`` (including itself)."""
+        self._require_node(node)
+        seen = {node}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for succ in self._succ[current]:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    # -- misc -----------------------------------------------------------------------------
+
+    def _require_node(self, node: NodeId) -> None:
+        if node not in self._labels:
+            raise ArchitectureError(f"node {node!r} not in graph {self.name!r}")
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._labels
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiGraph({self.name!r}, nodes={self.num_nodes}, edges={self.num_edges})"
+        )

@@ -1,0 +1,214 @@
+"""Subgraph isomorphism enumeration (VF2 style).
+
+The certificate generator (Algorithm 2 of the paper) needs *all*
+embeddings of the detached invalid architecture ``G`` inside the
+detached template ``T``. Per Definition 4 and the surrounding text
+("``V' ⊆ V`` and ``E' ⊆ E``"), an embedding is an injective map that
+preserves node labels (component types) and maps every pattern edge to a
+template edge — a *sub-monomorphism*, not necessarily induced. An
+induced mode is also provided.
+
+The implementation follows the VF2 recursion: grow a partial mapping one
+candidate pair at a time, pruning pairs that violate label equality,
+adjacency consistency with the already-mapped core, or degree bounds.
+This replaces DotMotif in the original tool chain; tests cross-check the
+enumeration against networkx's DiGraphMatcher.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.digraph import DiGraph, NodeId
+
+Embedding = Dict[NodeId, NodeId]
+LabelMatcher = Callable[[Optional[str], Optional[str]], bool]
+
+
+def _default_label_match(pattern_label: Optional[str], host_label: Optional[str]) -> bool:
+    return pattern_label == host_label
+
+
+class SubgraphMatcher:
+    """Enumerates embeddings of ``pattern`` into ``host``."""
+
+    def __init__(
+        self,
+        host: DiGraph,
+        pattern: DiGraph,
+        induced: bool = False,
+        label_match: LabelMatcher = _default_label_match,
+    ) -> None:
+        self.host = host
+        self.pattern = pattern
+        self.induced = induced
+        self.label_match = label_match
+        self._order = self._matching_order()
+
+    # -- public API ------------------------------------------------------------
+
+    def find_all(self, limit: int = 0) -> List[Embedding]:
+        """All embeddings (pattern node -> host node); optional cap."""
+        result: List[Embedding] = []
+        for embedding in self.iter_embeddings():
+            result.append(embedding)
+            if limit and len(result) >= limit:
+                break
+        return result
+
+    def exists(self) -> bool:
+        """True iff at least one embedding exists."""
+        return next(self.iter_embeddings(), None) is not None
+
+    def iter_embeddings(self) -> Iterator[Embedding]:
+        if self.pattern.num_nodes == 0:
+            yield {}
+            return
+        if self.pattern.num_nodes > self.host.num_nodes:
+            return
+        yield from self._extend({}, set())
+
+    # -- matching order -----------------------------------------------------------
+
+    def _matching_order(self) -> List[NodeId]:
+        """Order pattern nodes so each (after the first of its component)
+        is adjacent to an earlier node — keeps the core connected and the
+        candidate sets small."""
+        remaining = set(self.pattern.nodes())
+        order: List[NodeId] = []
+        placed: Set[NodeId] = set()
+
+        def degree(node: NodeId) -> int:
+            return self.pattern.in_degree(node) + self.pattern.out_degree(node)
+
+        while remaining:
+            frontier = [
+                n
+                for n in remaining
+                if (self.pattern.successors(n) | self.pattern.predecessors(n))
+                & placed
+            ]
+            if frontier:
+                nxt = max(frontier, key=lambda n: (degree(n), str(n)))
+            else:
+                nxt = max(remaining, key=lambda n: (degree(n), str(n)))
+            order.append(nxt)
+            placed.add(nxt)
+            remaining.discard(nxt)
+        return order
+
+    # -- recursion -------------------------------------------------------------------
+
+    def _extend(
+        self, mapping: Embedding, used_hosts: Set[NodeId]
+    ) -> Iterator[Embedding]:
+        if len(mapping) == self.pattern.num_nodes:
+            yield dict(mapping)
+            return
+        pattern_node = self._order[len(mapping)]
+        for host_node in self._candidates(pattern_node, mapping, used_hosts):
+            mapping[pattern_node] = host_node
+            used_hosts.add(host_node)
+            yield from self._extend(mapping, used_hosts)
+            used_hosts.discard(host_node)
+            del mapping[pattern_node]
+
+    def _candidates(
+        self, pattern_node: NodeId, mapping: Embedding, used_hosts: Set[NodeId]
+    ) -> List[NodeId]:
+        """Host nodes that could legally extend the mapping."""
+        # If the pattern node touches mapped neighbours, restrict the pool
+        # to host-adjacent nodes of their images.
+        pool: Optional[Set[NodeId]] = None
+        for pred in self.pattern.predecessors(pattern_node):
+            if pred in mapping:
+                adjacent = self.host.successors(mapping[pred])
+                pool = adjacent if pool is None else pool & adjacent
+        for succ in self.pattern.successors(pattern_node):
+            if succ in mapping:
+                adjacent = self.host.predecessors(mapping[succ])
+                pool = adjacent if pool is None else pool & adjacent
+        if pool is None:
+            pool = set(self.host.nodes())
+
+        label = self.pattern.label(pattern_node)
+        out: List[NodeId] = []
+        for host_node in sorted(pool, key=str):
+            if host_node in used_hosts:
+                continue
+            if not self.label_match(label, self.host.label(host_node)):
+                continue
+            if self.host.in_degree(host_node) < self.pattern.in_degree(pattern_node):
+                continue
+            if self.host.out_degree(host_node) < self.pattern.out_degree(pattern_node):
+                continue
+            if self._consistent(pattern_node, host_node, mapping):
+                out.append(host_node)
+        return out
+
+    def _consistent(
+        self, pattern_node: NodeId, host_node: NodeId, mapping: Embedding
+    ) -> bool:
+        """Check adjacency of the new pair against the mapped core."""
+        for pred in self.pattern.predecessors(pattern_node):
+            if pred in mapping and not self.host.has_edge(mapping[pred], host_node):
+                return False
+        for succ in self.pattern.successors(pattern_node):
+            if succ in mapping and not self.host.has_edge(host_node, mapping[succ]):
+                return False
+        if self.induced:
+            for p_node, h_node in mapping.items():
+                if not self.pattern.has_edge(p_node, pattern_node) and self.host.has_edge(
+                    h_node, host_node
+                ):
+                    return False
+                if not self.pattern.has_edge(pattern_node, p_node) and self.host.has_edge(
+                    host_node, h_node
+                ):
+                    return False
+        return True
+
+
+def find_embeddings(
+    host: DiGraph,
+    pattern: DiGraph,
+    induced: bool = False,
+    limit: int = 0,
+    label_match: LabelMatcher = _default_label_match,
+) -> List[Embedding]:
+    """All label-preserving embeddings of ``pattern`` into ``host``."""
+    return SubgraphMatcher(host, pattern, induced, label_match).find_all(limit)
+
+
+def embedding_edge_image(
+    pattern: DiGraph, embedding: Embedding
+) -> FrozenSet[Tuple[NodeId, NodeId]]:
+    """Host edges used by an embedding."""
+    return frozenset(
+        (embedding[src], embedding[dst]) for src, dst in pattern.edges()
+    )
+
+
+def deduplicate_embeddings(
+    pattern: DiGraph, embeddings: List[Embedding]
+) -> List[Embedding]:
+    """Drop embeddings whose node- and edge-image coincide with an earlier
+    one (automorphic variants produce identical MILP cuts)."""
+    seen: Set[Tuple[FrozenSet[NodeId], FrozenSet[Tuple[NodeId, NodeId]]]] = set()
+    unique: List[Embedding] = []
+    for embedding in embeddings:
+        key = (
+            frozenset(embedding.values()),
+            embedding_edge_image(pattern, embedding),
+        )
+        if key not in seen:
+            seen.add(key)
+            unique.append(embedding)
+    return unique
+
+
+def are_isomorphic(a: DiGraph, b: DiGraph) -> bool:
+    """Full graph isomorphism (Definition 4) via two-sided embedding."""
+    if a.num_nodes != b.num_nodes or a.num_edges != b.num_edges:
+        return False
+    return SubgraphMatcher(b, a, induced=True).exists()

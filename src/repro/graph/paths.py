@@ -1,0 +1,73 @@
+"""Path enumeration (Definition 3 of the paper).
+
+Algorithm 1 needs every simple path from a source partition to a sink
+partition of a candidate architecture. Candidate architectures are small
+(tens of nodes), so a straightforward DFS enumeration is appropriate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.graph.digraph import DiGraph, NodeId
+
+Path = Tuple[NodeId, ...]
+
+
+def simple_paths(
+    graph: DiGraph, source: NodeId, target: NodeId, max_length: int = 0
+) -> Iterator[Path]:
+    """Yield all simple paths from ``source`` to ``target``.
+
+    ``max_length`` bounds the number of *edges* per path (0 = unbounded).
+    """
+    if source == target:
+        yield (source,)
+        return
+    path: List[NodeId] = [source]
+    on_path: Set[NodeId] = {source}
+    stack: List[Iterator[NodeId]] = [iter(sorted(graph.successors(source), key=str))]
+    while stack:
+        children = stack[-1]
+        child = next(children, None)
+        if child is None:
+            stack.pop()
+            on_path.discard(path.pop())
+            continue
+        if max_length and len(path) > max_length:
+            continue
+        if child == target:
+            yield tuple(path) + (target,)
+            continue
+        if child in on_path:
+            continue
+        path.append(child)
+        on_path.add(child)
+        stack.append(iter(sorted(graph.successors(child), key=str)))
+
+
+def all_source_sink_paths(
+    graph: DiGraph,
+    sources: Iterable[NodeId],
+    sinks: Iterable[NodeId],
+    max_length: int = 0,
+) -> List[Path]:
+    """All simple paths from any source to any sink, in deterministic order."""
+    sink_list = list(sinks)
+    paths: List[Path] = []
+    for source in sorted(sources, key=str):
+        for sink in sorted(sink_list, key=str):
+            if source == sink:
+                continue
+            paths.extend(simple_paths(graph, source, sink, max_length=max_length))
+    return paths
+
+
+def path_edges(path: Sequence[NodeId]) -> List[Tuple[NodeId, NodeId]]:
+    """Edge list of a node-sequence path."""
+    return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+
+def path_graph(graph: DiGraph, path: Sequence[NodeId]) -> DiGraph:
+    """Extract the sub-architecture induced by a path (nodes + path edges)."""
+    return graph.edge_subgraph(path_edges(path))

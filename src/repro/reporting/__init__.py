@@ -1,0 +1,17 @@
+"""Paper-style result reporting."""
+
+from repro.reporting.tables import (
+    Table2Row,
+    format_seconds,
+    render_table,
+    render_table2,
+)
+from repro.reporting.plots import render_series_plot
+
+__all__ = [
+    "Table2Row",
+    "format_seconds",
+    "render_table",
+    "render_table2",
+    "render_series_plot",
+]

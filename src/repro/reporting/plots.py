@@ -1,0 +1,82 @@
+"""ASCII line/scatter plots for runtime-vs-size figures.
+
+Renders the Fig. 5-style series as a log-scale character plot so the
+benchmark harness can emit an actual *figure*, not just a table, into
+terminals and result files.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = Dict[str, List[Tuple[float, Optional[float]]]]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log(value: float) -> float:
+    return math.log10(max(value, 1e-9))
+
+
+def render_series_plot(
+    series: Series,
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "size",
+    y_label: str = "time (s, log)",
+) -> str:
+    """Plot named series of (x, y) points; y on a log10 scale.
+
+    Points with ``y = None`` (timeouts / DNF) are skipped but noted in
+    the legend.
+    """
+    points: List[Tuple[float, float, int]] = []
+    skipped: Dict[str, int] = {}
+    names = sorted(series)
+    for index, name in enumerate(names):
+        for x, y in series[name]:
+            if y is None:
+                skipped[name] = skipped.get(name, 0) + 1
+                continue
+            points.append((float(x), _log(float(y)), index))
+    if not points:
+        return (title + "\n" if title else "") + "(no finished data points)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max - x_min < 1e-12:
+        x_max = x_min + 1.0
+    if y_max - y_min < 1e-12:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, index in points:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        row = height - 1 - row  # invert: larger y on top
+        marker = _MARKERS[index % len(_MARKERS)]
+        current = grid[row][col]
+        grid[row][col] = "!" if current not in (" ", marker) else marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_value = 10 ** y_max
+    bottom_value = 10 ** y_min
+    lines.append(f"{y_label}  (top {top_value:.3g}s, bottom {bottom_value:.3g}s)")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {x_min:g} .. {x_max:g}   ('!' = overlapping points)"
+    )
+    legend = []
+    for index, name in enumerate(names):
+        note = f" ({skipped[name]} DNF)" if name in skipped else ""
+        legend.append(f"{_MARKERS[index % len(_MARKERS)]}={name}{note}")
+    lines.append(" legend: " + "  ".join(legend))
+    return "\n".join(lines)

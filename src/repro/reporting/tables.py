@@ -1,0 +1,169 @@
+"""Paper-style table rendering for benchmark harnesses.
+
+Produces fixed-width text tables in the layout of the paper's Table II
+and simple two-column runtime tables for the Fig. 5 sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_seconds(value: Optional[float]) -> str:
+    """Render a runtime the way the paper does (scientific above 100s)."""
+    if value is None:
+        return "-"
+    if value >= 100.0:
+        exponent = 0
+        mantissa = value
+        while mantissa >= 10.0:
+            mantissa /= 10.0
+            exponent += 1
+        return f"{mantissa:.2f}e{exponent}"
+    return f"{value:.2f}"
+
+
+def _render_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:g}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a separator under the header."""
+    rendered_rows: List[List[str]] = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+class Table2Row:
+    """One row of the Table II reproduction."""
+
+    __slots__ = (
+        "template",
+        "variables",
+        "constraints",
+        "only_iso_time",
+        "only_iso_iters",
+        "only_decomp_time",
+        "only_decomp_iters",
+        "complete_time",
+        "complete_iters",
+    )
+
+    def __init__(
+        self,
+        template: str,
+        variables: int,
+        constraints: int,
+        only_iso_time: Optional[float] = None,
+        only_iso_iters: Optional[int] = None,
+        only_decomp_time: Optional[float] = None,
+        only_decomp_iters: Optional[int] = None,
+        complete_time: Optional[float] = None,
+        complete_iters: Optional[int] = None,
+    ) -> None:
+        self.template = template
+        self.variables = variables
+        self.constraints = constraints
+        self.only_iso_time = only_iso_time
+        self.only_iso_iters = only_iso_iters
+        self.only_decomp_time = only_decomp_time
+        self.only_decomp_iters = only_decomp_iters
+        self.complete_time = complete_time
+        self.complete_iters = complete_iters
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    """Render the Table II layout, including the average/ratio footer."""
+    headers = [
+        "Max # in T (L,R,APU)",
+        "# vars",
+        "# cons",
+        "iso time(s)",
+        "iso iters",
+        "dec time(s)",
+        "dec iters",
+        "full time(s)",
+        "full iters",
+    ]
+    body: List[List[Cell]] = []
+    for row in rows:
+        body.append(
+            [
+                row.template,
+                row.variables,
+                row.constraints,
+                format_seconds(row.only_iso_time),
+                row.only_iso_iters,
+                format_seconds(row.only_decomp_time),
+                row.only_decomp_iters,
+                format_seconds(row.complete_time),
+                row.complete_iters,
+            ]
+        )
+
+    def average(values: List[Optional[float]]) -> Optional[float]:
+        present = [v for v in values if v is not None]
+        return sum(present) / len(present) if present else None
+
+    avg_iso_t = average([r.only_iso_time for r in rows])
+    avg_dec_t = average([r.only_decomp_time for r in rows])
+    avg_full_t = average([r.complete_time for r in rows])
+    avg_iso_i = average([float(r.only_iso_iters) for r in rows if r.only_iso_iters is not None])
+    avg_dec_i = average([float(r.only_decomp_iters) for r in rows if r.only_decomp_iters is not None])
+    avg_full_i = average([float(r.complete_iters) for r in rows if r.complete_iters is not None])
+
+    body.append(
+        [
+            "Average",
+            None,
+            None,
+            format_seconds(avg_iso_t),
+            f"{avg_iso_i:.1f}" if avg_iso_i is not None else None,
+            format_seconds(avg_dec_t),
+            f"{avg_dec_i:.1f}" if avg_dec_i is not None else None,
+            format_seconds(avg_full_t),
+            f"{avg_full_i:.1f}" if avg_full_i is not None else None,
+        ]
+    )
+    if avg_full_t and avg_iso_t is not None and avg_dec_t is not None:
+        body.append(
+            [
+                "Ratio (vs complete)",
+                None,
+                None,
+                f"{avg_iso_t / avg_full_t:.2f}",
+                f"{avg_iso_i / avg_full_i:.2f}" if avg_iso_i and avg_full_i else None,
+                f"{avg_dec_t / avg_full_t:.2f}",
+                f"{avg_dec_i / avg_full_i:.2f}" if avg_dec_i and avg_full_i else None,
+                "1.00",
+                "1.00",
+            ]
+        )
+    return render_table(headers, body, title="Table II (reproduction) - EPN")

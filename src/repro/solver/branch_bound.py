@@ -1,0 +1,168 @@
+"""Native branch-and-bound MILP solver over the dense simplex.
+
+Best-bound search with most-fractional branching. Like the simplex it
+sits on, this backend favours clarity and auditability; it is exercised
+throughout the test suite and serves as the Gurobi stand-in when scipy's
+HiGHS backend is not wanted.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.solver.model import MatrixForm, Model
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.simplex import solve_lp
+
+_INT_TOL = 1e-6
+
+
+class _Node:
+    """A B&B node: extra bounds layered over the root relaxation."""
+
+    __slots__ = ("lower", "upper", "depth")
+
+    def __init__(self, lower: np.ndarray, upper: np.ndarray, depth: int) -> None:
+        self.lower = lower
+        self.upper = upper
+        self.depth = depth
+
+
+def solve_matrix(
+    form: MatrixForm,
+    max_nodes: int = 200000,
+    gap_tol: float = 1e-9,
+    use_presolve: bool = True,
+) -> SolveResult:
+    """Solve a MILP given in matrix form. Minimization."""
+    if use_presolve and form.num_variables:
+        from repro.solver.presolve import PresolveStatus, presolve
+
+        reduction = presolve(form)
+        if reduction.status is PresolveStatus.INFEASIBLE:
+            return SolveResult(SolveStatus.INFEASIBLE, message="presolve")
+        if reduction.form is not None:
+            form = reduction.form
+    if form.num_variables == 0:
+        feasible = bool(np.all(form.b_ub >= -1e-9)) and bool(
+            np.all(np.abs(form.b_eq) <= 1e-9)
+        )
+        if feasible:
+            return SolveResult(SolveStatus.OPTIMAL, form.objective_constant, {})
+        return SolveResult(SolveStatus.INFEASIBLE)
+    int_mask = form.integrality.astype(bool)
+
+    root = _Node(form.lower.copy(), form.upper.copy(), 0)
+    counter = itertools.count()
+    # Heap entries: (parent bound, tiebreak, node).
+    heap: List[Tuple[float, int, _Node]] = [(-math.inf, next(counter), root)]
+    incumbent_x: Optional[np.ndarray] = None
+    incumbent_obj = math.inf
+    nodes_explored = 0
+    any_relaxation_solved = False
+    root_infeasible = False
+    hit_limit = False
+
+    while heap:
+        bound, _, node = heapq.heappop(heap)
+        if bound >= incumbent_obj - gap_tol:
+            continue
+        if nodes_explored >= max_nodes:
+            hit_limit = True
+            break
+        nodes_explored += 1
+
+        lp = solve_lp(
+            form.objective,
+            form.a_ub,
+            form.b_ub,
+            form.a_eq,
+            form.b_eq,
+            node.lower,
+            node.upper,
+        )
+        if lp.status is SolveStatus.INFEASIBLE:
+            if nodes_explored == 1:
+                root_infeasible = True
+            continue
+        if lp.status is SolveStatus.UNBOUNDED:
+            # An unbounded relaxation at the root means the MILP is
+            # unbounded (integrality cannot bound a linear objective from
+            # below when the LP cone is unbounded in a descent direction).
+            return SolveResult(
+                SolveStatus.UNBOUNDED, iterations=nodes_explored,
+                message="LP relaxation unbounded",
+            )
+        if lp.status is SolveStatus.ITERATION_LIMIT:
+            hit_limit = True
+            continue
+
+        any_relaxation_solved = True
+        assert lp.x is not None and lp.objective is not None
+        if lp.objective >= incumbent_obj - gap_tol:
+            continue
+
+        branch_var = _most_fractional(lp.x, int_mask)
+        if branch_var is None:
+            # Integral solution: new incumbent.
+            if lp.objective < incumbent_obj - gap_tol:
+                incumbent_obj = lp.objective
+                incumbent_x = lp.x.copy()
+                incumbent_x[int_mask] = np.round(incumbent_x[int_mask])
+            continue
+
+        value = lp.x[branch_var]
+        floor_val = math.floor(value + _INT_TOL)
+
+        down = _Node(node.lower.copy(), node.upper.copy(), node.depth + 1)
+        down.upper[branch_var] = min(down.upper[branch_var], floor_val)
+        if down.lower[branch_var] <= down.upper[branch_var]:
+            heapq.heappush(heap, (lp.objective, next(counter), down))
+
+        up = _Node(node.lower.copy(), node.upper.copy(), node.depth + 1)
+        up.lower[branch_var] = max(up.lower[branch_var], floor_val + 1)
+        if up.lower[branch_var] <= up.upper[branch_var]:
+            heapq.heappush(heap, (lp.objective, next(counter), up))
+
+    if incumbent_x is not None:
+        assignment = {
+            var: float(incumbent_x[i]) for i, var in enumerate(form.variables)
+        }
+        return SolveResult(
+            SolveStatus.OPTIMAL,
+            incumbent_obj + form.objective_constant,
+            assignment,
+            nodes_explored,
+        )
+    if hit_limit:
+        return SolveResult(
+            SolveStatus.ITERATION_LIMIT,
+            iterations=nodes_explored,
+            message="node limit reached without incumbent",
+        )
+    if root_infeasible or not any_relaxation_solved or not heap:
+        return SolveResult(SolveStatus.INFEASIBLE, iterations=nodes_explored)
+    return SolveResult(SolveStatus.INFEASIBLE, iterations=nodes_explored)
+
+
+def _most_fractional(x: np.ndarray, int_mask: np.ndarray) -> Optional[int]:
+    """Index of the integral variable farthest from an integer, or None."""
+    frac = np.abs(x - np.round(x))
+    frac[~int_mask] = 0.0
+    j = int(np.argmax(frac))
+    if frac[j] <= _INT_TOL:
+        return None
+    return j
+
+
+def solve(model: Model, max_nodes: int = 200000) -> SolveResult:
+    """Solve a :class:`Model` with the native branch-and-bound backend."""
+    result = solve_matrix(model.to_matrix_form(), max_nodes=max_nodes)
+    if result.is_optimal and not model.minimize and result.objective is not None:
+        result.objective = -result.objective
+    return result

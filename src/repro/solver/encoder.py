@@ -1,0 +1,197 @@
+"""Big-M encoding of boolean formulas into MILP constraints.
+
+The translation follows the standard scheme (Winston, *Operations
+Research*, cited by the paper): the formula is first put in
+negation-normal form; conjunctions become plain constraint sets;
+disjunctions introduce fresh binary *selector* variables with the
+one-directional reification ``z = 1  =>  child holds`` plus a covering
+constraint ``sum z >= 1``. One-directional reification is sound and
+complete for satisfiability of NNF formulas, which is all the refinement
+oracle needs.
+
+Activation constants (big-M) are derived per-atom from variable bounds
+via :mod:`repro.expr.bounds`; unbounded atoms fall back to
+``default_big_m`` when provided, otherwise raise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Optional
+
+from repro.exceptions import BoundsError, ExpressionError
+from repro.expr.bounds import expr_interval
+from repro.expr.constraints import (
+    And,
+    BoolAtom,
+    BoolConst,
+    Comparison,
+    Formula,
+    Not,
+    Or,
+    Sense,
+)
+from repro.expr.terms import LinExpr, Var
+from repro.expr.transform import to_nnf
+from repro.solver.model import Model
+
+_selector_counter = itertools.count()
+
+
+class FormulaEncoder:
+    """Encodes NNF formulas into a target :class:`Model`."""
+
+    def __init__(
+        self,
+        model: Model,
+        default_big_m: Optional[float] = None,
+        prefix: str = "enc",
+    ) -> None:
+        self.model = model
+        self.default_big_m = default_big_m
+        self.prefix = prefix
+
+    # -- public API -----------------------------------------------------------
+
+    def enforce(self, formula: Formula) -> None:
+        """Add constraints requiring ``formula`` to hold.
+
+        The formula is normalized to NNF first, so any connective mix is
+        accepted.
+        """
+        self._assert(to_nnf(formula))
+
+    # -- unconditional assertion -------------------------------------------------
+
+    def _assert(self, formula: Formula) -> None:
+        if isinstance(formula, BoolConst):
+            if not formula.value:
+                # Unsatisfiable by construction: add the contradiction 0 >= 1.
+                self.model.add_ge(LinExpr({}, 0.0), 1.0, name=f"{self.prefix}:false")
+            return
+        if isinstance(formula, Comparison):
+            self.model.add_constraint(formula, name=f"{self.prefix}:atom")
+            return
+        if isinstance(formula, BoolAtom):
+            self.model.add_variable(formula.var)
+            self.model.add_ge(formula.var.to_expr(), 1.0, name=f"{self.prefix}:atom")
+            return
+        if isinstance(formula, Not):
+            if isinstance(formula.child, BoolAtom):
+                self.model.add_variable(formula.child.var)
+                self.model.add_le(
+                    formula.child.var.to_expr(), 0.0, name=f"{self.prefix}:natom"
+                )
+                return
+            raise ExpressionError("negation of a non-atom survived NNF")
+        if isinstance(formula, And):
+            for child in formula.children:
+                self._assert(child)
+            return
+        if isinstance(formula, Or):
+            selectors = []
+            for child in formula.children:
+                selector = self._new_selector()
+                selectors.append(selector)
+                self._assert_under(child, selector)
+            self.model.add_ge(
+                LinExpr.sum(selectors), 1.0, name=f"{self.prefix}:or"
+            )
+            return
+        raise ExpressionError(
+            f"unexpected node {type(formula).__name__} in NNF formula"
+        )
+
+    # -- activated assertion (z = 1 => formula) -----------------------------------
+
+    def _assert_under(self, formula: Formula, z: Var) -> None:
+        if isinstance(formula, BoolConst):
+            if not formula.value:
+                # z = 1 would require falsity, so force z = 0.
+                self.model.add_le(z.to_expr(), 0.0, name=f"{self.prefix}:false")
+            return
+        if isinstance(formula, Comparison):
+            self._activate_comparison(formula, z)
+            return
+        if isinstance(formula, BoolAtom):
+            self.model.add_variable(formula.var)
+            self.model.add_ge(
+                formula.var - z, 0.0, name=f"{self.prefix}:atom@"
+            )
+            return
+        if isinstance(formula, Not):
+            if isinstance(formula.child, BoolAtom):
+                self.model.add_variable(formula.child.var)
+                self.model.add_le(
+                    formula.child.var + z, 1.0, name=f"{self.prefix}:natom@"
+                )
+                return
+            raise ExpressionError("negation of a non-atom survived NNF")
+        if isinstance(formula, And):
+            for child in formula.children:
+                self._assert_under(child, z)
+            return
+        if isinstance(formula, Or):
+            selectors = []
+            for child in formula.children:
+                selector = self._new_selector()
+                selectors.append(selector)
+                self._assert_under(child, selector)
+            # sum selectors >= z : when z = 1 at least one branch activates.
+            self.model.add_ge(
+                LinExpr.sum(selectors) - z, 0.0, name=f"{self.prefix}:or@"
+            )
+            return
+        raise ExpressionError(
+            f"unexpected node {type(formula).__name__} in NNF formula"
+        )
+
+    def _activate_comparison(self, atom: Comparison, z: Var) -> None:
+        """Add ``z = 1 => atom`` with bound-derived big-M constants."""
+        lo, hi = expr_interval(atom.expr)
+        if atom.sense is Sense.LE:
+            big_m = self._resolve_big_m(hi, atom)
+            # expr <= M (1 - z)   i.e.   expr + M z <= M
+            self.model.add_le(
+                atom.expr + big_m * z.to_expr(), big_m, name=f"{self.prefix}:le@"
+            )
+        else:  # EQ: expr <= hi(1-z) and expr >= lo(1-z)
+            big_up = self._resolve_big_m(hi, atom)
+            big_dn = self._resolve_big_m(-lo, atom)
+            self.model.add_le(
+                atom.expr + big_up * z.to_expr(), big_up, name=f"{self.prefix}:eq+@"
+            )
+            self.model.add_ge(
+                atom.expr - big_dn * z.to_expr(), -big_dn, name=f"{self.prefix}:eq-@"
+            )
+
+    def _resolve_big_m(self, bound: float, atom: Comparison) -> float:
+        """Pick the activation constant for one side of an atom."""
+        if math.isfinite(bound):
+            return max(0.0, bound)
+        if self.default_big_m is not None:
+            return self.default_big_m
+        unbounded = sorted(
+            v.name for v in atom.expr.coeffs if not v.has_finite_bounds
+        )
+        raise BoundsError(
+            "cannot derive a big-M constant: atom "
+            f"{atom!r} is unbounded (variables without finite bounds: "
+            f"{', '.join(unbounded) or 'none — constant overflow'}); give the "
+            "variables finite bounds or pass default_big_m"
+        )
+
+    def _new_selector(self) -> Var:
+        name = f"{self.prefix}__sel{next(_selector_counter)}"
+        return self.model.new_binary(name)
+
+
+def enforce(
+    model: Model,
+    formula: Formula,
+    default_big_m: Optional[float] = None,
+    prefix: str = "enc",
+) -> None:
+    """Convenience wrapper: encode ``formula`` into ``model``."""
+    FormulaEncoder(model, default_big_m=default_big_m, prefix=prefix).enforce(formula)

@@ -1,0 +1,301 @@
+"""MILP model container.
+
+A :class:`Model` holds decision variables, linear constraints in the
+canonical form ``lhs SENSE rhs`` with a :class:`repro.expr.terms.LinExpr`
+left-hand side, and a linear objective. Backends (native branch & bound,
+scipy/HiGHS) consume models through :meth:`Model.to_matrix_form`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.expr.constraints import Comparison, Sense
+from repro.expr.terms import Domain, LinExpr, Number, Var
+
+
+class ConstraintSense(enum.Enum):
+    """Sense of a linear constraint row."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class LinearConstraint:
+    """A named linear constraint ``expr SENSE rhs``."""
+
+    __slots__ = ("expr", "sense", "rhs", "name")
+
+    def __init__(
+        self,
+        expr: LinExpr,
+        sense: ConstraintSense,
+        rhs: float,
+        name: str = "",
+    ) -> None:
+        self.expr = expr
+        self.sense = sense
+        self.rhs = float(rhs)
+        self.name = name
+
+    def violated_by(self, assignment: Mapping[Var, Number], tol: float = 1e-6) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.sense is ConstraintSense.LE:
+            return value > self.rhs + tol
+        if self.sense is ConstraintSense.GE:
+            return value < self.rhs - tol
+        return abs(value - self.rhs) > tol
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.expr} {self.sense.value} {self.rhs:g}"
+
+
+class MatrixForm:
+    """Dense matrix view of a model: ``min c'x  s.t.  A_ub x <= b_ub,
+    A_eq x = b_eq, lb <= x <= ub``, with an integrality mask."""
+
+    __slots__ = (
+        "variables",
+        "objective",
+        "objective_constant",
+        "a_ub",
+        "b_ub",
+        "a_eq",
+        "b_eq",
+        "lower",
+        "upper",
+        "integrality",
+    )
+
+    def __init__(
+        self,
+        variables: Sequence[Var],
+        objective: np.ndarray,
+        objective_constant: float,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        integrality: np.ndarray,
+    ) -> None:
+        self.variables = list(variables)
+        self.objective = objective
+        self.objective_constant = objective_constant
+        self.a_ub = a_ub
+        self.b_ub = b_ub
+        self.a_eq = a_eq
+        self.b_eq = b_eq
+        self.lower = lower
+        self.upper = upper
+        self.integrality = integrality
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return self.a_ub.shape[0] + self.a_eq.shape[0]
+
+
+class Model:
+    """A mixed integer linear program."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: List[Var] = []
+        self._var_set: Dict[Var, int] = {}
+        self.constraints: List[LinearConstraint] = []
+        self.objective: LinExpr = LinExpr()
+        self.minimize = True
+
+    # -- variables ---------------------------------------------------------
+
+    def add_variable(self, var: Var) -> Var:
+        """Register a variable (idempotent)."""
+        if var not in self._var_set:
+            self._var_set[var] = len(self._variables)
+            self._variables.append(var)
+        return var
+
+    def add_variables(self, variables: Iterable[Var]) -> None:
+        for var in variables:
+            self.add_variable(var)
+
+    def new_binary(self, name: str) -> Var:
+        return self.add_variable(Var(name, Domain.BINARY, 0, 1))
+
+    def new_integer(self, name: str, lb: float, ub: float) -> Var:
+        return self.add_variable(Var(name, Domain.INTEGER, lb, ub))
+
+    def new_continuous(self, name: str, lb: float, ub: float) -> Var:
+        return self.add_variable(Var(name, Domain.CONTINUOUS, lb, ub))
+
+    @property
+    def variables(self) -> Tuple[Var, ...]:
+        return tuple(self._variables)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def index_of(self, var: Var) -> int:
+        try:
+            return self._var_set[var]
+        except KeyError:
+            raise SolverError(f"variable {var.name!r} is not in model {self.name!r}")
+
+    # -- constraints ---------------------------------------------------------
+
+    def add_constraint(
+        self,
+        constraint: Union[LinearConstraint, Comparison],
+        name: str = "",
+    ) -> LinearConstraint:
+        """Add a linear constraint.
+
+        Accepts either a prepared :class:`LinearConstraint` or a
+        :class:`Comparison` atom (``expr <= 0`` / ``expr == 0``).
+        """
+        if isinstance(constraint, Comparison):
+            sense = (
+                ConstraintSense.LE
+                if constraint.sense is Sense.LE
+                else ConstraintSense.EQ
+            )
+            body = LinExpr(constraint.expr.coeffs, 0.0)
+            constraint = LinearConstraint(
+                body, sense, -constraint.expr.constant, name
+            )
+        elif not isinstance(constraint, LinearConstraint):
+            raise SolverError(
+                f"cannot add {type(constraint).__name__} as a constraint"
+            )
+        for var in constraint.expr.coeffs:
+            self.add_variable(var)
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_le(self, expr, rhs: float, name: str = "") -> LinearConstraint:
+        return self.add_constraint(
+            LinearConstraint(LinExpr.coerce(expr), ConstraintSense.LE, rhs, name)
+        )
+
+    def add_ge(self, expr, rhs: float, name: str = "") -> LinearConstraint:
+        return self.add_constraint(
+            LinearConstraint(LinExpr.coerce(expr), ConstraintSense.GE, rhs, name)
+        )
+
+    def add_eq(self, expr, rhs: float, name: str = "") -> LinearConstraint:
+        return self.add_constraint(
+            LinearConstraint(LinExpr.coerce(expr), ConstraintSense.EQ, rhs, name)
+        )
+
+    # -- objective -------------------------------------------------------------
+
+    def set_objective(self, expr, minimize: bool = True) -> None:
+        self.objective = LinExpr.coerce(expr)
+        self.minimize = minimize
+        for var in self.objective.coeffs:
+            self.add_variable(var)
+
+    # -- copying ---------------------------------------------------------------
+
+    def copy(self, name: str = "") -> "Model":
+        """Shallow-clone the model (variables and constraints are shared
+        immutable objects; the containers are fresh). Used to extend a
+        cached base model with per-iteration cuts."""
+        clone = Model(name or self.name)
+        clone._variables = list(self._variables)
+        clone._var_set = dict(self._var_set)
+        clone.constraints = list(self.constraints)
+        clone.objective = self.objective
+        clone.minimize = self.minimize
+        return clone
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def is_feasible(self, assignment: Mapping[Var, Number], tol: float = 1e-6) -> bool:
+        """Check a full assignment against constraints, bounds, integrality."""
+        for var in self._variables:
+            if var not in assignment:
+                return False
+            value = float(assignment[var])
+            if value < var.lb - tol or value > var.ub + tol:
+                return False
+            if var.is_integral and abs(value - round(value)) > tol:
+                return False
+        return not any(c.violated_by(assignment, tol) for c in self.constraints)
+
+    def objective_value(self, assignment: Mapping[Var, Number]) -> float:
+        return self.objective.evaluate(assignment)
+
+    # -- matrix form -------------------------------------------------------------
+
+    def to_matrix_form(self) -> MatrixForm:
+        """Convert to dense matrices (minimization form)."""
+        n = len(self._variables)
+        objective = np.zeros(n)
+        for var, coef in self.objective.coeffs.items():
+            objective[self._var_set[var]] = coef
+        objective_constant = self.objective.constant
+        if not self.minimize:
+            objective = -objective
+            objective_constant = -objective_constant
+
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for constraint in self.constraints:
+            row = np.zeros(n)
+            for var, coef in constraint.expr.coeffs.items():
+                row[self._var_set[var]] = coef
+            rhs = constraint.rhs - constraint.expr.constant
+            if constraint.sense is ConstraintSense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constraint.sense is ConstraintSense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
+        a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n))
+        lower = np.array([v.lb for v in self._variables])
+        upper = np.array([v.ub for v in self._variables])
+        integrality = np.array(
+            [1 if v.is_integral else 0 for v in self._variables], dtype=int
+        )
+        return MatrixForm(
+            self._variables,
+            objective,
+            objective_constant,
+            a_ub,
+            np.array(ub_rhs),
+            a_eq,
+            np.array(eq_rhs),
+            lower,
+            upper,
+            integrality,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, vars={self.num_variables}, "
+            f"constraints={self.num_constraints})"
+        )

@@ -1,0 +1,61 @@
+"""Solve results shared by all solver backends."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping, Optional
+
+from repro.expr.terms import Var
+
+
+class SolveStatus(enum.Enum):
+    """Terminal state of an LP/MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    ERROR = "error"
+
+    @property
+    def is_optimal(self) -> bool:
+        return self is SolveStatus.OPTIMAL
+
+
+class SolveResult:
+    """Outcome of an LP/MILP solve."""
+
+    __slots__ = ("status", "objective", "assignment", "iterations", "message")
+
+    def __init__(
+        self,
+        status: SolveStatus,
+        objective: Optional[float] = None,
+        assignment: Optional[Mapping[Var, float]] = None,
+        iterations: int = 0,
+        message: str = "",
+    ) -> None:
+        self.status = status
+        self.objective = objective
+        self.assignment: Dict[Var, float] = dict(assignment or {})
+        self.iterations = iterations
+        self.message = message
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status.is_optimal
+
+    @property
+    def is_infeasible(self) -> bool:
+        return self.status is SolveStatus.INFEASIBLE
+
+    def value(self, var: Var) -> float:
+        return self.assignment[var]
+
+    def rounded(self, var: Var) -> int:
+        """Integer value of an integral variable in the solution."""
+        return int(round(self.assignment[var]))
+
+    def __repr__(self) -> str:
+        obj = f", obj={self.objective:g}" if self.objective is not None else ""
+        return f"SolveResult({self.status.value}{obj}, iters={self.iterations})"

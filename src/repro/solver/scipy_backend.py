@@ -1,0 +1,76 @@
+"""MILP backend on :func:`scipy.optimize.milp` (HiGHS).
+
+This is the default backend — the stand-in for the Gurobi interface the
+paper used. It consumes the same :class:`repro.solver.model.MatrixForm`
+as the native branch-and-bound backend, so the two are interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint as ScipyLinearConstraint, milp
+
+from repro.solver.model import MatrixForm, Model
+from repro.solver.result import SolveResult, SolveStatus
+
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ITERATION_LIMIT,  # iteration/time limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def solve_matrix(form: MatrixForm, time_limit: Optional[float] = None) -> SolveResult:
+    """Solve a MILP in matrix form with HiGHS. Minimization."""
+    if form.num_variables == 0:
+        return _solve_empty(form)
+    constraints = []
+    if form.a_ub.shape[0]:
+        constraints.append(
+            ScipyLinearConstraint(form.a_ub, -np.inf, form.b_ub)
+        )
+    if form.a_eq.shape[0]:
+        constraints.append(
+            ScipyLinearConstraint(form.a_eq, form.b_eq, form.b_eq)
+        )
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = time_limit
+    result = milp(
+        c=form.objective,
+        constraints=constraints or None,
+        integrality=form.integrality,
+        bounds=Bounds(form.lower, form.upper),
+        options=options or None,
+    )
+    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    if status is SolveStatus.OPTIMAL and result.x is not None:
+        x = np.asarray(result.x, dtype=float)
+        int_mask = form.integrality.astype(bool)
+        x[int_mask] = np.round(x[int_mask])
+        assignment = {var: float(x[i]) for i, var in enumerate(form.variables)}
+        objective = float(form.objective @ x) + form.objective_constant
+        return SolveResult(status, objective, assignment, message=result.message)
+    return SolveResult(status, message=getattr(result, "message", ""))
+
+
+def _solve_empty(form: MatrixForm) -> SolveResult:
+    """Decide a variable-free model: every constraint row is 0 <= b / 0 = b."""
+    feasible = bool(np.all(form.b_ub >= -1e-9)) and bool(
+        np.all(np.abs(form.b_eq) <= 1e-9)
+    )
+    if feasible:
+        return SolveResult(SolveStatus.OPTIMAL, form.objective_constant, {})
+    return SolveResult(SolveStatus.INFEASIBLE)
+
+
+def solve(model: Model, time_limit: Optional[float] = None) -> SolveResult:
+    """Solve a :class:`Model` with the scipy/HiGHS backend."""
+    result = solve_matrix(model.to_matrix_form(), time_limit=time_limit)
+    if result.is_optimal and not model.minimize and result.objective is not None:
+        result.objective = -result.objective
+    return result

@@ -1,0 +1,18 @@
+"""Contract generators for the Section-III requirement viewpoints."""
+
+from repro.spec.base import Specification, ViewpointSpec
+from repro.spec.interconnection import InterconnectionSpec
+from repro.spec.flow import FlowSpec
+from repro.spec.timing import TimingSpec
+from repro.spec.reliability import RELIABILITY, ReliabilitySpec, log_fail_of
+
+__all__ = [
+    "Specification",
+    "ViewpointSpec",
+    "InterconnectionSpec",
+    "FlowSpec",
+    "TimingSpec",
+    "RELIABILITY",
+    "ReliabilitySpec",
+    "log_fail_of",
+]

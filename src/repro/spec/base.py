@@ -1,0 +1,104 @@
+"""Specification protocol tying viewpoints to contract generators.
+
+A :class:`ViewpointSpec` knows how to produce, for one requirement
+viewpoint ``d``:
+
+* the component-level contracts ``C_i^d`` over a mapping template's
+  decision variables, and
+* the system-level contract ``C_s^d`` — either global, or specialized to
+  one source-to-sink path when the viewpoint is path-specific.
+
+A :class:`Specification` bundles the interconnection contracts (always
+present; they define what a well-formed candidate is) with any number of
+viewpoint specs, and is the single requirements object handed to the
+exploration engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ContractError
+from repro.arch.component import Component
+from repro.arch.template import MappingTemplate
+from repro.contracts.contract import Contract
+from repro.contracts.viewpoints import Viewpoint
+
+
+class ViewpointSpec:
+    """Contract generator for one viewpoint. Subclasses override both
+    generator methods."""
+
+    def __init__(self, viewpoint: Viewpoint) -> None:
+        self.viewpoint = viewpoint
+
+    @property
+    def name(self) -> str:
+        return self.viewpoint.name
+
+    def component_contract(
+        self, mapping_template: MappingTemplate, component: Component
+    ) -> Contract:
+        raise NotImplementedError
+
+    def system_contract(
+        self,
+        mapping_template: MappingTemplate,
+        path: Optional[Sequence[str]] = None,
+    ) -> Contract:
+        """System-level contract; ``path`` is required (and provided by
+        the engine) iff the viewpoint is path-specific."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.viewpoint!r})"
+
+
+class Specification:
+    """All requirements of an exploration problem."""
+
+    def __init__(
+        self,
+        interconnection,
+        viewpoint_specs: Sequence[ViewpointSpec],
+    ) -> None:
+        names = [spec.name for spec in viewpoint_specs]
+        if len(set(names)) != len(names):
+            raise ContractError(f"duplicate viewpoint names: {names}")
+        self.interconnection = interconnection
+        self.viewpoint_specs: List[ViewpointSpec] = list(viewpoint_specs)
+
+    def spec_for(self, viewpoint_name: str) -> ViewpointSpec:
+        for spec in self.viewpoint_specs:
+            if spec.name == viewpoint_name:
+                return spec
+        raise ContractError(f"no viewpoint named {viewpoint_name!r}")
+
+    @property
+    def path_specific_specs(self) -> List[ViewpointSpec]:
+        return [s for s in self.viewpoint_specs if s.viewpoint.path_specific]
+
+    @property
+    def global_specs(self) -> List[ViewpointSpec]:
+        return [s for s in self.viewpoint_specs if not s.viewpoint.path_specific]
+
+    def all_component_contracts(
+        self, mapping_template: MappingTemplate
+    ) -> Dict[str, Dict[str, Contract]]:
+        """``{viewpoint -> {component -> contract}}`` including the
+        interconnection viewpoint."""
+        result: Dict[str, Dict[str, Contract]] = {}
+        components = mapping_template.template.components()
+        result["interconnection"] = {
+            c.name: self.interconnection.component_contract(mapping_template, c)
+            for c in components
+        }
+        for spec in self.viewpoint_specs:
+            result[spec.name] = {
+                c.name: spec.component_contract(mapping_template, c)
+                for c in components
+            }
+        return result
+
+    def __repr__(self) -> str:
+        return f"Specification(viewpoints={[s.name for s in self.viewpoint_specs]})"

@@ -1,0 +1,221 @@
+"""Flow/power contracts ``C_i^F`` and ``C_s^F`` (Section III-B).
+
+Per component (with ``beta_i = sum_x m(i,x)`` the instantiation
+indicator and ``u`` the implementation-attribute variables):
+
+* assumptions: input flow within throughput and at least the consumed
+  flow — ``f_i^C * beta_i <= sum_in f <= u(throughput, i)``;
+* guarantees: flow conservation
+  ``sum_in f + f_i^S * beta_i  =  sum_out f + f_i^C * beta_i + u(loss, i)``
+  plus the linearized edge coupling ``f(i,b) <= F_max * e(i,b)`` for
+  every outgoing candidate edge.
+
+The paper writes conservation as an inequality (``>=``); we default to
+the equality form because only it lets the system-level balance
+guarantee be discharged compositionally (an inequality lets any
+component silently drop flow, making every global lower bound on
+delivery unsatisfiable). ``exact_conservation=False`` restores the
+paper's literal form.
+
+The system contract bounds total generated flow (assumption), total
+losses, and minimum delivered flow (guarantees).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.arch.component import Component
+from repro.arch.template import MappingTemplate
+from repro.contracts.contract import Contract
+from repro.contracts.viewpoints import FLOW, Viewpoint
+from repro.expr.constraints import Formula, TRUE, conjunction
+from repro.expr.terms import LinExpr
+from repro.spec.base import ViewpointSpec
+
+
+def _in_flow(mapping_template: MappingTemplate, name: str) -> LinExpr:
+    template = mapping_template.template
+    return LinExpr.sum(
+        mapping_template.flow(a, name) for a in template.in_candidates(name)
+    )
+
+
+def _out_flow(mapping_template: MappingTemplate, name: str) -> LinExpr:
+    template = mapping_template.template
+    return LinExpr.sum(
+        mapping_template.flow(name, b) for b in template.out_candidates(name)
+    )
+
+
+def _instantiation(mapping_template: MappingTemplate, name: str) -> LinExpr:
+    return LinExpr.sum(var for _, var in mapping_template.mappings_of(name))
+
+
+class FlowSpec(ViewpointSpec):
+    """Flow (or power) viewpoint generator."""
+
+    def __init__(
+        self,
+        viewpoint: Viewpoint = FLOW,
+        max_source_flow: float = math.inf,
+        max_loss: float = math.inf,
+        min_delivery: float = 0.0,
+        throughput_attribute: Optional[str] = "throughput",
+        loss_attribute: Optional[str] = None,
+        source_capacity_attribute: Optional[str] = None,
+        exact_conservation: bool = True,
+        path_loss_budget: Optional[float] = None,
+    ) -> None:
+        super().__init__(viewpoint)
+        self.max_source_flow = float(max_source_flow)
+        self.max_loss = float(max_loss)
+        self.min_delivery = float(min_delivery)
+        self.throughput_attribute = throughput_attribute
+        self.loss_attribute = loss_attribute
+        #: When set, boundary source components of a type declaring this
+        #: attribute produce flow *up to* the selected implementation's
+        #: capacity instead of a fixed ``generated_flow`` (EPN generators).
+        self.source_capacity_attribute = source_capacity_attribute
+        self.exact_conservation = exact_conservation
+        #: Per-path loss bound used when the viewpoint is path-specific
+        #: ("power consumption constraints on certain routes", Sec. IV-B):
+        #: the system contract for a path bounds the summed loss
+        #: attributes of its loss-carrying nodes.
+        self.path_loss_budget = path_loss_budget
+        if viewpoint.path_specific and path_loss_budget is None:
+            raise ValueError(
+                "a path-specific flow viewpoint needs path_loss_budget"
+            )
+        if viewpoint.path_specific and loss_attribute is None:
+            raise ValueError(
+                "a path-specific flow viewpoint needs loss_attribute"
+            )
+
+    # -- component level ----------------------------------------------------
+
+    def component_contract(
+        self, mapping_template: MappingTemplate, component: Component
+    ) -> Contract:
+        template = mapping_template.template
+        name = component.name
+        in_flow = _in_flow(mapping_template, name)
+        out_flow = _out_flow(mapping_template, name)
+        beta = _instantiation(mapping_template, name)
+
+        assumptions: List[Formula] = []
+        if template.in_candidates(name):
+            if self.throughput_attribute and self._has_attr(
+                component, self.throughput_attribute
+            ):
+                throughput = mapping_template.attribute(
+                    self.throughput_attribute, name
+                )
+                assumptions.append(in_flow <= throughput.to_expr())
+            if component.consumed_flow:
+                assumptions.append(in_flow >= component.consumed_flow * beta)
+
+        guarantees: List[Formula] = []
+        capacity_source = (
+            not template.in_candidates(name)
+            and self.source_capacity_attribute is not None
+            and self._has_attr(component, self.source_capacity_attribute)
+        )
+        if capacity_source:
+            # Generator-style source: output anything up to the selected
+            # implementation's capacity (plus any fixed generated flow).
+            capacity = mapping_template.attribute(
+                self.source_capacity_attribute, name
+            )
+            guarantees.append(
+                out_flow
+                <= capacity.to_expr() + component.generated_flow * beta
+            )
+        else:
+            balance_in = in_flow + component.generated_flow * beta
+            balance_out = out_flow + component.consumed_flow * beta
+            if self.loss_attribute and self._has_attr(component, self.loss_attribute):
+                balance_out = balance_out + mapping_template.attribute(
+                    self.loss_attribute, name
+                )
+            if self.exact_conservation:
+                guarantees.append(balance_in.eq(balance_out))
+            else:
+                guarantees.append(balance_in >= balance_out)
+        # Linearized coupling: no flow over unselected edges.
+        for successor in template.out_candidates(name):
+            flow_var = mapping_template.flow(name, successor)
+            edge_var = mapping_template.edge(name, successor)
+            guarantees.append(
+                flow_var - mapping_template.flow_bound * edge_var <= 0
+            )
+
+        return Contract(
+            f"C^{self.name}[{name}]",
+            conjunction(assumptions) if assumptions else TRUE,
+            conjunction(guarantees) if guarantees else TRUE,
+        )
+
+    # -- system level -------------------------------------------------------------
+
+    def system_contract(
+        self,
+        mapping_template: MappingTemplate,
+        path: Optional[Sequence[str]] = None,
+    ) -> Contract:
+        if self.viewpoint.path_specific:
+            return self._path_system_contract(mapping_template, path)
+        template = mapping_template.template
+        source_out = LinExpr.sum(
+            _out_flow(mapping_template, c.name)
+            for c in template.source_components()
+        )
+        sink_in = LinExpr.sum(
+            _in_flow(mapping_template, c.name) for c in template.sink_components()
+        )
+        assumptions: List[Formula] = []
+        if math.isfinite(self.max_source_flow):
+            assumptions.append(source_out <= self.max_source_flow)
+        guarantees: List[Formula] = []
+        if math.isfinite(self.max_loss):
+            guarantees.append(source_out - sink_in <= self.max_loss)
+        if self.min_delivery > 0.0:
+            guarantees.append(sink_in >= self.min_delivery)
+        return Contract(
+            f"C_s^{self.name}",
+            conjunction(assumptions) if assumptions else TRUE,
+            conjunction(guarantees) if guarantees else TRUE,
+        )
+
+    def _path_system_contract(
+        self,
+        mapping_template: MappingTemplate,
+        path: Optional[Sequence[str]],
+    ) -> Contract:
+        """Per-route loss budget: the summed loss attributes of the
+        path's loss-carrying nodes stay within ``path_loss_budget``."""
+        if path is None or len(path) < 2:
+            raise ValueError(
+                "a path-specific flow system contract needs a path of at "
+                "least two components"
+            )
+        template = mapping_template.template
+        assert self.loss_attribute is not None
+        losses = [
+            mapping_template.attribute(self.loss_attribute, name).to_expr()
+            for name in path
+            if self._has_attr(template.component(name), self.loss_attribute)
+        ]
+        guarantees: List[Formula] = []
+        if losses:
+            guarantees.append(LinExpr.sum(losses) <= self.path_loss_budget)
+        return Contract(
+            f"C_s^{self.name}[{path[0]}->{path[-1]}]",
+            TRUE,
+            conjunction(guarantees) if guarantees else TRUE,
+        )
+
+    @staticmethod
+    def _has_attr(component: Component, attr: str) -> bool:
+        return attr in component.ctype.attributes

@@ -1,0 +1,90 @@
+"""Interconnection contracts ``C_i^C`` (Section III-A).
+
+For every component slot the contract couples connectivity and mapping:
+
+* assumptions: a slot is mapped to exactly one implementation iff it has
+  at least one selected connection;
+* guarantees: attribute variables inherit the selected implementation's
+  values; fan-in/fan-out caps hold; a slot with selected inputs has a
+  selected output and vice versa (flow-through coupling).
+
+Slots on the template boundary (no candidate predecessors / successors)
+skip the flow-through implications on the missing side — a source cannot
+be asked to have inputs. Components flagged ``required`` in their params
+(``params={"required": 1}``) must always be instantiated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.component import Component
+from repro.arch.template import MappingTemplate
+from repro.contracts.contract import Contract
+from repro.expr.constraints import Formula, Implies, TRUE, conjunction
+from repro.expr.terms import LinExpr
+
+
+def _sum_edges(mapping_template: MappingTemplate, pairs) -> LinExpr:
+    return LinExpr.sum(mapping_template.edge(src, dst) for src, dst in pairs)
+
+
+class InterconnectionSpec:
+    """Generator for the interconnection contracts."""
+
+    def component_contract(
+        self, mapping_template: MappingTemplate, component: Component
+    ) -> Contract:
+        template = mapping_template.template
+        name = component.name
+        in_names = template.in_candidates(name)
+        out_names = template.out_candidates(name)
+        in_sum = _sum_edges(mapping_template, ((a, name) for a in in_names))
+        out_sum = _sum_edges(mapping_template, ((name, b) for b in out_names))
+        degree = in_sum + out_sum
+        map_sum = LinExpr.sum(
+            var for _, var in mapping_template.mappings_of(name)
+        )
+
+        # -- assumptions: connectivity <-> mapping coupling ------------------
+        assumptions: List[Formula] = []
+        if component.param("required", 0.0):
+            assumptions.append(map_sum.eq(1))
+        else:
+            # degree >= 1  ->  map_sum == 1 ; degree == 0 -> map_sum == 0.
+            assumptions.append(Implies(degree >= 1, map_sum.eq(1)))
+            assumptions.append(Implies(degree <= 0, map_sum.eq(0)))
+            # Exactly-one is also needed on its own: never two mappings.
+            assumptions.append(map_sum <= 1)
+
+        # -- guarantees --------------------------------------------------------
+        guarantees: List[Formula] = []
+        # Attribute binding: u(attr, i) = sum_x m(i, x) * U(attr, x).
+        for attr in component.ctype.attributes:
+            u_var = mapping_template.attribute(attr, name)
+            bound_expr = LinExpr.sum(
+                impl.attribute(attr) * var
+                for impl, var in mapping_template.mappings_of(name)
+            )
+            guarantees.append(u_var.to_expr().eq(bound_expr))
+        # Fan-in / fan-out caps (M and N of the paper).
+        if in_names and component.max_fan_in:
+            guarantees.append(in_sum <= component.max_fan_in)
+        if out_names and component.max_fan_out:
+            guarantees.append(out_sum <= component.max_fan_out)
+        # Flow-through coupling, skipped on boundary sides.
+        if in_names and out_names:
+            guarantees.append(Implies(in_sum >= 1, out_sum >= 1))
+            guarantees.append(Implies(in_sum <= 0, out_sum <= 0))
+        elif not in_names and out_names:
+            # Boundary source slot: if instantiated it must feed someone.
+            guarantees.append(Implies(map_sum >= 1, out_sum >= 1))
+        elif in_names and not out_names:
+            # Boundary sink slot: if instantiated it must be fed.
+            guarantees.append(Implies(map_sum >= 1, in_sum >= 1))
+
+        return Contract(
+            f"C^C[{name}]",
+            conjunction(assumptions) if assumptions else TRUE,
+            conjunction(guarantees) if guarantees else TRUE,
+        )

@@ -1,0 +1,116 @@
+"""Reliability contracts — per-route failure-probability budgets.
+
+The ContrArc framework handles any viewpoint whose requirement is
+monotone in one implementation attribute; reliability-aware selection
+(the topic of the paper's refs [8]/[9]) is the classic third example
+next to timing and power. Series reliability along a delivery route is
+
+    R(route) = prod_i (1 - p_i)
+
+which is nonlinear in the failure probabilities ``p_i`` — but linear in
+the *negative log-reliability* ``lambda_i = -ln(1 - p_i)``:
+
+    R(route) >= R_min   <=>   sum_i lambda_i <= -ln(R_min)
+
+So implementations carry a ``log_fail`` attribute (their ``lambda``),
+the component contract is empty (the attribute binding comes from the
+interconnection contract), and the system contract bounds the per-route
+sum. Widening orders implementations by ``log_fail`` — a route that is
+too unreliable stays invalid under any less-reliable substitution.
+
+``log_fail`` is stored in **milli-nats** (``-1000 * ln(R)``): raw nats
+for realistic reliabilities (0.99+) are of order 1e-3, below the
+oracle's strict-inequality resolution (``NEGATION_EPS``); the scaling
+keeps attribute values comfortably coarse. Use :func:`log_fail_of` and
+the spec's :attr:`log_budget` and the scaling stays invisible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ContractError
+from repro.arch.component import Component
+from repro.arch.template import MappingTemplate
+from repro.contracts.contract import Contract
+from repro.contracts.viewpoints import AttributeDirection, Viewpoint
+from repro.expr.constraints import Formula, TRUE, conjunction
+from repro.expr.terms import LinExpr
+from repro.spec.base import ViewpointSpec
+
+#: The reliability viewpoint: larger aggregated log-failure is worse.
+RELIABILITY = Viewpoint(
+    "reliability",
+    path_specific=True,
+    attribute="log_fail",
+    direction=AttributeDirection.HIGHER_IS_WORSE,
+)
+
+
+#: Scale factor turning nats into milli-nats (see module docstring).
+LOG_SCALE = 1000.0
+
+
+def log_fail_of(reliability: float) -> float:
+    """Convert a per-implementation reliability (e.g. 0.999) into the
+    ``log_fail`` attribute value the spec consumes (milli-nats)."""
+    if not 0.0 < reliability <= 1.0:
+        raise ContractError("reliability must be in (0, 1]")
+    return -math.log(reliability) * LOG_SCALE
+
+
+class ReliabilitySpec(ViewpointSpec):
+    """Per-route minimum reliability."""
+
+    def __init__(
+        self,
+        min_route_reliability: float,
+        viewpoint: Viewpoint = RELIABILITY,
+        attribute: str = "log_fail",
+    ) -> None:
+        if not 0.0 < min_route_reliability <= 1.0:
+            raise ContractError(
+                "min_route_reliability must be in (0, 1]"
+            )
+        super().__init__(viewpoint)
+        self.min_route_reliability = float(min_route_reliability)
+        self.attribute = attribute
+
+    @property
+    def log_budget(self) -> float:
+        """The per-route budget on summed ``log_fail`` values
+        (milli-nats)."""
+        return -math.log(self.min_route_reliability) * LOG_SCALE
+
+    def component_contract(
+        self, mapping_template: MappingTemplate, component: Component
+    ) -> Contract:
+        # The attribute binding u(log_fail, i) = sum m(i,x) * lambda_x is
+        # produced by the interconnection contract; reliability adds no
+        # further local constraints.
+        return Contract(f"C^{self.name}[{component.name}]", TRUE, TRUE)
+
+    def system_contract(
+        self,
+        mapping_template: MappingTemplate,
+        path: Optional[Sequence[str]] = None,
+    ) -> Contract:
+        if path is None or len(path) < 2:
+            raise ContractError(
+                "the reliability system contract is path-specific"
+            )
+        template = mapping_template.template
+        terms: List[LinExpr] = [
+            mapping_template.attribute(self.attribute, name).to_expr()
+            for name in path
+            if self.attribute in template.component(name).ctype.attributes
+        ]
+        guarantees: List[Formula] = []
+        if terms:
+            guarantees.append(LinExpr.sum(terms) <= self.log_budget)
+        return Contract(
+            f"C_s^{self.name}[{path[0]}->{path[-1]}]",
+            TRUE,
+            conjunction(guarantees) if guarantees else TRUE,
+        )

@@ -1,0 +1,161 @@
+"""Timing contracts ``C_i^T`` and ``C_s^T`` (Section III-C).
+
+Every candidate edge carries a nominal event time ``tau`` and an actual
+time ``t`` (jitter = their difference). Per component:
+
+* assumptions: on every selected input edge the jitter is within the
+  component's input-jitter bound ``j_i^I``;
+* guarantees: on every selected output edge the jitter is within
+  ``j_i^O``, and for every selected input/output edge pair the
+  processing delay ``tau_out - t_in`` is at most the latency of the
+  selected implementation (``u(latency, i)``).
+
+The system contract, specialized to one source-to-sink path, assumes the
+generation jitter is within ``J_s^I`` and guarantees consumption jitter
+within ``J_s^O`` plus the end-to-end deadline
+``tau(consumption) - t(generation) <= L_s``. This is the paper's
+path-specific viewpoint: it is never enforced in the candidate MILP, so
+it is the main driver of refinement failures and certificates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ContractError
+from repro.arch.component import Component
+from repro.arch.template import MappingTemplate
+from repro.contracts.contract import Contract
+from repro.contracts.viewpoints import TIMING, Viewpoint
+from repro.expr.constraints import And, BoolAtom, Formula, Implies, TRUE, conjunction
+from repro.expr.terms import LinExpr, Var
+from repro.spec.base import ViewpointSpec
+
+
+def _jitter_bounded(t: Var, tau: Var, bound: float) -> Formula:
+    """``|t - tau| <= bound`` as two linear atoms."""
+    return And(t - tau <= bound, tau - t <= bound)
+
+
+class TimingSpec(ViewpointSpec):
+    """Timing viewpoint generator."""
+
+    def __init__(
+        self,
+        viewpoint: Viewpoint = TIMING,
+        max_latency: float = math.inf,
+        source_jitter: float = math.inf,
+        sink_jitter: float = math.inf,
+        latency_attribute: str = "latency",
+    ) -> None:
+        super().__init__(viewpoint)
+        self.max_latency = float(max_latency)
+        self.source_jitter = float(source_jitter)
+        self.sink_jitter = float(sink_jitter)
+        self.latency_attribute = latency_attribute
+
+    # -- component level -----------------------------------------------------
+
+    def component_contract(
+        self, mapping_template: MappingTemplate, component: Component
+    ) -> Contract:
+        template = mapping_template.template
+        name = component.name
+        in_names = template.in_candidates(name)
+        out_names = template.out_candidates(name)
+
+        assumptions: List[Formula] = []
+        if math.isfinite(component.input_jitter):
+            for a in in_names:
+                edge = BoolAtom(mapping_template.edge(a, name))
+                bound = _jitter_bounded(
+                    mapping_template.time(a, name),
+                    mapping_template.nominal_time(a, name),
+                    component.input_jitter,
+                )
+                assumptions.append(Implies(edge, bound))
+
+        guarantees: List[Formula] = []
+        if math.isfinite(component.output_jitter):
+            for b in out_names:
+                edge = BoolAtom(mapping_template.edge(name, b))
+                bound = _jitter_bounded(
+                    mapping_template.time(name, b),
+                    mapping_template.nominal_time(name, b),
+                    component.output_jitter,
+                )
+                guarantees.append(Implies(edge, bound))
+        latency = self._latency_expr(mapping_template, component)
+        for a in in_names:
+            for b in out_names:
+                both = And(
+                    BoolAtom(mapping_template.edge(a, name)),
+                    BoolAtom(mapping_template.edge(name, b)),
+                )
+                delay = (
+                    mapping_template.nominal_time(name, b).to_expr()
+                    - mapping_template.time(a, name)
+                    - latency
+                )
+                guarantees.append(Implies(both, delay <= 0))
+
+        return Contract(
+            f"C^{self.name}[{name}]",
+            conjunction(assumptions) if assumptions else TRUE,
+            conjunction(guarantees) if guarantees else TRUE,
+        )
+
+    def _latency_expr(
+        self, mapping_template: MappingTemplate, component: Component
+    ) -> LinExpr:
+        if self.latency_attribute in component.ctype.attributes:
+            return mapping_template.attribute(
+                self.latency_attribute, component.name
+            ).to_expr()
+        return LinExpr({}, component.param(self.latency_attribute, 0.0))
+
+    # -- system level -----------------------------------------------------------
+
+    def system_contract(
+        self,
+        mapping_template: MappingTemplate,
+        path: Optional[Sequence[str]] = None,
+    ) -> Contract:
+        if path is None or len(path) < 2:
+            raise ContractError(
+                "the timing system contract is path-specific; pass a path of "
+                "at least two components"
+            )
+        generation = (path[0], path[1])
+        consumption = (path[-2], path[-1])
+        t_gen = mapping_template.time(*generation)
+        tau_gen = mapping_template.nominal_time(*generation)
+        t_cons = mapping_template.time(*consumption)
+        tau_cons = mapping_template.nominal_time(*consumption)
+
+        assumptions: List[Formula] = []
+        if math.isfinite(self.source_jitter):
+            assumptions.append(
+                Implies(
+                    BoolAtom(mapping_template.edge(*generation)),
+                    _jitter_bounded(t_gen, tau_gen, self.source_jitter),
+                )
+            )
+        guarantees: List[Formula] = []
+        if math.isfinite(self.sink_jitter):
+            guarantees.append(
+                Implies(
+                    BoolAtom(mapping_template.edge(*consumption)),
+                    _jitter_bounded(t_cons, tau_cons, self.sink_jitter),
+                )
+            )
+        if math.isfinite(self.max_latency):
+            guarantees.append(
+                tau_cons.to_expr() - t_gen.to_expr() <= self.max_latency
+            )
+        return Contract(
+            f"C_s^{self.name}[{path[0]}->{path[-1]}]",
+            conjunction(assumptions) if assumptions else TRUE,
+            conjunction(guarantees) if guarantees else TRUE,
+        )

@@ -1,0 +1,147 @@
+"""Tests for candidate architectures and sub-architectures."""
+
+import pytest
+
+from repro.exceptions import ArchitectureError
+from repro.arch.architecture import CandidateArchitecture
+
+
+@pytest.fixture
+def candidate(mapping_template):
+    lib = mapping_template.library
+    return CandidateArchitecture(
+        mapping_template,
+        [("src", "w1"), ("w1", "sink")],
+        {
+            "src": lib.get("src_std"),
+            "w1": lib.get("w_slow"),
+            "sink": lib.get("sink_std"),
+        },
+    )
+
+
+class TestConstruction:
+    def test_valid(self, candidate):
+        assert candidate.is_instantiated("w1")
+        assert not candidate.is_instantiated("w2")
+        assert candidate.implementation_of("w1").name == "w_slow"
+
+    def test_non_candidate_edge_rejected(self, mapping_template):
+        lib = mapping_template.library
+        with pytest.raises(ArchitectureError):
+            CandidateArchitecture(
+                mapping_template, [("sink", "src")], {"src": lib.get("src_std")}
+            )
+
+    def test_wrong_type_mapping_rejected(self, mapping_template):
+        lib = mapping_template.library
+        with pytest.raises(ArchitectureError):
+            CandidateArchitecture(
+                mapping_template, [], {"w1": lib.get("src_std")}
+            )
+
+    def test_from_assignment(self, mapping_template):
+        assignment = {var: 0.0 for var in mapping_template.structural_vars()}
+        assignment[mapping_template.edge("src", "w2")] = 1.0
+        assignment[mapping_template.edge("w2", "sink")] = 1.0
+        assignment[mapping_template.mapping("src", "src_std")] = 1.0
+        assignment[mapping_template.mapping("w2", "w_fast")] = 1.0
+        assignment[mapping_template.mapping("sink", "sink_std")] = 1.0
+        candidate = CandidateArchitecture.from_assignment(
+            mapping_template, assignment
+        )
+        assert candidate.selected_edges == [("src", "w2"), ("w2", "sink")]
+        assert candidate.implementation_of("w2").name == "w_fast"
+
+    def test_from_assignment_double_mapping_rejected(self, mapping_template):
+        assignment = {var: 0.0 for var in mapping_template.structural_vars()}
+        assignment[mapping_template.mapping("w1", "w_fast")] = 1.0
+        assignment[mapping_template.mapping("w1", "w_slow")] = 1.0
+        with pytest.raises(ArchitectureError, match="two implementations"):
+            CandidateArchitecture.from_assignment(mapping_template, assignment)
+
+    def test_uninstantiated_lookup_raises(self, candidate):
+        with pytest.raises(ArchitectureError):
+            candidate.implementation_of("w2")
+
+
+class TestViews:
+    def test_cost(self, candidate):
+        assert candidate.cost == pytest.approx(1.0 + 3.0 + 1.0)
+
+    def test_cost_respects_weights(self, mapping_template):
+        lib = mapping_template.library
+        mapping_template.template.component("w1").weight = 10.0
+        try:
+            c = CandidateArchitecture(
+                mapping_template, [], {"w1": lib.get("w_slow")}
+            )
+            assert c.cost == pytest.approx(30.0)
+        finally:
+            mapping_template.template.component("w1").weight = 1.0
+
+    def test_graph(self, candidate):
+        g = candidate.graph()
+        assert g.num_nodes == 3
+        assert g.has_edge("src", "w1")
+        assert g.label("w1") == "worker"
+        assert g.node_attrs("w1")["impl"] == "w_slow"
+
+    def test_mapping_graph(self, candidate):
+        g = candidate.mapping_graph()
+        assert g.has_node("impl:w_slow")
+        assert g.has_edge("w1", "impl:w_slow")
+
+    def test_structural_assignment_roundtrip(self, candidate, mapping_template):
+        assignment = candidate.structural_assignment()
+        rebuilt = CandidateArchitecture.from_assignment(
+            mapping_template, assignment
+        )
+        assert rebuilt.selected_edges == candidate.selected_edges
+        assert rebuilt.selected_impls == candidate.selected_impls
+
+    def test_attribute_assignment(self, candidate, mapping_template):
+        values = candidate.attribute_assignment()
+        lat_w1 = mapping_template.attribute("latency", "w1")
+        lat_w2 = mapping_template.attribute("latency", "w2")
+        assert values[lat_w1] == 9.0
+        assert values[lat_w2] == 0.0  # not instantiated
+
+
+class TestSubArchitecture:
+    def test_path_fragment(self, candidate):
+        frag = candidate.sub_architecture(["src", "w1", "sink"])
+        assert frag.is_whole_candidate  # this candidate IS one path
+        g = frag.graph()
+        assert g.num_nodes == 3
+        assert g.label("src") == "source"
+        impls = frag.implementations()
+        assert impls["w1"].name == "w_slow"
+
+    def test_partial_fragment_not_whole(self, candidate):
+        frag = candidate.sub_architecture(["src", "w1"])
+        assert not frag.is_whole_candidate
+
+    def test_uninstantiated_node_rejected(self, candidate):
+        with pytest.raises(ArchitectureError):
+            candidate.sub_architecture(["src", "w2"])
+
+    def test_unselected_edge_rejected(self, candidate, mapping_template):
+        lib = mapping_template.library
+        other = CandidateArchitecture(
+            mapping_template,
+            [("src", "w1"), ("w1", "sink")],
+            {
+                "src": lib.get("src_std"),
+                "w1": lib.get("w_slow"),
+                "w2": lib.get("w_fast"),
+                "sink": lib.get("sink_std"),
+            },
+        )
+        with pytest.raises(ArchitectureError, match="not selected"):
+            other.sub_architecture(["src", "w2"])
+
+    def test_whole_architecture_view(self, candidate):
+        whole = candidate.whole_architecture()
+        assert whole.is_whole_candidate
+        assert set(whole.nodes) == {"src", "w1", "sink"}

@@ -1,0 +1,52 @@
+"""Tests for component types and components."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ArchitectureError
+from repro.arch.component import Component, ComponentType
+
+
+class TestComponentType:
+    def test_basic(self):
+        t = ComponentType("machine", ("latency",))
+        assert t.name == "machine"
+        assert t.attributes == ("latency",)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ComponentType("")
+
+    def test_equality_by_name(self):
+        assert ComponentType("m") == ComponentType("m", ("latency",))
+        assert ComponentType("m") != ComponentType("c")
+        assert len({ComponentType("m"), ComponentType("m")}) == 1
+
+
+class TestComponent:
+    def test_defaults(self):
+        c = Component("c1", ComponentType("machine"))
+        assert c.max_fan_in == 0
+        assert c.generated_flow == 0.0
+        assert math.isinf(c.input_jitter)
+        assert c.weight == 1.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Component("", ComponentType("machine"))
+
+    def test_params(self):
+        c = Component("c1", ComponentType("m"), params={"required": 1})
+        assert c.param("required") == 1
+        assert c.param("missing") == 0.0
+        assert c.param("missing", 7.0) == 7.0
+
+    def test_type_name_shortcut(self):
+        c = Component("c1", ComponentType("m"))
+        assert c.type_name == "m"
+
+    def test_equality_by_name(self):
+        t = ComponentType("m")
+        assert Component("a", t) == Component("a", t)
+        assert Component("a", t) != Component("b", t)

@@ -1,0 +1,98 @@
+"""Tests for JSON serialization of templates and libraries."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ArchitectureError
+from repro.arch.io import (
+    library_from_dict,
+    library_to_dict,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+    template_from_dict,
+    template_to_dict,
+)
+from repro.arch.template import MappingTemplate
+
+
+class TestLibraryRoundtrip:
+    def test_roundtrip(self, library):
+        data = library_to_dict(library)
+        rebuilt = library_from_dict(data)
+        assert len(rebuilt) == len(library)
+        for impl in library:
+            twin = rebuilt.get(impl.name)
+            assert twin.type_name == impl.type_name
+            assert twin.cost == impl.cost
+            assert twin.attrs == impl.attrs
+
+    def test_dict_is_json_safe(self, library):
+        json.dumps(library_to_dict(library))
+
+
+class TestTemplateRoundtrip:
+    def test_roundtrip(self, template):
+        data = template_to_dict(template)
+        rebuilt = template_from_dict(data)
+        assert rebuilt.name == template.name
+        assert rebuilt.num_components == template.num_components
+        assert sorted(rebuilt.edges()) == sorted(template.edges())
+        assert rebuilt.source_types == template.source_types
+        assert rebuilt.sink_types == template.sink_types
+        src = rebuilt.component("src")
+        assert src.generated_flow == 3.0
+        assert src.param("required") == 1
+        assert math.isinf(rebuilt.component("w1").input_jitter) is False
+
+    def test_infinite_jitter_roundtrip(self, template):
+        template.component("w1").input_jitter = math.inf
+        rebuilt = template_from_dict(template_to_dict(template))
+        assert math.isinf(rebuilt.component("w1").input_jitter)
+
+    def test_types_preserved(self, template):
+        rebuilt = template_from_dict(template_to_dict(template))
+        assert rebuilt.component("w1").ctype.attributes == (
+            "latency",
+            "throughput",
+        )
+
+    def test_undeclared_type_rejected(self, template):
+        data = template_to_dict(template)
+        data["types"] = []
+        with pytest.raises(ArchitectureError, match="undeclared type"):
+            template_from_dict(data)
+
+    def test_rebuilt_template_is_explorable(self, template, library):
+        rebuilt_template = template_from_dict(template_to_dict(template))
+        rebuilt_library = library_from_dict(library_to_dict(library))
+        MappingTemplate(rebuilt_template, rebuilt_library)
+
+
+class TestProblemDocuments:
+    def test_roundtrip_via_file(self, template, library, tmp_path):
+        path = tmp_path / "problem.json"
+        save_problem(template, library, str(path))
+        rebuilt_template, rebuilt_library = load_problem(str(path))
+        assert rebuilt_template.num_components == template.num_components
+        assert len(rebuilt_library) == len(library)
+
+    def test_version_check(self, template, library):
+        data = problem_to_dict(template, library)
+        data["format_version"] = 999
+        with pytest.raises(ArchitectureError, match="version"):
+            problem_from_dict(data)
+
+    def test_casestudy_roundtrip(self, tmp_path):
+        from repro.casestudies import rpl
+
+        mt, _ = rpl.build_problem(2, 1)
+        path = tmp_path / "rpl.json"
+        save_problem(mt.template, mt.library, str(path))
+        template, library = load_problem(str(path))
+        rebuilt = MappingTemplate(template, library)
+        assert len(rebuilt.edge_vars()) == len(mt.edge_vars())
+        assert len(rebuilt.mapping_vars()) == len(mt.mapping_vars())

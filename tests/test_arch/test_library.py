@@ -1,0 +1,93 @@
+"""Tests for implementation libraries."""
+
+import pytest
+
+from repro.exceptions import ArchitectureError
+from repro.arch.component import ComponentType
+from repro.arch.library import Implementation, Library
+from repro.contracts.viewpoints import AttributeDirection
+
+
+class TestImplementation:
+    def test_attribute_access(self):
+        impl = Implementation("m1", "machine", cost=5.0, latency=3.0)
+        assert impl.attribute("latency") == 3.0
+        assert impl.attribute("cost") == 5.0
+        assert impl.has_attribute("latency")
+        assert impl.has_attribute("cost")
+        assert not impl.has_attribute("throughput")
+
+    def test_missing_attribute_raises(self):
+        impl = Implementation("m1", "machine", cost=5.0)
+        with pytest.raises(ArchitectureError, match="latency"):
+            impl.attribute("latency")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Implementation("", "machine", cost=1.0)
+
+
+class TestLibrary:
+    def test_add_and_lookup(self, library):
+        assert library.get("w_slow").cost == 3.0
+        assert len(library) == 4
+        assert "w_fast" in library
+
+    def test_duplicate_rejected(self, library):
+        with pytest.raises(ArchitectureError, match="duplicate"):
+            library.new("w_slow", "worker", cost=1.0)
+
+    def test_unknown_lookup(self, library):
+        with pytest.raises(ArchitectureError):
+            library.get("ghost")
+
+    def test_implementations_of(self, library):
+        workers = library.implementations_of("worker")
+        assert {i.name for i in workers} == {"w_slow", "w_fast"}
+        assert library.implementations_of("nothing") == []
+
+    def test_types(self, library):
+        assert library.types() == ["sink", "source", "worker"]
+
+    def test_validate_against_ok(self, library):
+        library.validate_against(ComponentType("worker", ("latency",)))
+
+    def test_validate_against_missing_attr(self, library):
+        with pytest.raises(ArchitectureError, match="power_draw"):
+            library.validate_against(ComponentType("worker", ("power_draw",)))
+
+    def test_iteration(self, library):
+        assert {i.name for i in library} == {
+            "src_std",
+            "sink_std",
+            "w_slow",
+            "w_fast",
+        }
+
+
+class TestAtLeastAsBad:
+    def test_higher_is_worse(self, library):
+        slow = library.get("w_slow")
+        fast = library.get("w_fast")
+        worse_than_fast = library.at_least_as_bad(
+            fast, "latency", AttributeDirection.HIGHER_IS_WORSE
+        )
+        assert {i.name for i in worse_than_fast} == {"w_slow", "w_fast"}
+        worse_than_slow = library.at_least_as_bad(
+            slow, "latency", AttributeDirection.HIGHER_IS_WORSE
+        )
+        assert {i.name for i in worse_than_slow} == {"w_slow"}
+
+    def test_lower_is_worse(self, library):
+        fast = library.get("w_fast")
+        weaker = library.at_least_as_bad(
+            fast, "throughput", AttributeDirection.LOWER_IS_WORSE
+        )
+        assert {i.name for i in weaker} == {"w_slow", "w_fast"}
+
+    def test_restricted_to_same_type(self, library):
+        slow = library.get("w_slow")
+        result = library.at_least_as_bad(
+            slow, "latency", AttributeDirection.HIGHER_IS_WORSE
+        )
+        assert all(i.type_name == "worker" for i in result)

@@ -1,0 +1,122 @@
+"""Tests for templates and mapping templates."""
+
+import pytest
+
+from repro.exceptions import ArchitectureError
+from repro.arch.component import Component, ComponentType
+from repro.arch.library import Library
+from repro.arch.template import MappingTemplate, Template
+
+
+class TestTemplate:
+    def test_components_and_edges(self, template):
+        assert template.num_components == 4
+        assert template.num_edges == 4
+        assert {c.name for c in template.components_of_type("worker")} == {
+            "w1",
+            "w2",
+        }
+
+    def test_duplicate_component_rejected(self, template):
+        with pytest.raises(ArchitectureError, match="duplicate"):
+            template.add_component(Component("src", ComponentType("source")))
+
+    def test_connect_unknown_rejected(self, template):
+        with pytest.raises(ArchitectureError):
+            template.connect("src", "ghost")
+
+    def test_self_loop_rejected(self, template):
+        with pytest.raises(ArchitectureError, match="self-loop"):
+            template.connect("w1", "w1")
+
+    def test_connect_idempotent(self, template):
+        before = template.num_edges
+        template.connect("src", "w1")
+        assert template.num_edges == before
+
+    def test_candidate_neighbourhoods(self, template):
+        assert set(template.in_candidates("sink")) == {"w1", "w2"}
+        assert set(template.out_candidates("src")) == {"w1", "w2"}
+        assert template.in_candidates("src") == []
+
+    def test_sources_sinks(self, template):
+        assert [c.name for c in template.source_components()] == ["src"]
+        assert [c.name for c in template.sink_components()] == ["sink"]
+
+    def test_graph_export(self, template):
+        g = template.graph()
+        assert g.num_nodes == 4
+        assert g.label("w1") == "worker"
+        assert g.has_edge("src", "w1")
+
+    def test_unknown_component_lookup(self, template):
+        with pytest.raises(ArchitectureError):
+            template.component("ghost")
+
+
+class TestMappingTemplate:
+    def test_variables_created(self, mapping_template):
+        assert len(mapping_template.edge_vars()) == 4
+        # src: 1 impl, sink: 1, workers: 2 each -> 6 mapping vars.
+        assert len(mapping_template.mapping_vars()) == 6
+        assert len(mapping_template.structural_vars()) == 10
+
+    def test_edge_accessor(self, mapping_template):
+        var = mapping_template.edge("src", "w1")
+        assert var.is_binary
+        assert mapping_template.has_edge("src", "w1")
+        assert not mapping_template.has_edge("w1", "src")
+        with pytest.raises(ArchitectureError):
+            mapping_template.edge("w1", "src")
+
+    def test_mapping_accessor(self, mapping_template):
+        var = mapping_template.mapping("w1", "w_fast")
+        assert var.is_binary
+        with pytest.raises(ArchitectureError):
+            mapping_template.mapping("w1", "src_std")
+
+    def test_mappings_of(self, mapping_template):
+        pairs = mapping_template.mappings_of("w1")
+        assert {impl.name for impl, _ in pairs} == {"w_slow", "w_fast"}
+
+    def test_attribute_bounds_cover_library(self, mapping_template):
+        u = mapping_template.attribute("latency", "w1")
+        assert u.lb == 0.0
+        assert u.ub == 9.0
+
+    def test_attribute_unknown(self, mapping_template):
+        with pytest.raises(ArchitectureError):
+            mapping_template.attribute("latency", "src")
+
+    def test_flow_vars_cached_and_bounded(self, mapping_template):
+        f1 = mapping_template.flow("src", "w1")
+        f2 = mapping_template.flow("src", "w1")
+        assert f1 is f2
+        assert f1.lb == 0.0
+        assert f1.ub == mapping_template.flow_bound
+
+    def test_flow_requires_candidate_edge(self, mapping_template):
+        with pytest.raises(ArchitectureError):
+            mapping_template.flow("sink", "src")
+
+    def test_time_vars(self, mapping_template):
+        t = mapping_template.time("w1", "sink")
+        tau = mapping_template.nominal_time("w1", "sink")
+        assert t is not tau
+        assert t.ub == 100.0
+
+    def test_default_flow_bound_from_sources(self, template, library):
+        mt = MappingTemplate(template, library)
+        assert mt.flow_bound == 3.0
+
+    def test_missing_implementation_rejected(self, library):
+        t = Template("empty-type")
+        t.add_component(Component("x", ComponentType("exotic")))
+        with pytest.raises(ArchitectureError, match="exotic"):
+            MappingTemplate(t, library)
+
+    def test_mapping_graph_contains_impl_nodes(self, mapping_template):
+        g = mapping_template.mapping_graph()
+        assert g.has_node("impl:w_fast")
+        assert g.has_edge("w1", "impl:w_fast")
+        assert g.edge_attrs("w1", "impl:w_fast")["style"] == "dashed"

@@ -1,0 +1,103 @@
+"""Tests for the wireless sensor network case study."""
+
+import math
+
+import pytest
+
+from repro.casestudies import wsn
+from repro.explore.engine import ContrArcExplorer, ExplorationStatus
+
+
+class TestGenerators:
+    def test_template_shape(self):
+        t = wsn.build_template(num_sensors=2, num_relays=3, tiers=2)
+        assert t.num_components == 2 + 6 + 1
+        # sensors->tier1 (2x3) + tier1->tier2 (3x3) + tier2->gateway (3).
+        assert t.num_edges == 6 + 9 + 3
+
+    def test_sensors_and_gateway_required(self):
+        t = wsn.build_template(1, 1, 1)
+        assert t.component("sensor_1").param("required") == 1
+        assert t.component("gateway").param("required") == 1
+        assert t.component("relay_t1_1").param("required") == 0
+
+    def test_gateway_consumes_total_rate(self):
+        t = wsn.build_template(3, 1, 1, sensor_rate=2.0)
+        assert t.component("gateway").consumed_flow == 6.0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            wsn.build_template(0, 1, 1)
+        with pytest.raises(ValueError):
+            wsn.build_template(1, 1, 0)
+
+    def test_spec_has_three_viewpoints(self):
+        _, spec = wsn.build_problem(1, 1, 1)
+        assert {s.name for s in spec.viewpoint_specs} == {
+            "flow",
+            "timing",
+            "reliability",
+        }
+
+
+class TestExploration:
+    def test_single_tier_picks_mesh(self):
+        mt, spec = wsn.build_problem(2, 2, 1)
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        assert result.status is ExplorationStatus.OPTIMAL
+        relays = [
+            impl.name
+            for name, impl in result.architecture.selected_impls.items()
+            if name.startswith("relay")
+        ]
+        # Cheapest relay meeting 0.99 per-route reliability.
+        assert relays == ["relay_mesh"]
+
+    def test_two_tiers_need_better_radios(self):
+        mt, spec = wsn.build_problem(2, 2, 2)
+        result = ContrArcExplorer(mt, spec, max_iterations=300).explore()
+        assert result.status is ExplorationStatus.OPTIMAL
+        arch = result.architecture
+        product = 1.0
+        for name, impl in arch.selected_impls.items():
+            if impl.has_attribute("log_fail"):
+                product *= math.exp(-impl.attribute("log_fail") / 1000.0)
+        assert product >= wsn.DEFAULT_MIN_RELIABILITY - 1e-9
+
+    def test_reliability_and_timing_both_drive_iterations(self):
+        mt, spec = wsn.build_problem(2, 2, 2)
+        result = ContrArcExplorer(mt, spec, max_iterations=300).explore()
+        violated = {
+            r.violated_viewpoint
+            for r in result.stats.iterations
+            if r.violated_viewpoint
+        }
+        assert "reliability" in violated
+        assert "timing" in violated
+
+    def test_loose_requirements_take_cheapest(self):
+        mt, spec = wsn.build_problem(
+            2, 2, 1, deadline=50.0, min_reliability=0.5
+        )
+        result = ContrArcExplorer(mt, spec, max_iterations=50).explore()
+        assert result.stats.num_iterations == 1
+        relays = [
+            impl.name
+            for name, impl in result.architecture.selected_impls.items()
+            if name.startswith("relay")
+        ]
+        assert relays == ["relay_lowpower"]
+
+    def test_impossible_reliability_infeasible(self):
+        mt, spec = wsn.build_problem(1, 1, 1, min_reliability=0.9999)
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        assert result.status is ExplorationStatus.INFEASIBLE
+
+    def test_audit_includes_custom_viewpoint(self):
+        from repro.explore import audit_architecture
+
+        mt, spec = wsn.build_problem(2, 2, 1)
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        audit = audit_architecture(mt, spec, result.architecture)
+        assert audit.holds
+        assert audit.entries_for("reliability")

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rpl_defaults(self):
+        args = build_parser().parse_args(["rpl"])
+        assert args.n_a == 2
+        assert args.n_b == 0
+        assert args.backend == "scipy"
+
+    def test_epn_flags(self):
+        args = build_parser().parse_args(
+            ["epn", "--left", "2", "--no-isomorphism", "--time-limit", "9"]
+        )
+        assert args.left == 2
+        assert args.no_isomorphism
+        assert args.time_limit == 9.0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rpl", "--backend", "gurobi"])
+
+
+class TestExecution:
+    def test_rpl_run(self, capsys, tmp_path):
+        dot = tmp_path / "arch.dot"
+        code = main(
+            ["rpl", "--n-a", "1", "--deadline", "100", "--dot", str(dot)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status:     optimal" in out
+        assert "m1_A_1" in out
+        assert dot.read_text().startswith("digraph")
+
+    def test_epn_run(self, capsys):
+        code = main(["epn", "--left", "1", "--right", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gen_L1" in out
+
+    def test_infeasible_returns_nonzero(self, capsys):
+        code = main(
+            ["epn", "--left", "1", "--right", "0", "--loss-budget", "0.01",
+             "--max-iterations", "500"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "infeasible" in out
+
+    def test_table2_run(self, capsys):
+        code = main(
+            ["table2", "--left", "1", "--right", "0", "--time-limit", "60"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "only-iso" in out
+        assert "complete" in out
+
+    def test_wsn_run_includes_audit(self, capsys):
+        code = main(["wsn", "--tiers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "architecture audit" in out
+        assert "relay" in out
+
+    def test_topk_run(self, capsys):
+        code = main(["topk", "epn", "-k", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "#1: cost" in out
+        assert "#2: cost" in out
+
+    def test_diagnose_infeasible(self, capsys):
+        code = main(["diagnose", "epn", "--demand", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conflict set" in out
+
+    def test_diagnose_feasible_space_reports_unavailable(self, capsys):
+        code = main(["diagnose", "epn"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "diagnosis unavailable" in out

@@ -1,0 +1,99 @@
+"""Tests for the Contract class: saturation, consistency, compatibility."""
+
+import pytest
+
+from repro.exceptions import ContractError
+from repro.contracts.contract import Contract, contract
+from repro.expr.constraints import FALSE, Or, TRUE
+from repro.expr.terms import continuous
+
+
+@pytest.fixture
+def x():
+    return continuous("x", 0, 100)
+
+
+class TestConstruction:
+    def test_basic(self, x):
+        c = Contract("c", x <= 10, x <= 20)
+        assert c.name == "c"
+        assert not c.is_saturated
+
+    def test_requires_formulas(self, x):
+        with pytest.raises(ContractError):
+            Contract("c", x.to_expr(), x <= 1)
+
+    def test_convenience_defaults(self):
+        c = contract("c")
+        assert c.assumptions == TRUE
+        assert c.guarantees == TRUE
+
+    def test_variables(self, x):
+        y = continuous("y", 0, 1)
+        c = Contract("c", x <= 1, y <= 1)
+        assert c.variables() == frozenset({x, y})
+
+    def test_renamed(self, x):
+        c = Contract("old", x <= 1, x <= 2).renamed("new")
+        assert c.name == "new"
+        assert c.assumptions == (x <= 1)
+
+
+class TestSaturation:
+    def test_saturate_structure(self, x):
+        c = Contract("c", x <= 10, x <= 20).saturate()
+        assert c.is_saturated
+        assert isinstance(c.guarantees, Or)
+
+    def test_saturate_idempotent(self, x):
+        c = Contract("c", x <= 10, x <= 20).saturate()
+        assert c.saturate() is c
+
+    def test_saturated_guarantee_semantics(self, x):
+        c = Contract("c", x <= 10, x <= 20).saturate()
+        # Off-assumption behaviour (x > 10) is allowed by saturated G.
+        assert c.guarantees.evaluate({x: 50})
+        # On-assumption behaviour must satisfy original G.
+        assert c.guarantees.evaluate({x: 15})
+        assert c.guarantees.evaluate({x: 5})
+
+    def test_true_assumptions_short_circuit(self, x):
+        c = Contract("c", TRUE, x <= 20).saturate()
+        assert c.guarantees == (x <= 20)
+
+
+class TestSemanticChecks:
+    def test_consistent(self, x):
+        assert Contract("c", x <= 10, x <= 20).is_consistent()
+
+    def test_inconsistent_without_saturation_escape(self, x):
+        # G is unsatisfiable and A is TRUE: no implementation exists.
+        c = Contract("c", TRUE, (x >= 5) & (x <= 4))
+        assert not c.is_consistent()
+
+    def test_unsat_g_with_escapable_assumption_is_consistent(self, x):
+        # Saturation allows behaviours violating A, so the contract is
+        # consistent even with unsatisfiable G.
+        c = Contract("c", x <= 10, (x >= 5) & (x <= 4))
+        assert c.is_consistent()
+
+    def test_compatible(self, x):
+        assert Contract("c", x <= 10, TRUE).is_compatible()
+
+    def test_incompatible(self, x):
+        c = Contract("c", (x >= 5) & (x <= 4), TRUE)
+        assert not c.is_compatible()
+
+
+class TestSubstitution:
+    def test_substitute_into_both_sides(self, x):
+        y = continuous("y", 0, 100)
+        c = Contract("c", x + y <= 10, x - y <= 0)
+        fixed = c.substitute({x: 4})
+        assert x not in fixed.variables()
+        assert fixed.assumptions.evaluate({y: 6})
+        assert not fixed.assumptions.evaluate({y: 7})
+
+    def test_substitute_preserves_name(self, x):
+        c = Contract("keep", x <= 1, x <= 2).substitute({})
+        assert c.name == "keep"

@@ -1,0 +1,105 @@
+"""Tests for contract composition and conjunction."""
+
+import pytest
+
+from repro.exceptions import ContractError
+from repro.contracts.contract import Contract
+from repro.contracts.operations import compose, conjoin
+from repro.contracts.refinement import refines
+from repro.expr.terms import continuous
+
+
+@pytest.fixture
+def x():
+    return continuous("x", 0, 100)
+
+
+@pytest.fixture
+def y():
+    return continuous("y", 0, 100)
+
+
+class TestCompose:
+    def test_empty_rejected(self):
+        with pytest.raises(ContractError):
+            compose([])
+
+    def test_singleton_passthrough(self, x):
+        c = Contract("only", x <= 1, x <= 2)
+        composed = compose([c], name="renamed")
+        assert composed.name == "renamed"
+
+    def test_composition_guarantees_conjoin(self, x, y):
+        c1 = Contract("c1", x <= 50, x <= 10)
+        c2 = Contract("c2", y <= 50, y <= 10)
+        composed = compose([c1, c2])
+        assert composed.is_saturated
+        # Both guarantees must hold on-assumptions.
+        assert composed.guarantees.evaluate({x: 5, y: 5})
+        assert not composed.guarantees.evaluate({x: 20, y: 5})
+        # Escape: violating c1's assumption releases its guarantee.
+        assert composed.guarantees.evaluate({x: 60, y: 5})
+
+    def test_raw_composition(self, x, y):
+        c1 = Contract("c1", x <= 50, x <= 10)
+        c2 = Contract("c2", y <= 50, y <= 10)
+        composed = compose([c1, c2], saturate=False)
+        assert not composed.is_saturated
+        # Raw G: no escape through assumption violation.
+        assert not composed.guarantees.evaluate({x: 60, y: 5})
+        assert composed.guarantees.evaluate({x: 5, y: 5})
+        # Raw A: plain conjunction.
+        assert composed.assumptions.evaluate({x: 40, y: 40})
+        assert not composed.assumptions.evaluate({x: 60, y: 40})
+
+    def test_composition_guarantees_refine_components(self, x, y):
+        # The composite promises everything each component promised
+        # (guarantee containment; the assumptions side weakens instead).
+        from repro.contracts.refinement import check_refinement
+
+        c1 = Contract("c1", x <= 50, x <= 10)
+        c2 = Contract("c2", y <= 50, y <= 10)
+        composed = compose([c1, c2])
+        assert check_refinement(composed, c1.saturate(), check_assumptions=False)
+        assert check_refinement(composed, c2.saturate(), check_assumptions=False)
+
+    def test_compositionality_of_refinement(self, x, y):
+        # If C1' <= C1 then C1' (x) C2 <= C1 (x) C2 (guarantee side).
+        from repro.contracts.refinement import check_refinement
+
+        c1 = Contract("c1", x <= 50, x <= 10)
+        c1_refined = Contract("c1r", x <= 60, x <= 5)
+        c2 = Contract("c2", y <= 50, y <= 10)
+        lhs = compose([c1_refined, c2])
+        rhs = compose([c1, c2])
+        assert check_refinement(lhs, rhs, check_assumptions=False)
+
+    def test_composition_name_generated(self, x, y):
+        composed = compose(
+            [Contract("a", x <= 1, x <= 2), Contract("b", y <= 1, y <= 2)]
+        )
+        assert "a" in composed.name and "b" in composed.name
+
+
+class TestConjoin:
+    def test_empty_rejected(self):
+        with pytest.raises(ContractError):
+            conjoin([])
+
+    def test_conjunction_merges_viewpoints(self, x, y):
+        timing = Contract("timing", x <= 50, x <= 10)
+        power = Contract("power", y <= 50, y <= 10)
+        merged = conjoin([timing, power], name="both")
+        assert merged.name == "both"
+        # Guarantees: both viewpoints' promises (with escapes).
+        assert merged.guarantees.evaluate({x: 5, y: 5})
+        # Assumptions: disjunction — either viewpoint's environment.
+        assert merged.assumptions.evaluate({x: 5, y: 99})
+        assert merged.assumptions.evaluate({x: 99, y: 5})
+
+    def test_conjoin_refines_each_viewpoint(self, x, y):
+        timing = Contract("timing", x <= 50, x <= 10).saturate()
+        power = Contract("power", y <= 50, y <= 10).saturate()
+        merged = conjoin([timing, power])
+        assert refines(merged, timing)
+        assert refines(merged, power)

@@ -1,0 +1,98 @@
+"""Tests for refinement checking."""
+
+import pytest
+
+from repro.contracts.contract import Contract
+from repro.contracts.refinement import (
+    RefinementFailure,
+    RefinementResult,
+    check_refinement,
+    refines,
+)
+from repro.expr.constraints import TRUE
+from repro.expr.terms import continuous
+
+
+@pytest.fixture
+def x():
+    return continuous("x", 0, 100)
+
+
+class TestBasicRefinement:
+    def test_weaker_assumptions_stronger_guarantees(self, x):
+        concrete = Contract("concrete", x <= 20, x <= 5)
+        abstract = Contract("abstract", x <= 10, x <= 8)
+        assert refines(concrete, abstract)
+
+    def test_reflexive(self, x):
+        c = Contract("c", x <= 10, x <= 5)
+        assert refines(c, c)
+
+    def test_stronger_assumptions_fail(self, x):
+        concrete = Contract("concrete", x <= 5, x <= 5)
+        abstract = Contract("abstract", x <= 10, x <= 8)
+        result = check_refinement(concrete, abstract)
+        assert not result
+        assert result.failure is RefinementFailure.ASSUMPTIONS
+        # Witness is an environment accepted by abstract but not concrete.
+        value = result.witness[x]
+        assert 5 < value <= 10 + 1e-6
+
+    def test_weaker_guarantees_fail(self, x):
+        concrete = Contract("concrete", x <= 20, x <= 9)
+        abstract = Contract("abstract", x <= 10, x <= 8)
+        result = check_refinement(concrete, abstract)
+        assert not result
+        assert result.failure is RefinementFailure.GUARANTEES
+
+    def test_transitive_sample(self, x):
+        c1 = Contract("c1", x <= 30, x <= 3)
+        c2 = Contract("c2", x <= 20, x <= 5)
+        c3 = Contract("c3", x <= 10, x <= 8)
+        assert refines(c1, c2)
+        assert refines(c2, c3)
+        assert refines(c1, c3)
+
+
+class TestCheckOptions:
+    def test_skip_assumptions(self, x):
+        concrete = Contract("concrete", x <= 5, x <= 5)
+        abstract = Contract("abstract", x <= 10, x <= 8)
+        result = check_refinement(concrete, abstract, check_assumptions=False)
+        # Saturated concrete G escapes via not-A when x in (5, 10]:
+        # x = 7 satisfies (G or not A) and violates abstract G? x = 7
+        # violates not(x <= 8)? No: not G_s needs x > 8; x = 9 satisfies
+        # not A (9 > 5) and not G_s (9 > 8) -> still fails.
+        assert not result
+        assert result.failure is RefinementFailure.GUARANTEES
+
+    def test_unsaturated_concrete(self, x):
+        # With the raw G, the escape via not-A disappears and the
+        # guarantee containment holds: (x <= 5) implies (x <= 8).
+        concrete = Contract("concrete", x <= 5, x <= 5)
+        abstract = Contract("abstract", x <= 10, x <= 8)
+        result = check_refinement(
+            concrete, abstract, check_assumptions=False, saturate_concrete=False
+        )
+        assert result
+
+    def test_system_assumptions_scope_guarantee_query(self, x):
+        # Abstract guarantee only required under abstract assumptions:
+        # concrete G allows x up to 15 but A_s restricts x <= 10 where
+        # G_s (x <= 12) holds.
+        concrete = Contract("concrete", TRUE, x <= 15)
+        abstract = Contract("abstract", x <= 10, (x >= 20) | (x <= 12))
+        # For x in [0, 10]: abstract guarantee x <= 12 satisfied.
+        assert check_refinement(concrete, abstract, check_assumptions=False)
+
+
+class TestResultObject:
+    def test_truthiness(self):
+        assert RefinementResult(True)
+        assert not RefinementResult(False, RefinementFailure.GUARANTEES)
+
+    def test_repr(self):
+        assert "holds" in repr(RefinementResult(True))
+        assert "guarantees" in repr(
+            RefinementResult(False, RefinementFailure.GUARANTEES)
+        )

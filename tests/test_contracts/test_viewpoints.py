@@ -1,0 +1,54 @@
+"""Tests for viewpoint metadata."""
+
+import pytest
+
+from repro.contracts.viewpoints import (
+    FLOW,
+    POWER,
+    TIMING,
+    AttributeDirection,
+    Viewpoint,
+)
+
+
+class TestAttributeDirection:
+    def test_higher_is_worse(self):
+        d = AttributeDirection.HIGHER_IS_WORSE
+        assert d.at_least_as_bad(10, 5)
+        assert d.at_least_as_bad(5, 5)
+        assert not d.at_least_as_bad(4, 5)
+
+    def test_lower_is_worse(self):
+        d = AttributeDirection.LOWER_IS_WORSE
+        assert d.at_least_as_bad(3, 5)
+        assert d.at_least_as_bad(5, 5)
+        assert not d.at_least_as_bad(6, 5)
+
+
+class TestViewpoint:
+    def test_attribute_and_direction_must_pair(self):
+        with pytest.raises(ValueError):
+            Viewpoint("bad", attribute="latency")
+        with pytest.raises(ValueError):
+            Viewpoint("bad", direction=AttributeDirection.HIGHER_IS_WORSE)
+
+    def test_widening_support(self):
+        assert TIMING.supports_widening
+        plain = Viewpoint("plain")
+        assert not plain.supports_widening
+
+    def test_equality_by_name(self):
+        assert Viewpoint("timing") == TIMING
+        assert Viewpoint("timing") != FLOW
+        assert len({TIMING, Viewpoint("timing")}) == 1
+
+    def test_builtin_viewpoints(self):
+        assert TIMING.path_specific
+        assert not FLOW.path_specific
+        assert TIMING.attribute == "latency"
+        assert FLOW.direction is AttributeDirection.LOWER_IS_WORSE
+        assert POWER.name == "power"
+
+    def test_repr(self):
+        assert "path" in repr(TIMING)
+        assert "global" in repr(FLOW)

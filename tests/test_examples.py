@@ -1,0 +1,74 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are executed in-process (import-and-main) inside a temporary
+working directory so DOT artefacts don't pollute the repo.
+"""
+
+import importlib.util
+import os
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name, tmp_path, monkeypatch, argv=()):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name.replace('.py', '')}", EXAMPLES / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path, monkeypatch, capsys):
+        _run_example("quickstart.py", tmp_path, monkeypatch)
+        out = capsys.readouterr().out
+        assert "status:     optimal" in out
+        assert "proc_gpu" in out
+
+    def test_custom_viewpoint(self, tmp_path, monkeypatch, capsys):
+        _run_example("custom_viewpoint.py", tmp_path, monkeypatch)
+        out = capsys.readouterr().out
+        assert "bat_light" in out
+        assert "weight" in out
+
+    def test_rpl_line_small(self, tmp_path, monkeypatch, capsys):
+        _run_example("rpl_line.py", tmp_path, monkeypatch, argv=["1", "0"])
+        out = capsys.readouterr().out
+        assert "optimal cost" in out
+        assert (tmp_path / "rpl_architecture.dot").exists()
+
+    def test_epn_power_small(self, tmp_path, monkeypatch, capsys):
+        _run_example("epn_power.py", tmp_path, monkeypatch, argv=["1", "0", "0"])
+        out = capsys.readouterr().out
+        assert "per-route conversion losses" in out
+        assert (tmp_path / "epn_architecture.dot").exists()
+
+    def test_compositional_rpl_small(self, tmp_path, monkeypatch, capsys):
+        _run_example("compositional_rpl.py", tmp_path, monkeypatch, argv=["1"])
+        out = capsys.readouterr().out
+        assert "flat:" in out
+        assert "compositional:" in out
+        assert "compatible=True" in out
+
+    def test_wsn_network(self, tmp_path, monkeypatch, capsys):
+        _run_example(
+            "wsn_network.py", tmp_path, monkeypatch, argv=["2", "2", "1"]
+        )
+        out = capsys.readouterr().out
+        assert "selected radios" in out
+        assert "reliability" in out
+
+    def test_design_space_tools(self, tmp_path, monkeypatch, capsys):
+        _run_example("design_space_tools.py", tmp_path, monkeypatch)
+        out = capsys.readouterr().out
+        assert "top-3 valid architectures" in out
+        assert "architecture audit" in out
+        assert "irreducible conflict set" in out
+        assert (tmp_path / "epn_problem.json").exists()

@@ -1,0 +1,102 @@
+"""Tests for the architecture audit."""
+
+import pytest
+
+from repro.explore.audit import ArchitectureAudit, AuditEntry, audit_architecture
+from repro.explore.engine import ContrArcExplorer
+
+
+@pytest.fixture
+def accepted(problem):
+    mt, spec = problem
+    result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+    return mt, spec, result.architecture
+
+
+class TestAuditEntries:
+    def test_slack(self):
+        entry = AuditEntry("timing", "a->b", 10.0, 7.0, True)
+        assert entry.slack == pytest.approx(3.0)
+        assert AuditEntry("x", "s", None, None, True).slack is None
+
+    def test_repr(self):
+        assert "VIOLATED" in repr(AuditEntry("t", "s", 1.0, 2.0, False))
+
+
+class TestAuditOnAcceptedArchitecture:
+    def test_all_entries_hold(self, accepted):
+        mt, spec, arch = accepted
+        audit = audit_architecture(mt, spec, arch)
+        assert audit.holds
+        assert audit.entries
+
+    def test_timing_entry_values(self, accepted):
+        mt, spec, arch = accepted
+        audit = audit_architecture(mt, spec, arch)
+        timing_entries = audit.entries_for("timing")
+        assert len(timing_entries) == 1
+        entry = timing_entries[0]
+        # Selected worker is w_mid with latency 6 against deadline 7.
+        assert entry.bound == pytest.approx(7.0)
+        assert entry.value == pytest.approx(6.0)
+        assert entry.slack == pytest.approx(1.0)
+
+    def test_flow_entries(self, accepted):
+        mt, spec, arch = accepted
+        audit = audit_architecture(mt, spec, arch)
+        flow_entries = audit.entries_for("flow")
+        scopes = {e.scope for e in flow_entries}
+        assert "delivered flow (>= bound)" in scopes
+
+    def test_worst_slack(self, accepted):
+        mt, spec, arch = accepted
+        audit = audit_architecture(mt, spec, arch)
+        worst = audit.worst_slack()
+        assert worst is not None
+        assert worst.slack <= min(
+            e.slack for e in audit.entries if e.slack is not None
+        ) + 1e-12
+
+    def test_render(self, accepted):
+        mt, spec, arch = accepted
+        text = audit_architecture(mt, spec, arch).render()
+        assert "timing" in text
+        assert "slack" in text
+
+
+class TestAuditDetectsViolations:
+    def test_violating_candidate_flagged(self, problem):
+        from repro.arch.architecture import CandidateArchitecture
+
+        mt, spec = problem
+        lib = mt.library
+        bad = CandidateArchitecture(
+            mt,
+            [("src", "w1"), ("w1", "sink")],
+            {
+                "src": lib.get("src_std"),
+                "w1": lib.get("w_slow"),  # latency 9 > deadline 7
+                "sink": lib.get("sink_std"),
+            },
+        )
+        audit = audit_architecture(mt, spec, bad)
+        assert not audit.holds
+        timing = audit.entries_for("timing")[0]
+        assert not timing.holds
+        assert timing.value == pytest.approx(9.0)
+
+
+class TestAuditEpn:
+    def test_per_route_loss_entries(self):
+        from repro.casestudies import epn
+
+        mt, spec = epn.build_problem(1, 1, 0)
+        result = ContrArcExplorer(mt, spec, max_iterations=200).explore()
+        audit = audit_architecture(mt, spec, result.architecture)
+        assert audit.holds
+        power = audit.entries_for("power")
+        # One loss entry per delivery route (two routes: L and R).
+        assert len(power) == 2
+        for entry in power:
+            assert entry.bound == pytest.approx(epn.DEFAULT_LOSS_BUDGET)
+            assert entry.value <= entry.bound + 1e-9

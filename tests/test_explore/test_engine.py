@@ -1,0 +1,154 @@
+"""Tests for the ContrArc exploration loop."""
+
+import pytest
+
+from repro.exceptions import (
+    ExplorationError,
+    NoFeasibleArchitectureError,
+)
+from repro.explore.engine import ContrArcExplorer, ExplorationStatus
+
+
+class TestOptimum:
+    def test_tight_deadline_forces_fast_worker(self, problem):
+        mt, spec = problem
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        assert result.status is ExplorationStatus.OPTIMAL
+        arch = result.architecture
+        worker = next(
+            n for n in arch.selected_impls if n.startswith("w")
+        )
+        # Deadline 7 requires latency <= 7: w_mid (6) fits, w_slow (9) not.
+        assert arch.implementation_of(worker).name == "w_mid"
+        assert result.cost == pytest.approx(1 + 5 + 1)
+
+    def test_loose_deadline_takes_cheapest(self, loose_problem):
+        mt, spec = loose_problem
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        assert result.status is ExplorationStatus.OPTIMAL
+        assert result.cost == pytest.approx(1 + 3 + 1)
+        assert result.stats.num_iterations == 1  # first candidate accepted
+
+    def test_iterations_prune_slow_worker(self, problem):
+        mt, spec = problem
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        # At least one iteration rejected the cheaper-but-slow worker.
+        assert result.stats.num_iterations >= 2
+        assert result.stats.total_cuts >= 1
+        rejected = [
+            r for r in result.stats.iterations if r.violated_viewpoint
+        ]
+        assert all(r.violated_viewpoint == "timing" for r in rejected)
+
+    def test_all_four_mode_combinations_agree_on_cost(self, problem):
+        mt, spec = problem
+        costs = set()
+        for iso in (True, False):
+            for decomp in (True, False):
+                result = ContrArcExplorer(
+                    mt,
+                    spec,
+                    use_isomorphism=iso,
+                    use_decomposition=decomp,
+                    widen_implementations=iso,
+                    max_iterations=300,
+                ).explore()
+                assert result.status is ExplorationStatus.OPTIMAL, (iso, decomp)
+                costs.add(round(result.cost, 6))
+        assert len(costs) == 1
+
+    def test_isomorphism_needs_fewer_iterations(self, problem):
+        mt, spec = problem
+        with_iso = ContrArcExplorer(
+            mt, spec, use_isomorphism=True, max_iterations=300
+        ).explore()
+        without = ContrArcExplorer(
+            mt,
+            spec,
+            use_isomorphism=False,
+            widen_implementations=False,
+            max_iterations=300,
+        ).explore()
+        assert with_iso.stats.num_iterations <= without.stats.num_iterations
+
+    def test_candidates_explored_in_cost_order(self, problem):
+        mt, spec = problem
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        costs = [
+            r.candidate_cost
+            for r in result.stats.iterations
+            if r.candidate_cost is not None
+        ]
+        assert costs == sorted(costs)
+
+
+class TestEdgeOutcomes:
+    def test_infeasible(self, impossible_problem):
+        mt, spec = impossible_problem
+        result = ContrArcExplorer(mt, spec, max_iterations=200).explore()
+        assert result.status is ExplorationStatus.INFEASIBLE
+        assert result.architecture is None
+
+    def test_infeasible_raises_in_strict_mode(self, impossible_problem):
+        mt, spec = impossible_problem
+        explorer = ContrArcExplorer(mt, spec, max_iterations=200)
+        with pytest.raises(NoFeasibleArchitectureError):
+            explorer.explore_or_raise()
+
+    def test_iteration_limit(self, problem):
+        mt, spec = problem
+        result = ContrArcExplorer(mt, spec, max_iterations=1).explore()
+        assert result.status is ExplorationStatus.ITERATION_LIMIT
+        assert result.last_violation is not None
+
+    def test_iteration_limit_raises_in_strict_mode(self, problem):
+        mt, spec = problem
+        explorer = ContrArcExplorer(mt, spec, max_iterations=1)
+        with pytest.raises(ExplorationError, match="converge"):
+            explorer.explore_or_raise()
+
+    def test_bad_max_iterations(self, problem):
+        mt, spec = problem
+        with pytest.raises(ExplorationError):
+            ContrArcExplorer(mt, spec, max_iterations=0)
+
+
+class TestStats:
+    def test_milp_size_recorded(self, problem):
+        mt, spec = problem
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        assert result.stats.milp_variables > 0
+        assert result.stats.milp_constraints > 0
+
+    def test_times_recorded(self, problem):
+        mt, spec = problem
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        assert result.stats.total_time > 0
+        assert result.stats.milp_time > 0
+        assert result.stats.refinement_time > 0
+
+    def test_result_repr(self, problem):
+        mt, spec = problem
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        assert "optimal" in repr(result)
+
+
+class TestSolutionValidity:
+    def test_selected_architecture_satisfies_refinement(self, problem):
+        from repro.explore.refinement_check import RefinementChecker
+
+        mt, spec = problem
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        checker = RefinementChecker(mt, spec)
+        assert checker.check(result.architecture) is None
+
+    def test_structure_is_wellformed(self, problem):
+        mt, spec = problem
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        arch = result.architecture
+        graph = arch.graph()
+        # Required endpoints are instantiated and connected.
+        assert arch.is_instantiated("src")
+        assert arch.is_instantiated("sink")
+        paths = list(graph.nodes())
+        assert graph.num_edges == 2  # src -> w -> sink

@@ -1,0 +1,70 @@
+"""Tests for top-k architecture enumeration."""
+
+import pytest
+
+from repro.exceptions import ExplorationError
+from repro.explore.engine import ContrArcExplorer
+from repro.explore.enumeration import TopKExplorer, exclude_candidate_cut
+from repro.explore.refinement_check import RefinementChecker
+
+
+class TestExcludeCut:
+    def test_cut_kills_exactly_that_candidate(self, problem):
+        mt, spec = problem
+        result = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        candidate = result.architecture
+        cut = exclude_candidate_cut(mt, candidate)
+        assert not cut.formula.evaluate(candidate.structural_assignment())
+
+
+class TestTopK:
+    def test_k_must_be_positive(self, problem):
+        mt, spec = problem
+        with pytest.raises(ExplorationError):
+            TopKExplorer(mt, spec, k=0)
+
+    def test_first_solution_is_the_optimum(self, problem):
+        mt, spec = problem
+        optimum = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        top = TopKExplorer(mt, spec, k=1).explore()
+        assert len(top) == 1
+        assert top[0].cost == pytest.approx(optimum.cost)
+
+    def test_costs_non_decreasing(self, problem):
+        mt, spec = problem
+        top = TopKExplorer(mt, spec, k=4).explore()
+        assert len(top) >= 2
+        costs = [arch.cost for arch in top]
+        assert costs == sorted(costs)
+
+    def test_solutions_distinct(self, problem):
+        mt, spec = problem
+        top = TopKExplorer(mt, spec, k=4).explore()
+        signatures = {
+            (
+                tuple(sorted(arch.selected_edges)),
+                tuple(sorted((k, v.name) for k, v in arch.selected_impls.items())),
+            )
+            for arch in top
+        }
+        assert len(signatures) == len(top)
+
+    def test_all_solutions_pass_refinement(self, problem):
+        mt, spec = problem
+        checker = RefinementChecker(mt, spec)
+        for arch in TopKExplorer(mt, spec, k=3).explore():
+            assert checker.check(arch) is None
+
+    def test_exhausts_small_spaces(self, loose_problem):
+        # With symmetry breaking the mini template admits exactly three
+        # valid canonical designs (one per worker implementation).
+        mt, spec = loose_problem
+        top = TopKExplorer(mt, spec, k=50).explore()
+        assert len(top) == 3
+
+    def test_stats_populated(self, problem):
+        mt, spec = problem
+        explorer = TopKExplorer(mt, spec, k=2)
+        explorer.explore()
+        assert explorer.stats.num_iterations >= 2
+        assert explorer.stats.milp_variables > 0

@@ -1,0 +1,47 @@
+"""Tests for exploration statistics bookkeeping."""
+
+from repro.explore.stats import ExplorationStats, IterationRecord
+
+
+class TestIterationRecord:
+    def test_total_time(self):
+        record = IterationRecord(
+            1, milp_time=0.5, refinement_time=0.25, certificate_time=0.25
+        )
+        assert record.total_time == 1.0
+
+    def test_repr_verdicts(self):
+        accepted = IterationRecord(1)
+        rejected = IterationRecord(2, violated_viewpoint="timing")
+        assert "accepted" in repr(accepted)
+        assert "timing" in repr(rejected)
+
+
+class TestExplorationStats:
+    def _stats(self):
+        stats = ExplorationStats()
+        stats.record(
+            IterationRecord(
+                1,
+                milp_time=1.0,
+                refinement_time=0.5,
+                certificate_time=0.1,
+                violated_viewpoint="timing",
+                cuts_added=3,
+            )
+        )
+        stats.record(IterationRecord(2, milp_time=2.0, refinement_time=0.5))
+        return stats
+
+    def test_aggregates(self):
+        stats = self._stats()
+        assert stats.num_iterations == 2
+        assert stats.milp_time == 3.0
+        assert stats.refinement_time == 1.0
+        assert stats.certificate_time == 0.1
+        assert stats.total_cuts == 3
+
+    def test_repr(self):
+        stats = self._stats()
+        stats.total_time = 3.6
+        assert "iterations=2" in repr(stats)

@@ -1,0 +1,82 @@
+"""Tests for interval arithmetic over linear expressions."""
+
+import math
+
+import pytest
+
+from repro.exceptions import BoundsError
+from repro.expr.bounds import (
+    expr_interval,
+    expr_lower_bound,
+    expr_upper_bound,
+    require_finite,
+    var_interval,
+)
+from repro.expr.terms import LinExpr, binary, continuous
+
+
+class TestIntervals:
+    def test_var_interval(self):
+        v = continuous("v", -2, 7)
+        assert var_interval(v) == (-2.0, 7.0)
+
+    def test_constant(self):
+        assert expr_interval(LinExpr({}, 5)) == (5.0, 5.0)
+
+    def test_positive_coefficient(self):
+        x = continuous("x", 1, 3)
+        assert expr_interval(2 * x + 1) == (3.0, 7.0)
+
+    def test_negative_coefficient(self):
+        x = continuous("x", 1, 3)
+        assert expr_interval(-2 * x) == (-6.0, -2.0)
+
+    def test_mixed(self):
+        x = continuous("x", 0, 1)
+        y = continuous("y", -1, 1)
+        lo, hi = expr_interval(x - y)
+        assert lo == -1.0
+        assert hi == 2.0
+
+    def test_binary_interval(self):
+        b = binary("b")
+        assert expr_interval(3 * b) == (0.0, 3.0)
+
+    def test_unbounded_propagates(self):
+        x = continuous("x")
+        lo, hi = expr_interval(x + 1)
+        assert lo == -math.inf
+        assert hi == math.inf
+
+    def test_one_sided_unbounded(self):
+        x = continuous("x", 0)
+        lo, hi = expr_interval(x.to_expr())
+        assert lo == 0.0
+        assert hi == math.inf
+
+
+class TestBoundHelpers:
+    def test_upper_bound_default(self):
+        x = continuous("x", 0)
+        assert expr_upper_bound(x.to_expr(), default=99.0) == 99.0
+
+    def test_lower_bound_default(self):
+        x = continuous("x", None if False else -math.inf, 5)
+        assert expr_lower_bound(x.to_expr(), default=-99.0) == -99.0
+
+    def test_finite_passthrough(self):
+        x = continuous("x", 0, 4)
+        assert expr_upper_bound(x.to_expr()) == 4.0
+        assert expr_lower_bound(x.to_expr()) == 0.0
+
+
+class TestRequireFinite:
+    def test_finite_ok(self):
+        x = continuous("x", 0, 4)
+        assert require_finite(2 * x) == (0.0, 8.0)
+
+    def test_unbounded_raises_with_names(self):
+        bad = continuous("runaway")
+        good = continuous("ok", 0, 1)
+        with pytest.raises(BoundsError, match="runaway"):
+            require_finite(bad + good)

@@ -1,0 +1,174 @@
+"""Tests for the boolean formula layer."""
+
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.expr.constraints import (
+    And,
+    BoolAtom,
+    BoolConst,
+    Comparison,
+    FALSE,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Sense,
+    TRUE,
+    conjunction,
+    disjunction,
+)
+from repro.expr.terms import binary, continuous
+
+
+@pytest.fixture
+def x():
+    return continuous("x", 0, 10)
+
+
+@pytest.fixture
+def y():
+    return continuous("y", 0, 10)
+
+
+@pytest.fixture
+def b():
+    return binary("b")
+
+
+class TestComparisonCreation:
+    def test_le_canonical_form(self, x, y):
+        atom = x + y <= 5
+        assert isinstance(atom, Comparison)
+        assert atom.sense is Sense.LE
+        # canonical: x + y - 5 <= 0
+        assert atom.expr.constant == -5.0
+
+    def test_ge_flips(self, x):
+        atom = x >= 3
+        assert atom.sense is Sense.LE
+        assert atom.expr.coefficient(x) == -1.0
+        assert atom.expr.constant == 3.0
+
+    def test_eq(self, x):
+        atom = x.eq(2)
+        assert atom.sense is Sense.EQ
+
+    def test_var_comparison_shortcuts(self, x, y):
+        assert isinstance(x <= y, Comparison)
+        assert isinstance(x >= y, Comparison)
+        assert isinstance(x.eq(y), Comparison)
+
+    def test_requires_linexpr(self):
+        with pytest.raises(ExpressionError):
+            Comparison("bogus", Sense.LE)
+
+
+class TestEvaluation:
+    def test_le(self, x):
+        atom = x <= 5
+        assert atom.evaluate({x: 4})
+        assert atom.evaluate({x: 5})
+        assert not atom.evaluate({x: 6})
+
+    def test_eq_with_tolerance(self, x):
+        atom = x.eq(2)
+        assert atom.evaluate({x: 2.0000001})
+        assert not atom.evaluate({x: 2.1})
+
+    def test_bool_atom(self, b):
+        atom = BoolAtom(b)
+        assert atom.evaluate({b: 1})
+        assert not atom.evaluate({b: 0})
+
+    def test_bool_atom_requires_binary(self, x):
+        with pytest.raises(ExpressionError):
+            BoolAtom(x)
+
+    def test_connectives(self, x, y):
+        f = ((x <= 5) & (y <= 5)) | (x >= 9)
+        assert f.evaluate({x: 1, y: 1})
+        assert f.evaluate({x: 9.5, y: 9})
+        assert not f.evaluate({x: 7, y: 7})
+
+    def test_not(self, x):
+        assert (~(x <= 5)).evaluate({x: 6})
+
+    def test_implies(self, x, y):
+        f = Implies(x >= 5, y >= 5)
+        assert f.evaluate({x: 1, y: 0})
+        assert f.evaluate({x: 6, y: 7})
+        assert not f.evaluate({x: 6, y: 1})
+
+    def test_iff(self, x, y):
+        f = Iff(x >= 5, y >= 5)
+        assert f.evaluate({x: 6, y: 8})
+        assert f.evaluate({x: 1, y: 1})
+        assert not f.evaluate({x: 6, y: 1})
+
+    def test_constants(self):
+        assert TRUE.evaluate({})
+        assert not FALSE.evaluate({})
+
+
+class TestStructure:
+    def test_and_flattens(self, x, y):
+        f = And(And(x <= 1, y <= 1), x >= 0)
+        assert len(f.children) == 3
+
+    def test_or_flattens(self, x, y):
+        f = Or(Or(x <= 1, y <= 1), x >= 0)
+        assert len(f.children) == 3
+
+    def test_nary_rejects_empty(self):
+        with pytest.raises(ExpressionError):
+            And()
+
+    def test_rejects_non_formula_children(self, x):
+        with pytest.raises(ExpressionError):
+            And(x <= 1, "nope")
+
+    def test_variables(self, x, y, b):
+        f = (x <= y) & BoolAtom(b)
+        assert f.variables() == frozenset({x, y, b})
+
+    def test_atoms_iteration(self, x, y):
+        f = ((x <= 1) | (y <= 1)) & (x >= 0)
+        atoms = list(f.atoms())
+        assert len(atoms) == 3
+
+    def test_no_implicit_truthiness(self, x):
+        with pytest.raises(ExpressionError):
+            bool(x <= 1)
+
+    def test_equality_hash(self, x, y):
+        assert (x <= 5) == (x <= 5)
+        assert hash(And(x <= 5, y <= 5)) == hash(And(x <= 5, y <= 5))
+        assert (x <= 5) != (x <= 6)
+        assert Implies(x <= 1, y <= 1) == Implies(x <= 1, y <= 1)
+        assert Iff(x <= 1, y <= 1) != Iff(y <= 1, x <= 1)
+
+
+class TestBulkHelpers:
+    def test_conjunction_empty(self):
+        assert conjunction([]) == TRUE
+
+    def test_conjunction_singleton(self, x):
+        assert conjunction([x <= 1]) == (x <= 1)
+
+    def test_conjunction_short_circuits_false(self, x):
+        assert conjunction([x <= 1, FALSE]) == FALSE
+
+    def test_conjunction_drops_true(self, x, y):
+        f = conjunction([TRUE, x <= 1, y <= 1])
+        assert isinstance(f, And)
+        assert len(f.children) == 2
+
+    def test_disjunction_empty(self):
+        assert disjunction([]) == FALSE
+
+    def test_disjunction_short_circuits_true(self, x):
+        assert disjunction([x <= 1, TRUE]) == TRUE
+
+    def test_disjunction_drops_false(self, x):
+        assert disjunction([FALSE, x <= 1]) == (x <= 1)

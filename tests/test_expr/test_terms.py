@@ -1,0 +1,177 @@
+"""Tests for variables and linear expressions."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.expr.terms import Domain, LinExpr, Var, binary, continuous, integer
+
+
+class TestVar:
+    def test_basic_construction(self):
+        v = Var("x", Domain.CONTINUOUS, 0, 10)
+        assert v.name == "x"
+        assert v.lb == 0.0
+        assert v.ub == 10.0
+        assert not v.is_binary
+        assert not v.is_integral
+
+    def test_binary_bounds_clamped(self):
+        b = Var("b", Domain.BINARY, -5, 5)
+        assert b.lb == 0.0
+        assert b.ub == 1.0
+        assert b.is_binary
+        assert b.is_integral
+
+    def test_integer_is_integral(self):
+        assert integer("i", 0, 5).is_integral
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExpressionError):
+            Var("", Domain.CONTINUOUS)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ExpressionError):
+            Var("x", Domain.CONTINUOUS, 5, 1)
+
+    def test_identity_semantics(self):
+        a = continuous("same", 0, 1)
+        b = continuous("same", 0, 1)
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2
+
+    def test_finite_bounds_flag(self):
+        assert continuous("x", 0, 1).has_finite_bounds
+        assert not continuous("y").has_finite_bounds
+        assert not continuous("z", 0).has_finite_bounds
+
+    def test_helpers(self):
+        assert binary("b").domain is Domain.BINARY
+        assert integer("i").domain is Domain.INTEGER
+        assert continuous("c").domain is Domain.CONTINUOUS
+
+    def test_repr_and_str(self):
+        v = continuous("velocity", 0, 9)
+        assert "velocity" in repr(v)
+        assert str(v) == "velocity"
+
+
+class TestLinExprConstruction:
+    def test_from_var(self):
+        x = continuous("x")
+        expr = x.to_expr()
+        assert expr.coefficient(x) == 1.0
+        assert expr.constant == 0.0
+
+    def test_coerce_number(self):
+        expr = LinExpr.coerce(4)
+        assert expr.is_constant
+        assert expr.constant == 4.0
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(ExpressionError):
+            LinExpr.coerce("not an expression")
+
+    def test_zero_coefficients_dropped(self):
+        x = continuous("x")
+        expr = LinExpr({x: 0.0}, 1.0)
+        assert expr.is_constant
+
+    def test_non_var_key_rejected(self):
+        with pytest.raises(ExpressionError):
+            LinExpr({"x": 1.0})
+
+
+class TestLinExprArithmetic:
+    def test_addition(self):
+        x, y = continuous("x"), continuous("y")
+        expr = x + 2 * y + 3
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == 2.0
+        assert expr.constant == 3.0
+
+    def test_subtraction_and_negation(self):
+        x, y = continuous("x"), continuous("y")
+        expr = x - y
+        assert expr.coefficient(y) == -1.0
+        neg = -expr
+        assert neg.coefficient(x) == -1.0
+        assert neg.coefficient(y) == 1.0
+
+    def test_reflected_operations(self):
+        x = continuous("x")
+        assert (3 + x).constant == 3.0
+        assert (3 - x).coefficient(x) == -1.0
+        assert (3 * x).coefficient(x) == 3.0
+
+    def test_scalar_division(self):
+        x = continuous("x")
+        assert (x / 4).coefficient(x) == 0.25
+
+    def test_expression_multiplication_rejected(self):
+        x, y = continuous("x"), continuous("y")
+        with pytest.raises(ExpressionError):
+            x.to_expr() * y
+        with pytest.raises(ExpressionError):
+            x.to_expr() / y
+
+    def test_cancellation(self):
+        x = continuous("x")
+        expr = x - x
+        assert expr.is_constant
+        assert expr.constant == 0.0
+
+    def test_sum_helper(self):
+        xs = [continuous(f"x{i}") for i in range(5)]
+        expr = LinExpr.sum(xs)
+        assert all(expr.coefficient(x) == 1.0 for x in xs)
+        assert LinExpr.sum([]).is_constant
+
+    def test_sum_merges_duplicates(self):
+        x = continuous("x")
+        expr = LinExpr.sum([x, x, 2 * x])
+        assert expr.coefficient(x) == 4.0
+
+
+class TestLinExprEvaluation:
+    def test_evaluate(self):
+        x, y = continuous("x"), continuous("y")
+        expr = 2 * x - y + 1
+        assert expr.evaluate({x: 3, y: 2}) == 5.0
+
+    def test_evaluate_missing_var(self):
+        x = continuous("x")
+        with pytest.raises(ExpressionError):
+            x.to_expr().evaluate({})
+
+    def test_substitute_partial(self):
+        x, y = continuous("x"), continuous("y")
+        expr = (2 * x + 3 * y).substitute({x: 2})
+        assert expr.coefficient(y) == 3.0
+        assert expr.constant == 4.0
+        assert x not in expr.coeffs
+
+    def test_substitute_all(self):
+        x = continuous("x")
+        expr = (5 * x + 1).substitute({x: 2})
+        assert expr.is_constant
+        assert expr.constant == 11.0
+
+
+class TestLinExprMisc:
+    def test_equality_and_hash(self):
+        x = continuous("x")
+        assert x + 1 == x + 1
+        assert hash(x + 1) == hash(x + 1)
+        assert x + 1 != x + 2
+
+    def test_variables_listing(self):
+        x, y = continuous("x"), continuous("y")
+        assert set((x + y).variables()) == {x, y}
+
+    def test_str_rendering(self):
+        x = continuous("x")
+        assert "x" in str(x + 1)
+        assert str(LinExpr()) == "0"

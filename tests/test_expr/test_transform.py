@@ -1,0 +1,180 @@
+"""Tests for NNF conversion, negation, and substitution."""
+
+import pytest
+
+from repro.expr.constraints import (
+    And,
+    BoolAtom,
+    BoolConst,
+    Comparison,
+    FALSE,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.expr.terms import binary, continuous
+from repro.expr.transform import (
+    NEGATION_EPS,
+    formula_size,
+    negate,
+    simplify,
+    substitute,
+    to_nnf,
+)
+
+
+@pytest.fixture
+def x():
+    return continuous("x", 0, 10)
+
+
+@pytest.fixture
+def y():
+    return continuous("y", 0, 10)
+
+
+@pytest.fixture
+def b():
+    return binary("b")
+
+
+def _is_nnf(formula):
+    """NNF: negation only directly above BoolAtom."""
+    if isinstance(formula, (Comparison, BoolAtom, BoolConst)):
+        return True
+    if isinstance(formula, Not):
+        return isinstance(formula.child, BoolAtom)
+    if isinstance(formula, (And, Or)):
+        return all(_is_nnf(c) for c in formula.children)
+    return False
+
+
+class TestNegation:
+    def test_negate_le_introduces_margin(self, x):
+        neg = negate(x <= 5)
+        assert isinstance(neg, Comparison)
+        # not(x <= 5)  ->  x >= 5 + eps  ->  -x + 5 + eps <= 0
+        assert not neg.evaluate({x: 5})
+        assert neg.evaluate({x: 5 + 2 * NEGATION_EPS})
+
+    def test_negate_eq_is_disjunction(self, x):
+        neg = negate(x.eq(5))
+        assert isinstance(neg, Or)
+        assert neg.evaluate({x: 6})
+        assert neg.evaluate({x: 4})
+        assert not neg.evaluate({x: 5})
+
+    def test_double_negation(self, x):
+        f = x <= 5
+        again = negate(negate(f))
+        # double negation keeps semantics up to epsilon
+        assert again.evaluate({x: 4})
+        assert not again.evaluate({x: 6})
+
+    def test_negate_bool_atom(self, b):
+        neg = negate(BoolAtom(b))
+        assert isinstance(neg, Not)
+        assert neg.evaluate({b: 0})
+
+    def test_demorgan_and(self, x, y):
+        neg = negate((x <= 1) & (y <= 1))
+        assert isinstance(neg, Or)
+        assert neg.evaluate({x: 2, y: 0})
+
+    def test_demorgan_or(self, x, y):
+        neg = negate((x <= 1) | (y <= 1))
+        assert isinstance(neg, And)
+        assert neg.evaluate({x: 2, y: 2})
+        assert not neg.evaluate({x: 0, y: 2})
+
+    def test_negate_constants(self):
+        assert negate(TRUE) == FALSE
+        assert negate(FALSE) == TRUE
+
+
+class TestNNF:
+    def test_implies_rewritten(self, x, y):
+        f = to_nnf(Implies(x <= 1, y <= 1))
+        assert _is_nnf(f)
+        assert f.evaluate({x: 2, y: 5})
+        assert not f.evaluate({x: 0, y: 5})
+
+    def test_iff_rewritten(self, x, y):
+        f = to_nnf(Iff(x <= 1, y <= 1))
+        assert _is_nnf(f)
+        assert f.evaluate({x: 0, y: 0})
+        assert f.evaluate({x: 5, y: 5})
+        assert not f.evaluate({x: 0, y: 5})
+
+    def test_nested_negation(self, x, y, b):
+        f = Not(Or(Not(And(x <= 1, BoolAtom(b))), y <= 1))
+        nnf = to_nnf(f)
+        assert _is_nnf(nnf)
+        assert nnf.evaluate({x: 0, y: 5, b: 1})
+        assert not nnf.evaluate({x: 0, y: 0, b: 1})
+
+    def test_nnf_preserves_semantics_samples(self, x, y, b):
+        formulas = [
+            Implies(And(x <= 3, y >= 2), BoolAtom(b)),
+            Not(Implies(BoolAtom(b), x <= 5)),
+            Iff(BoolAtom(b), Or(x <= 1, y <= 1)),
+        ]
+        points = [
+            {x: 0.0, y: 0.0, b: 0},
+            {x: 0.0, y: 5.0, b: 1},
+            {x: 7.0, y: 1.0, b: 0},
+            {x: 7.0, y: 9.0, b: 1},
+        ]
+        for f in formulas:
+            nnf = to_nnf(f)
+            assert _is_nnf(nnf)
+            for point in points:
+                assert nnf.evaluate(point) == f.evaluate(point)
+
+
+class TestSubstitution:
+    def test_comparison_folds_to_const(self, x):
+        assert substitute(x <= 5, {x: 3}) == TRUE
+        assert substitute(x <= 5, {x: 7}) == FALSE
+
+    def test_partial_substitution(self, x, y):
+        f = substitute(x + y <= 5, {x: 2})
+        assert isinstance(f, Comparison)
+        assert f.evaluate({y: 3})
+        assert not f.evaluate({y: 4})
+
+    def test_bool_atom_substitution(self, b, x):
+        f = And(BoolAtom(b), x <= 5)
+        assert substitute(f, {b: 1, x: 1}) == TRUE
+        assert substitute(f, {b: 0}) == FALSE
+
+    def test_implies_antecedent_false_folds(self, b, x):
+        f = Implies(BoolAtom(b), x <= 1)
+        assert substitute(f, {b: 0}) == TRUE
+        assert substitute(f, {b: 1}) == (x <= 1)
+
+    def test_and_or_folding(self, x, y):
+        f = (x <= 1) & (y <= 1)
+        assert substitute(f, {x: 0, y: 0}) == TRUE
+        g = (x <= 1) | (y <= 1)
+        assert substitute(g, {x: 0}) == TRUE
+        assert substitute(g, {x: 5, y: 5}) == FALSE
+
+    def test_iff_folding(self, b, x):
+        f = Iff(BoolAtom(b), x <= 1)
+        assert substitute(f, {b: 1}) == (x <= 1)
+
+    def test_simplify_is_identity_without_constants(self, x, y):
+        f = (x <= 1) & (y <= 1)
+        assert simplify(f) == f
+
+
+class TestFormulaSize:
+    def test_leaf(self, x):
+        assert formula_size(x <= 1) == 1
+
+    def test_composite(self, x, y, b):
+        f = Implies(And(x <= 1, y <= 1), Not(BoolAtom(b)))
+        assert formula_size(f) == 6

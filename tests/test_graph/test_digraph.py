@@ -1,0 +1,148 @@
+"""Tests for the typed digraph substrate."""
+
+import pytest
+
+from repro.exceptions import ArchitectureError
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def chain():
+    g = DiGraph("chain")
+    for name in "abcd":
+        g.add_node(name, label="t")
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "d")
+    return g
+
+
+class TestNodes:
+    def test_add_and_query(self):
+        g = DiGraph()
+        g.add_node("n", label="machine", color="red")
+        assert g.has_node("n")
+        assert g.label("n") == "machine"
+        assert g.node_attrs("n")["color"] == "red"
+        assert g.num_nodes == 1
+
+    def test_re_add_merges_attrs(self):
+        g = DiGraph()
+        g.add_node("n", label="a", x=1)
+        g.add_node("n", label="b", y=2)
+        assert g.label("n") == "b"
+        assert g.node_attrs("n") == {"x": 1, "y": 2}
+
+    def test_re_add_keeps_label_when_none(self):
+        g = DiGraph()
+        g.add_node("n", label="a")
+        g.add_node("n")
+        assert g.label("n") == "a"
+
+    def test_nodes_with_label(self):
+        g = DiGraph()
+        g.add_node("x", label="m")
+        g.add_node("y", label="m")
+        g.add_node("z", label="c")
+        assert sorted(g.nodes_with_label("m")) == ["x", "y"]
+
+    def test_remove_node_drops_incident_edges(self, chain):
+        chain.remove_node("b")
+        assert not chain.has_node("b")
+        assert not chain.has_edge("a", "b")
+        assert chain.num_edges == 1
+
+    def test_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(ArchitectureError):
+            g.label("ghost")
+
+    def test_container_protocol(self, chain):
+        assert "a" in chain
+        assert "ghost" not in chain
+        assert len(chain) == 4
+        assert set(iter(chain)) == {"a", "b", "c", "d"}
+
+
+class TestEdges:
+    def test_add_edge_requires_nodes(self):
+        g = DiGraph()
+        g.add_node("a")
+        with pytest.raises(ArchitectureError):
+            g.add_edge("a", "ghost")
+
+    def test_edge_attrs(self, chain):
+        chain.add_edge("a", "b", weight=3)
+        assert chain.edge_attrs("a", "b")["weight"] == 3
+
+    def test_edge_attrs_missing_edge(self, chain):
+        with pytest.raises(ArchitectureError):
+            chain.edge_attrs("a", "d")
+
+    def test_remove_edge(self, chain):
+        chain.remove_edge("a", "b")
+        assert not chain.has_edge("a", "b")
+        with pytest.raises(ArchitectureError):
+            chain.remove_edge("a", "b")
+
+    def test_degrees(self, chain):
+        assert chain.in_degree("a") == 0
+        assert chain.out_degree("a") == 1
+        assert chain.in_degree("b") == 1
+
+    def test_successors_predecessors_are_copies(self, chain):
+        succ = chain.successors("a")
+        succ.add("z")
+        assert chain.successors("a") == {"b"}
+
+
+class TestSourcesSinksTraversal:
+    def test_sources_and_sinks(self, chain):
+        assert chain.sources() == ["a"]
+        assert chain.sinks() == ["d"]
+
+    def test_topological_order(self, chain):
+        order = chain.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+
+    def test_cycle_detection(self, chain):
+        chain.add_edge("d", "a")
+        assert not chain.is_acyclic()
+        with pytest.raises(ArchitectureError):
+            chain.topological_order()
+
+    def test_reachable_from(self, chain):
+        assert chain.reachable_from("b") == {"b", "c", "d"}
+        assert chain.reachable_from("d") == {"d"}
+
+
+class TestDerivedGraphs:
+    def test_copy_independent(self, chain):
+        clone = chain.copy()
+        clone.remove_node("a")
+        assert chain.has_node("a")
+        assert clone.num_nodes == 3
+
+    def test_induced_subgraph(self, chain):
+        sub = chain.subgraph({"a", "b", "c"})
+        assert sub.num_nodes == 3
+        assert sub.has_edge("a", "b")
+        assert not sub.has_node("d")
+
+    def test_subgraph_unknown_node(self, chain):
+        with pytest.raises(ArchitectureError):
+            chain.subgraph({"a", "ghost"})
+
+    def test_edge_subgraph(self, chain):
+        sub = chain.edge_subgraph([("a", "b"), ("c", "d")])
+        assert sub.num_nodes == 4
+        assert sub.num_edges == 2
+        assert not sub.has_edge("b", "c")
+
+    def test_edge_subgraph_unknown_edge(self, chain):
+        with pytest.raises(ArchitectureError):
+            chain.edge_subgraph([("a", "d")])
+
+    def test_labels_preserved_in_subgraphs(self, chain):
+        sub = chain.subgraph({"a", "b"})
+        assert sub.label("a") == "t"

@@ -1,0 +1,59 @@
+"""Tests for DOT export."""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.dot import to_dot, write_dot
+
+
+def _sample():
+    g = DiGraph("sample")
+    g.add_node("src", label="source")
+    g.add_node("m1", label="machine")
+    g.add_node("impl:m_fast", label="impl:machine", shape="box", display="m_fast")
+    g.add_edge("src", "m1")
+    g.add_edge("m1", "impl:m_fast", style="dashed")
+    return g
+
+
+class TestDot:
+    def test_structure(self):
+        dot = to_dot(_sample())
+        assert dot.startswith("digraph")
+        assert '"src" -> "m1"' in dot
+        assert "style=dashed" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_shapes_and_display(self):
+        dot = to_dot(_sample())
+        assert "shape=box" in dot
+        assert 'label="m_fast"' in dot
+
+    def test_title_and_rankdir(self):
+        dot = to_dot(_sample(), title="mygraph", rankdir="TB")
+        assert '"mygraph"' in dot
+        assert "rankdir=TB" in dot
+
+    def test_label_colors_consistent(self):
+        g = DiGraph()
+        g.add_node("a", label="x")
+        g.add_node("b", label="x")
+        dot = to_dot(g)
+        lines = [l for l in dot.splitlines() if "fillcolor" in l]
+        colors = {l.split("fillcolor=")[1] for l in lines}
+        assert len(colors) == 1
+
+    def test_highlight_override(self):
+        g = DiGraph()
+        g.add_node("a", label="x")
+        dot = to_dot(g, highlight_labels={"x": "#123456"})
+        assert "#123456" in dot
+
+    def test_quoting(self):
+        g = DiGraph()
+        g.add_node('we"ird', label="t")
+        dot = to_dot(g)
+        assert '\\"' in dot
+
+    def test_write_dot(self, tmp_path):
+        path = tmp_path / "out.dot"
+        write_dot(_sample(), str(path))
+        assert path.read_text().startswith("digraph")

@@ -1,0 +1,66 @@
+"""Tests for pluggable isomorphism matcher backends."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.graph.digraph import DiGraph
+from repro.graph.matchers import MATCHERS, get_matcher
+
+
+def _host():
+    g = DiGraph("host")
+    for n, lab in [("1", "A"), ("2", "B"), ("3", "A"), ("4", "B")]:
+        g.add_node(n, label=lab)
+    g.add_edge("1", "2")
+    g.add_edge("3", "4")
+    g.add_edge("3", "2")
+    return g
+
+
+def _pattern():
+    p = DiGraph("pattern")
+    p.add_node("a", label="A")
+    p.add_node("b", label="B")
+    p.add_edge("a", "b")
+    return p
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert set(MATCHERS) == {"native", "networkx"}
+
+    def test_unknown_matcher(self):
+        with pytest.raises(ReproError, match="unknown isomorphism matcher"):
+            get_matcher("dotmotif")
+
+
+@pytest.mark.parametrize("name", sorted(MATCHERS))
+class TestBackends:
+    def test_enumeration(self, name):
+        embeddings = get_matcher(name)(_host(), _pattern(), 0)
+        images = {(e["a"], e["b"]) for e in embeddings}
+        assert images == {("1", "2"), ("3", "4"), ("3", "2")}
+
+    def test_limit(self, name):
+        embeddings = get_matcher(name)(_host(), _pattern(), 2)
+        assert len(embeddings) == 2
+
+    def test_empty_pattern(self, name):
+        assert get_matcher(name)(_host(), DiGraph(), 0) == [{}]
+
+
+class TestEngineIntegration:
+    def test_networkx_matcher_reaches_same_result(self, tmp_path):
+        from repro.casestudies import epn
+        from repro.explore.engine import ContrArcExplorer
+
+        mt, spec = epn.build_problem(1, 0, 0)
+        native = ContrArcExplorer(mt, spec, max_iterations=100).explore()
+        mt2, spec2 = epn.build_problem(1, 0, 0)
+        via_nx = ContrArcExplorer(
+            mt2, spec2, max_iterations=100, matcher="networkx"
+        ).explore()
+        assert native.cost == pytest.approx(via_nx.cost)
+        assert (
+            native.stats.num_iterations == via_nx.stats.num_iterations
+        )

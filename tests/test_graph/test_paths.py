@@ -1,0 +1,108 @@
+"""Tests for path enumeration."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.paths import (
+    all_source_sink_paths,
+    path_edges,
+    path_graph,
+    simple_paths,
+)
+
+
+@pytest.fixture
+def diamond():
+    g = DiGraph("diamond")
+    for n in "sabt":
+        g.add_node(n)
+    g.add_edge("s", "a")
+    g.add_edge("s", "b")
+    g.add_edge("a", "t")
+    g.add_edge("b", "t")
+    return g
+
+
+class TestSimplePaths:
+    def test_diamond_has_two_paths(self, diamond):
+        paths = list(simple_paths(diamond, "s", "t"))
+        assert sorted(paths) == [("s", "a", "t"), ("s", "b", "t")]
+
+    def test_no_path(self, diamond):
+        diamond.add_node("island")
+        assert list(simple_paths(diamond, "s", "island")) == []
+
+    def test_source_equals_target(self, diamond):
+        assert list(simple_paths(diamond, "s", "s")) == [("s",)]
+
+    def test_cycle_does_not_loop_forever(self):
+        g = DiGraph()
+        for n in "abc":
+            g.add_node(n)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        g.add_edge("b", "c")
+        paths = list(simple_paths(g, "a", "c"))
+        assert paths == [("a", "b", "c")]
+
+    def test_max_length(self):
+        g = DiGraph()
+        for n in "abcd":
+            g.add_node(n)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "d")
+        g.add_edge("a", "d")
+        short = list(simple_paths(g, "a", "d", max_length=1))
+        assert short == [("a", "d")]
+        all_paths = list(simple_paths(g, "a", "d"))
+        assert len(all_paths) == 2
+
+    def test_dense_graph_count(self):
+        # Layered graph: 2 x 2 x 2 -> 2*2*2 = 8 paths s->t.
+        g = DiGraph()
+        g.add_node("s")
+        g.add_node("t")
+        layers = [[f"l{i}_{j}" for j in range(2)] for i in range(3)]
+        for layer in layers:
+            for node in layer:
+                g.add_node(node)
+        for node in layers[0]:
+            g.add_edge("s", node)
+        for i in range(2):
+            for a in layers[i]:
+                for b in layers[i + 1]:
+                    g.add_edge(a, b)
+        for node in layers[-1]:
+            g.add_edge(node, "t")
+        assert len(list(simple_paths(g, "s", "t"))) == 8
+
+
+class TestAllSourceSink:
+    def test_multiple_endpoints(self, diamond):
+        diamond.add_node("s2")
+        diamond.add_edge("s2", "a")
+        paths = all_source_sink_paths(diamond, ["s", "s2"], ["t"])
+        assert ("s2", "a", "t") in paths
+        assert len(paths) == 3
+
+    def test_deterministic_order(self, diamond):
+        first = all_source_sink_paths(diamond, ["s"], ["t"])
+        second = all_source_sink_paths(diamond, ["s"], ["t"])
+        assert first == second
+
+    def test_skips_source_equal_sink(self, diamond):
+        paths = all_source_sink_paths(diamond, ["s"], ["s", "t"])
+        assert all(len(p) > 1 for p in paths)
+
+
+class TestPathHelpers:
+    def test_path_edges(self):
+        assert path_edges(("a", "b", "c")) == [("a", "b"), ("b", "c")]
+        assert path_edges(("a",)) == []
+
+    def test_path_graph(self, diamond):
+        sub = path_graph(diamond, ("s", "a", "t"))
+        assert sub.num_nodes == 3
+        assert sub.has_edge("s", "a")
+        assert not sub.has_edge("s", "b")

@@ -1,0 +1,166 @@
+"""End-to-end engine property: optimality against brute force.
+
+For tiny templates we can enumerate *every* well-formed candidate
+architecture, test each against the same refinement oracle the engine
+uses, and compare the cheapest surviving candidate's cost with the
+engine's answer. This closes the loop on the engine's two claims:
+soundness (it never returns an invalid architecture — checked by
+construction) and optimality (certificates never cut a valid design).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.architecture import CandidateArchitecture
+from repro.arch.component import Component, ComponentType
+from repro.arch.library import Library
+from repro.arch.template import MappingTemplate, Template
+from repro.contracts.viewpoints import FLOW, TIMING
+from repro.explore.engine import ContrArcExplorer, ExplorationStatus
+from repro.explore.refinement_check import RefinementChecker
+from repro.spec.base import Specification
+from repro.spec.flow import FlowSpec
+from repro.spec.interconnection import InterconnectionSpec
+from repro.spec.timing import TimingSpec
+
+SRC_T = ComponentType("source")
+WORK_T = ComponentType("worker", ("latency", "throughput"))
+SINK_T = ComponentType("sink")
+
+
+def _build_problem(worker_impls, deadline):
+    """One source, two candidate worker slots, one sink."""
+    library = Library()
+    library.new("src_std", "source", cost=1.0)
+    library.new("sink_std", "sink", cost=1.0)
+    for index, (cost, latency) in enumerate(worker_impls):
+        library.new(
+            f"w_impl{index}",
+            "worker",
+            cost=float(cost),
+            latency=float(latency),
+            throughput=10.0,
+        )
+    template = Template("prop-mini")
+    template.add_component(
+        Component(
+            "src",
+            SRC_T,
+            max_fan_out=1,
+            generated_flow=3.0,
+            output_jitter=0.5,
+            params={"required": 1},
+        )
+    )
+    for name in ("wa", "wb"):
+        template.add_component(
+            Component(
+                name,
+                WORK_T,
+                max_fan_in=1,
+                max_fan_out=1,
+                input_jitter=1.0,
+                output_jitter=0.5,
+            )
+        )
+    template.add_component(
+        Component(
+            "sink",
+            SINK_T,
+            max_fan_in=1,
+            consumed_flow=3.0,
+            input_jitter=1.0,
+            params={"required": 1},
+        )
+    )
+    template.connect_all(["src"], ["wa", "wb"])
+    template.connect_all(["wa", "wb"], ["sink"])
+    template.mark_source_type("source")
+    template.mark_sink_type("sink")
+    mt = MappingTemplate(template, library, time_bound=100.0)
+    spec = Specification(
+        InterconnectionSpec(),
+        [
+            FlowSpec(FLOW, max_source_flow=50.0, max_loss=0.5, min_delivery=3.0),
+            TimingSpec(
+                TIMING,
+                max_latency=float(deadline),
+                source_jitter=1.0,
+                sink_jitter=2.0,
+            ),
+        ],
+    )
+    return mt, spec
+
+
+def _brute_force_optimum(mt, spec):
+    """Cheapest candidate passing the refinement oracle, or None.
+
+    Candidates: one worker slot selected (chains src->w->sink), any
+    implementation for each slot.
+    """
+    checker = RefinementChecker(mt, spec)
+    library = mt.library
+    best = None
+    for worker in ("wa", "wb"):
+        for impl in library.implementations_of("worker"):
+            candidate = CandidateArchitecture(
+                mt,
+                [("src", worker), (worker, "sink")],
+                {
+                    "src": library.get("src_std"),
+                    worker: impl,
+                    "sink": library.get("sink_std"),
+                },
+            )
+            if checker.check(candidate) is None:
+                if best is None or candidate.cost < best:
+                    best = candidate.cost
+    return best
+
+
+impl_strategy = st.tuples(
+    st.integers(min_value=1, max_value=9),   # cost
+    st.integers(min_value=1, max_value=12),  # latency
+)
+
+
+class TestEngineOptimality:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.lists(impl_strategy, min_size=2, max_size=3, unique=True),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_engine_matches_brute_force(self, worker_impls, deadline):
+        mt, spec = _build_problem(worker_impls, deadline)
+        expected = _brute_force_optimum(mt, spec)
+        result = ContrArcExplorer(mt, spec, max_iterations=200).explore()
+        if expected is None:
+            assert result.status is ExplorationStatus.INFEASIBLE
+        else:
+            assert result.status is ExplorationStatus.OPTIMAL
+            assert result.cost == pytest.approx(expected)
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        st.lists(impl_strategy, min_size=2, max_size=3, unique=True),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_modes_agree_with_each_other(self, worker_impls, deadline):
+        outcomes = set()
+        for iso in (True, False):
+            mt, spec = _build_problem(worker_impls, deadline)
+            result = ContrArcExplorer(
+                mt,
+                spec,
+                use_isomorphism=iso,
+                widen_implementations=iso,
+                max_iterations=300,
+            ).explore()
+            outcomes.add(
+                (result.status, None if result.cost is None else round(result.cost, 6))
+            )
+        assert len(outcomes) == 1

@@ -1,0 +1,144 @@
+"""Property-based tests for the expression layer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.bounds import expr_interval
+from repro.expr.constraints import (
+    And,
+    BoolAtom,
+    Comparison,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+from repro.expr.terms import Domain, LinExpr, Var
+from repro.expr.transform import negate, substitute, to_nnf
+
+# A fixed pool of variables so expressions share support.
+_POOL = [Var(f"pv{i}", Domain.CONTINUOUS, -10, 10) for i in range(4)]
+_BOOLS = [Var(f"pb{i}", Domain.BINARY) for i in range(2)]
+
+coeffs = st.floats(
+    min_value=-5, max_value=5, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def linexprs(draw):
+    terms = {}
+    for var in draw(st.lists(st.sampled_from(_POOL), max_size=4)):
+        terms[var] = draw(coeffs)
+    return LinExpr(terms, draw(coeffs))
+
+
+@st.composite
+def points(draw):
+    values = {var: draw(coeffs) for var in _POOL}
+    for b in _BOOLS:
+        values[b] = draw(st.sampled_from([0.0, 1.0]))
+    return values
+
+
+@st.composite
+def formulas(draw, depth=3):
+    if depth == 0:
+        kind = draw(st.sampled_from(["le", "eq", "bool"]))
+        if kind == "bool":
+            return BoolAtom(draw(st.sampled_from(_BOOLS)))
+        expr = draw(linexprs())
+        from repro.expr.constraints import Sense
+
+        sense = Sense.LE if kind == "le" else Sense.EQ
+        return Comparison(expr, sense)
+    kind = draw(
+        st.sampled_from(["leaf", "and", "or", "not", "implies", "iff"])
+    )
+    if kind == "leaf":
+        return draw(formulas(depth=0))
+    if kind == "not":
+        return Not(draw(formulas(depth=depth - 1)))
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    if kind == "and":
+        return And(left, right)
+    if kind == "or":
+        return Or(left, right)
+    if kind == "implies":
+        return Implies(left, right)
+    return Iff(left, right)
+
+
+class TestLinExprProperties:
+    @given(linexprs(), linexprs(), points())
+    def test_addition_pointwise(self, a, b, point):
+        assert (a + b).evaluate(point) == pytest.approx(
+            a.evaluate(point) + b.evaluate(point), abs=1e-9
+        )
+
+    @given(linexprs(), coeffs, points())
+    def test_scaling_pointwise(self, a, k, point):
+        assert (a * k).evaluate(point) == pytest.approx(
+            a.evaluate(point) * k, abs=1e-9
+        )
+
+    @given(linexprs(), points())
+    def test_negation_involution(self, a, point):
+        assert (-(-a)).evaluate(point) == pytest.approx(
+            a.evaluate(point), abs=1e-9
+        )
+
+    @given(linexprs(), points())
+    def test_substitution_matches_evaluation(self, a, point):
+        partial = {var: point[var] for var in list(a.coeffs)[:1]}
+        substituted = a.substitute(partial)
+        assert substituted.evaluate(point) == pytest.approx(
+            a.evaluate(point), abs=1e-9
+        )
+
+    @given(linexprs(), points())
+    def test_interval_contains_values(self, a, point):
+        lo, hi = expr_interval(a)
+        value = a.evaluate(point)
+        assert lo - 1e-9 <= value <= hi + 1e-9
+
+
+class TestFormulaProperties:
+    @settings(max_examples=150)
+    @given(formulas(), points())
+    def test_nnf_preserves_semantics(self, formula, point):
+        # Away from comparison boundaries NNF is semantics-preserving;
+        # the epsilon shift only matters within NEGATION_EPS of a
+        # boundary, so skip those points.
+        if _near_boundary(formula, point):
+            return
+        assert to_nnf(formula).evaluate(point) == formula.evaluate(point)
+
+    @settings(max_examples=150)
+    @given(formulas(), points())
+    def test_negate_flips_semantics(self, formula, point):
+        if _near_boundary(formula, point):
+            return
+        assert negate(formula).evaluate(point) != formula.evaluate(point)
+
+    @settings(max_examples=100)
+    @given(formulas(), points())
+    def test_full_substitution_folds_to_constant(self, formula, point):
+        folded = substitute(formula, point)
+        from repro.expr.constraints import BoolConst
+
+        assert isinstance(folded, BoolConst)
+        assert folded.value == formula.evaluate(point)
+
+
+def _near_boundary(formula, point, margin=1e-3) -> bool:
+    """Whether any comparison atom evaluates within ``margin`` of 0."""
+    for atom in formula.atoms():
+        if isinstance(atom, Comparison):
+            if abs(atom.expr.evaluate(point)) < margin:
+                return True
+    return False

@@ -1,0 +1,101 @@
+"""Property-based tests for the graph substrate."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.isomorphism import find_embeddings
+from repro.graph.paths import all_source_sink_paths, path_edges, simple_paths
+
+LABELS = ["A", "B", "C"]
+
+
+@st.composite
+def random_digraphs(draw, max_nodes=7, edge_prob=0.3):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    graph = DiGraph("random")
+    for i in range(n):
+        graph.add_node(i, label=draw(st.sampled_from(LABELS)))
+    for u in range(n):
+        for v in range(n):
+            if u != v and draw(st.booleans()) and draw(
+                st.floats(min_value=0, max_value=1)
+            ) < edge_prob:
+                graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def path_patterns(draw, max_len=3):
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    pattern = DiGraph("pattern")
+    previous = None
+    for i in range(length):
+        node = f"p{i}"
+        pattern.add_node(node, label=draw(st.sampled_from(LABELS)))
+        if previous is not None:
+            pattern.add_edge(previous, node)
+        previous = node
+    return pattern
+
+
+def _to_nx(graph):
+    out = nx.DiGraph()
+    for node in graph.nodes():
+        out.add_node(node, label=graph.label(node))
+    out.add_edges_from(graph.edges())
+    return out
+
+
+class TestIsomorphismProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_digraphs(), path_patterns())
+    def test_embedding_count_matches_networkx(self, host, pattern):
+        ours = len(find_embeddings(host, pattern))
+        matcher = nx.algorithms.isomorphism.DiGraphMatcher(
+            _to_nx(host),
+            _to_nx(pattern),
+            node_match=lambda a, b: a["label"] == b["label"],
+        )
+        theirs = sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+        assert ours == theirs
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_digraphs(), path_patterns())
+    def test_embeddings_are_valid(self, host, pattern):
+        for embedding in find_embeddings(host, pattern):
+            # Injective.
+            assert len(set(embedding.values())) == len(embedding)
+            # Label-preserving.
+            for p_node, h_node in embedding.items():
+                assert pattern.label(p_node) == host.label(h_node)
+            # Edge-preserving.
+            for src, dst in pattern.edges():
+                assert host.has_edge(embedding[src], embedding[dst])
+
+
+class TestPathProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_digraphs())
+    def test_paths_are_simple_and_connected(self, graph):
+        sources = graph.sources() or list(graph.nodes())[:1]
+        sinks = graph.sinks() or list(graph.nodes())[-1:]
+        for path in all_source_sink_paths(graph, sources, sinks):
+            assert len(set(path)) == len(path)  # simple
+            for src, dst in path_edges(path):
+                assert graph.has_edge(src, dst)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_digraphs())
+    def test_matches_networkx_all_simple_paths(self, graph):
+        nx_graph = _to_nx(graph)
+        nodes = sorted(graph.nodes())
+        if len(nodes) < 2:
+            return
+        source, target = nodes[0], nodes[-1]
+        ours = sorted(simple_paths(graph, source, target))
+        theirs = sorted(
+            tuple(p) for p in nx.all_simple_paths(nx_graph, source, target)
+        )
+        assert ours == theirs

@@ -1,0 +1,119 @@
+"""Property-based tests for the solver substrate.
+
+The encoder property is the load-bearing one: for formulas over small
+finite domains, the big-M encoding's SAT/UNSAT verdict must match a
+brute-force enumeration of all assignments.
+"""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.constraints import (
+    And,
+    BoolAtom,
+    Comparison,
+    Implies,
+    Not,
+    Or,
+    Sense,
+)
+from repro.expr.terms import Domain, LinExpr, Var
+from repro.solver.feasibility import check_sat
+from repro.solver.result import SolveStatus
+from repro.solver.simplex import solve_lp
+
+# Small finite domains so satisfiability is brute-forceable.
+_INTS = [Var(f"qi{i}", Domain.INTEGER, 0, 2) for i in range(3)]
+_BOOLS = [Var(f"qb{i}", Domain.BINARY) for i in range(2)]
+
+int_coeffs = st.integers(min_value=-3, max_value=3)
+
+
+@st.composite
+def int_linexprs(draw):
+    terms = {}
+    for var in draw(st.lists(st.sampled_from(_INTS), max_size=3)):
+        terms[var] = float(draw(int_coeffs))
+    return LinExpr(terms, float(draw(int_coeffs)))
+
+
+@st.composite
+def int_formulas(draw, depth=2):
+    if depth == 0:
+        kind = draw(st.sampled_from(["le", "eq", "bool", "nbool"]))
+        if kind == "bool":
+            return BoolAtom(draw(st.sampled_from(_BOOLS)))
+        if kind == "nbool":
+            return Not(BoolAtom(draw(st.sampled_from(_BOOLS))))
+        sense = Sense.LE if kind == "le" else Sense.EQ
+        return Comparison(draw(int_linexprs()), sense)
+    kind = draw(st.sampled_from(["leaf", "and", "or", "not", "implies"]))
+    if kind == "leaf":
+        return draw(int_formulas(depth=0))
+    if kind == "not":
+        return Not(draw(int_formulas(depth=depth - 1)))
+    left = draw(int_formulas(depth=depth - 1))
+    right = draw(int_formulas(depth=depth - 1))
+    if kind == "and":
+        return And(left, right)
+    if kind == "or":
+        return Or(left, right)
+    return Implies(left, right)
+
+
+def _brute_force_sat(formula) -> bool:
+    variables = sorted(formula.variables(), key=lambda v: v.name)
+    domains = []
+    for var in variables:
+        domains.append(range(int(var.lb), int(var.ub) + 1))
+    for values in itertools.product(*domains):
+        if formula.evaluate(dict(zip(variables, map(float, values)))):
+            return True
+    return False
+
+
+class TestEncoderAgainstBruteForce:
+    @settings(max_examples=120, deadline=None)
+    @given(int_formulas())
+    def test_sat_verdict_matches_enumeration(self, formula):
+        expected = _brute_force_sat(formula)
+        result = check_sat(formula)
+        assert bool(result) == expected
+        if result:
+            # Witness integrality + satisfaction.
+            rounded = {
+                var: float(round(value))
+                for var, value in result.assignment.items()
+            }
+            assert formula.evaluate(rounded)
+
+
+class TestSimplexProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matches_scipy_on_random_lps(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        n, m = 4, 3
+        c = rng.normal(size=n)
+        a_ub = rng.normal(size=(m, n))
+        b_ub = rng.uniform(0.5, 4.0, size=m)
+        lower = np.zeros(n)
+        upper = rng.uniform(0.5, 6.0, size=n)
+
+        ours = solve_lp(
+            c, a_ub, b_ub, np.zeros((0, n)), np.zeros(0), lower, upper
+        )
+        ref = linprog(
+            c, A_ub=a_ub, b_ub=b_ub, bounds=list(zip(lower, upper)),
+            method="highs",
+        )
+        if ref.status == 0:
+            assert ours.status is SolveStatus.OPTIMAL
+            assert abs(ours.objective - ref.fun) < 1e-6
+        elif ref.status == 2:
+            assert ours.status is SolveStatus.INFEASIBLE

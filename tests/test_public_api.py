@@ -1,0 +1,83 @@
+"""Public API surface checks.
+
+Guards against accidental breakage of the documented entry points:
+everything `__all__` promises must import, and every public callable
+must carry a docstring.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.expr",
+    "repro.solver",
+    "repro.contracts",
+    "repro.graph",
+    "repro.arch",
+    "repro.spec",
+    "repro.explore",
+    "repro.casestudies",
+    "repro.reporting",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+class TestPublicSurface:
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        for name in exported:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    def test_exported_callables_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{module_name}.{name} lacks a docstring"
+
+
+class TestTopLevelConvenience:
+    def test_star_imports_cover_quickstart_needs(self):
+        import repro
+
+        for name in (
+            "Template",
+            "Library",
+            "MappingTemplate",
+            "Component",
+            "ComponentType",
+            "ContrArcExplorer",
+            "Specification",
+            "FlowSpec",
+            "TimingSpec",
+            "InterconnectionSpec",
+        ):
+            assert hasattr(repro, name)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import exceptions
+
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if (
+                inspect.isclass(obj)
+                and issubclass(obj, Exception)
+                and obj is not exceptions.ReproError
+                and obj.__module__ == "repro.exceptions"
+            ):
+                assert issubclass(obj, exceptions.ReproError), name

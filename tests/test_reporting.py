@@ -1,0 +1,76 @@
+"""Tests for paper-style table rendering."""
+
+import pytest
+
+from repro.reporting.tables import (
+    Table2Row,
+    format_seconds,
+    render_table,
+    render_table2,
+)
+
+
+class TestFormatSeconds:
+    def test_plain(self):
+        assert format_seconds(0.57) == "0.57"
+        assert format_seconds(99.99) == "99.99"
+
+    def test_scientific_above_hundred(self):
+        assert format_seconds(4090.0) == "4.09e3"
+        assert format_seconds(155.0) == "1.55e2"
+
+    def test_none(self):
+        assert format_seconds(None) == "-"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["longer", 22.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to the same width
+
+    def test_none_rendered_as_dash(self):
+        text = render_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+
+class TestRenderTable2:
+    def _rows(self):
+        return [
+            Table2Row("1,0,0", 454, 195, 0.57, 3, 0.58, 3, 0.56, 3),
+            Table2Row("2,0,0", 1178, 592, 4.78, 8, 10.53, 28, 2.50, 4),
+        ]
+
+    def test_layout(self):
+        text = render_table2(self._rows())
+        assert "Table II" in text
+        assert "1,0,0" in text
+        assert "Average" in text
+        assert "Ratio" in text
+
+    def test_averages_and_ratios(self):
+        text = render_table2(self._rows())
+        avg_line = next(
+            line for line in text.splitlines() if line.startswith("Average")
+        )
+        # avg complete time = (0.56 + 2.50) / 2 = 1.53
+        assert "1.53" in avg_line
+        ratio_line = next(
+            line for line in text.splitlines() if line.startswith("Ratio")
+        )
+        # avg iso / avg complete = 2.675 / 1.53 = 1.75
+        assert "1.75" in ratio_line
+
+    def test_missing_cells(self):
+        rows = [Table2Row("1,0,0", 10, 10, complete_time=1.0, complete_iters=2)]
+        text = render_table2(rows)
+        assert "-" in text

@@ -1,0 +1,42 @@
+"""Tests for ASCII series plots."""
+
+from repro.reporting.plots import render_series_plot
+
+
+class TestSeriesPlot:
+    def test_basic_rendering(self):
+        text = render_series_plot(
+            {"fast": [(1, 0.1), (2, 0.5)], "slow": [(1, 10.0), (2, 100.0)]},
+            title="runtime",
+        )
+        assert text.startswith("runtime")
+        assert "legend:" in text
+        assert "o=fast" in text
+        assert "x=slow" in text
+
+    def test_log_scale_orientation(self):
+        text = render_series_plot({"s": [(1, 0.001), (2, 1000.0)]})
+        rows = [l for l in text.splitlines() if l.startswith("|")]
+        # Large value on an upper row, small value on a lower row.
+        top_half = "".join(rows[: len(rows) // 2])
+        bottom_half = "".join(rows[len(rows) // 2 :])
+        assert "o" in top_half
+        assert "o" in bottom_half
+
+    def test_dnf_points_skipped_and_noted(self):
+        text = render_series_plot({"s": [(1, 1.0), (2, None)]})
+        assert "(1 DNF)" in text
+
+    def test_all_dnf(self):
+        text = render_series_plot({"s": [(1, None)]}, title="t")
+        assert "no finished data points" in text
+
+    def test_single_point(self):
+        text = render_series_plot({"s": [(3, 5.0)]})
+        assert "legend:" in text
+
+    def test_overlap_marker(self):
+        text = render_series_plot(
+            {"a": [(1, 1.0)], "b": [(1, 1.0)]},
+        )
+        assert "!" in text

@@ -1,0 +1,140 @@
+"""Tests for the native branch-and-bound MILP backend."""
+
+import numpy as np
+import pytest
+
+from repro.expr.terms import binary, continuous, integer
+from repro.solver import branch_bound, scipy_backend
+from repro.solver.model import Model
+from repro.solver.result import SolveStatus
+
+
+class TestSmallMILPs:
+    def test_knapsack(self):
+        values = [10, 13, 7, 8]
+        weights = [3, 4, 2, 3]
+        items = [binary(f"item{i}") for i in range(4)]
+        m = Model("knapsack")
+        m.add_le(sum((weights[i] * items[i] for i in range(4)), start=items[0] * 0), 7)
+        m.set_objective(
+            sum((values[i] * items[i] for i in range(4)), start=items[0] * 0),
+            minimize=False,
+        )
+        res = branch_bound.solve(m)
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(23.0)  # items 1 and 3
+
+    def test_integer_rounding_not_optimal(self):
+        # LP relaxation optimum is fractional and naive rounding is wrong.
+        x = integer("x", 0, 100)
+        y = integer("y", 0, 100)
+        m = Model()
+        m.add_le(-2 * x + 2 * y, 1)
+        m.add_le(2 * x - 2 * y, 1)  # forces x == y for integers
+        m.add_le(x + y, 7)
+        m.set_objective(-x - 2 * y)
+        res = branch_bound.solve(m)
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.rounded(x) == res.rounded(y)
+        assert res.rounded(x) + res.rounded(y) <= 7
+
+    def test_infeasible_integrality(self):
+        # 2x == 3 has no integer solution for x in [0, 5].
+        x = integer("x", 0, 5)
+        m = Model()
+        m.add_eq(2 * x, 3)
+        res = branch_bound.solve(m)
+        assert res.status is SolveStatus.INFEASIBLE
+
+    def test_infeasible_lp(self):
+        x = continuous("x", 0, 1)
+        m = Model()
+        m.add_ge(x, 2)
+        res = branch_bound.solve(m)
+        assert res.status is SolveStatus.INFEASIBLE
+
+    def test_mixed_integer_continuous(self):
+        b = binary("b")
+        x = continuous("x", 0, 10)
+        m = Model()
+        # x <= 10 b (big-M link), maximize x - 3 b
+        m.add_le(x - 10 * b, 0)
+        m.set_objective(x - 3 * b, minimize=False)
+        res = branch_bound.solve(m)
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(7.0)
+        assert res.rounded(b) == 1
+
+    def test_maximize_sign_handling(self):
+        x = integer("x", 0, 4)
+        m = Model()
+        m.add_variable(x)
+        m.set_objective(x.to_expr(), minimize=False)
+        res = branch_bound.solve(m)
+        assert res.objective == pytest.approx(4.0)
+
+    def test_solution_satisfies_model(self):
+        rng = np.random.default_rng(3)
+        xs = [integer(f"x{i}", 0, 5) for i in range(4)]
+        m = Model()
+        for _ in range(3):
+            coeffs = rng.integers(-3, 4, size=4)
+            expr = sum(
+                (int(coeffs[i]) * xs[i] for i in range(4)), start=xs[0] * 0
+            )
+            m.add_le(expr, int(rng.integers(3, 10)))
+        m.set_objective(sum((x for x in xs), start=xs[0] * 0), minimize=False)
+        res = branch_bound.solve(m)
+        assert res.status is SolveStatus.OPTIMAL
+        assert m.is_feasible(res.assignment)
+
+
+class TestAgainstScipyBackend:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_binary_programs(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m_rows = 6, 4
+        xs = [binary(f"b{i}") for i in range(n)]
+        model = Model()
+        for r in range(m_rows):
+            coeffs = rng.integers(-2, 5, size=n)
+            expr = sum(
+                (int(coeffs[i]) * xs[i] for i in range(n)), start=xs[0] * 0
+            )
+            model.add_le(expr, int(rng.integers(2, 8)))
+        cost = rng.integers(-5, 6, size=n)
+        model.set_objective(
+            sum((int(cost[i]) * xs[i] for i in range(n)), start=xs[0] * 0)
+        )
+        ours = branch_bound.solve(model)
+        ref = scipy_backend.solve(model)
+        assert ours.status == ref.status
+        if ours.status is SolveStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_mixed_programs(self, seed):
+        rng = np.random.default_rng(50 + seed)
+        ints = [integer(f"i{k}", 0, 4) for k in range(3)]
+        conts = [continuous(f"c{k}", 0, 4) for k in range(2)]
+        all_vars = ints + conts
+        model = Model()
+        for _ in range(3):
+            coeffs = rng.uniform(-1, 2, size=5)
+            expr = sum(
+                (float(coeffs[i]) * all_vars[i] for i in range(5)),
+                start=all_vars[0] * 0.0,
+            )
+            model.add_le(expr, float(rng.uniform(2, 6)))
+        cost = rng.uniform(-2, 2, size=5)
+        model.set_objective(
+            sum(
+                (float(cost[i]) * all_vars[i] for i in range(5)),
+                start=all_vars[0] * 0.0,
+            )
+        )
+        ours = branch_bound.solve(model)
+        ref = scipy_backend.solve(model)
+        assert ours.status == ref.status
+        if ours.status is SolveStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(ref.objective, abs=1e-5)

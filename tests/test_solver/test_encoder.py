@@ -1,0 +1,179 @@
+"""Tests for the big-M formula encoder.
+
+The correctness criterion: for every formula F, the encoded MILP is
+feasible iff F is satisfiable, and any MILP solution restricted to F's
+variables satisfies F.
+"""
+
+import pytest
+
+from repro.exceptions import BoundsError
+from repro.expr.constraints import (
+    And,
+    BoolAtom,
+    FALSE,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.expr.terms import binary, continuous, integer
+from repro.solver.encoder import FormulaEncoder, enforce
+from repro.solver.feasibility import check_sat, is_unsat
+from repro.solver.model import Model
+from repro.solver.scipy_backend import solve
+
+
+def _sat_with_witness(formula):
+    result = check_sat(formula)
+    if result:
+        assert formula.evaluate(result.assignment), (
+            f"witness does not satisfy formula: {result.assignment}"
+        )
+    return bool(result)
+
+
+@pytest.fixture
+def x():
+    return continuous("x", 0, 10)
+
+
+@pytest.fixture
+def y():
+    return continuous("y", 0, 10)
+
+
+class TestAtoms:
+    def test_plain_comparison(self, x):
+        assert _sat_with_witness(x >= 3)
+        assert is_unsat((x >= 3) & (x <= 2))
+
+    def test_equality(self, x):
+        result = check_sat(x.eq(4))
+        assert result
+        assert result.assignment[x] == pytest.approx(4.0)
+
+    def test_bool_atoms(self):
+        b = binary("b")
+        result = check_sat(BoolAtom(b))
+        assert result.assignment[b] == pytest.approx(1.0)
+        result = check_sat(Not(BoolAtom(b)))
+        assert result.assignment[b] == pytest.approx(0.0)
+        assert is_unsat(BoolAtom(b) & Not(BoolAtom(b)))
+
+    def test_constants(self, x):
+        assert check_sat(TRUE)
+        assert is_unsat(FALSE)
+        assert is_unsat(FALSE & (x <= 5))
+
+
+class TestDisjunction:
+    def test_simple_or(self, x, y):
+        assert _sat_with_witness((x >= 9) | (y >= 9))
+
+    def test_or_with_conflict(self, x, y):
+        # Both disjuncts conflict with context -> UNSAT.
+        assert is_unsat(((x >= 9) | (x >= 8)) & (x <= 5))
+
+    def test_or_picks_viable_branch(self, x, y):
+        f = ((x >= 9) | (y >= 9)) & (x <= 1)
+        result = check_sat(f)
+        assert result
+        assert result.assignment[y] >= 9 - 1e-6
+
+    def test_nested_or_and(self, x, y):
+        f = ((x >= 9) & (y <= 1)) | ((y >= 9) & (x <= 1))
+        assert _sat_with_witness(f)
+        assert is_unsat(f & (x >= 2) & (y >= 2))
+
+    def test_equality_under_disjunction(self, x, y):
+        f = (x.eq(3) | x.eq(7)) & (x >= 4)
+        result = check_sat(f)
+        assert result.assignment[x] == pytest.approx(7.0)
+
+
+class TestImplicationIff:
+    def test_implication(self, x):
+        b = binary("b")
+        f = Implies(BoolAtom(b), x >= 9) & BoolAtom(b)
+        result = check_sat(f)
+        assert result.assignment[x] >= 9 - 1e-6
+        assert is_unsat(f & (x <= 8))
+
+    def test_implication_vacuous(self, x):
+        b = binary("b")
+        f = Implies(BoolAtom(b), x >= 9) & Not(BoolAtom(b)) & (x <= 1)
+        assert _sat_with_witness(f)
+
+    def test_iff_both_ways(self, x):
+        b = binary("b")
+        f = Iff(BoolAtom(b), x >= 5)
+        assert is_unsat(f & BoolAtom(b) & (x <= 4))
+        # b = 0 forces not (x >= 5), i.e. x < 5.
+        assert is_unsat(f & Not(BoolAtom(b)) & (x >= 6))
+
+    def test_chained_implications(self, x, y):
+        b1, b2 = binary("b1"), binary("b2")
+        f = (
+            Implies(BoolAtom(b1), BoolAtom(b2))
+            & Implies(BoolAtom(b2), x >= 5)
+            & BoolAtom(b1)
+        )
+        result = check_sat(f)
+        assert result.assignment[x] >= 5 - 1e-6
+
+
+class TestNegationThroughEncoder:
+    def test_negated_conjunction(self, x, y):
+        f = Not((x <= 5) & (y <= 5)) & (x <= 5) & (y <= 4)
+        assert is_unsat(f)
+
+    def test_negated_disjunction(self, x, y):
+        f = Not((x >= 5) | (y >= 5))
+        result = check_sat(f)
+        assert result.assignment[x] < 5
+        assert result.assignment[y] < 5
+
+
+class TestBigM:
+    def test_unbounded_var_raises(self):
+        free = continuous("free")
+        b = binary("b")
+        with pytest.raises(BoundsError):
+            check_sat(Or(BoolAtom(b), free <= 0))
+
+    def test_default_big_m_fallback(self):
+        free = continuous("free2")
+        b = binary("b")
+        result = check_sat(
+            Or(BoolAtom(b), free <= 0), default_big_m=1e6
+        )
+        assert result
+
+    def test_integer_atoms(self):
+        i = integer("i", 0, 10)
+        f = (i.eq(3) | i.eq(5)) & (i >= 4)
+        result = check_sat(f)
+        assert result.assignment[i] == pytest.approx(5.0)
+
+
+class TestEncoderObject:
+    def test_enforce_into_existing_model(self, x):
+        model = Model("m")
+        FormulaEncoder(model).enforce((x >= 2) & (x <= 8))
+        model.set_objective(x.to_expr())
+        result = solve(model)
+        assert result.objective == pytest.approx(2.0)
+
+    def test_selector_names_prefixed(self, x, y):
+        model = Model("m")
+        FormulaEncoder(model, prefix="vp").enforce((x >= 9) | (y >= 9))
+        names = [v.name for v in model.variables]
+        assert any(name.startswith("vp__sel") for name in names)
+
+    def test_false_formula_makes_model_infeasible(self):
+        model = Model("m")
+        enforce(model, FALSE)
+        result = solve(model)
+        assert result.is_infeasible

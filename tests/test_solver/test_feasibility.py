@@ -1,0 +1,73 @@
+"""Tests for the SAT/UNSAT oracle across backends."""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.expr.constraints import BoolAtom, Implies, Or
+from repro.expr.terms import binary, continuous, integer
+from repro.solver.feasibility import (
+    BACKENDS,
+    SatResult,
+    check_sat,
+    get_backend,
+    is_unsat,
+)
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request):
+    return request.param
+
+
+class TestOracle:
+    def test_sat_both_backends(self, backend):
+        x = continuous("x", 0, 10)
+        result = check_sat((x >= 2) & (x <= 3), backend=backend)
+        assert result
+        assert 2 - 1e-6 <= result.assignment[x] <= 3 + 1e-6
+
+    def test_unsat_both_backends(self, backend):
+        x = continuous("x", 0, 10)
+        assert is_unsat((x >= 5) & (x <= 4), backend=backend)
+
+    def test_mixed_logic_both_backends(self, backend):
+        b = binary("b")
+        i = integer("i", 0, 5)
+        f = Implies(BoolAtom(b), i >= 4) & BoolAtom(b) & (i <= 5)
+        result = check_sat(f, backend=backend)
+        assert result
+        assert result.assignment[i] >= 4 - 1e-6
+
+    def test_backends_agree_on_corpus(self):
+        x = continuous("cx", 0, 8)
+        y = continuous("cy", 0, 8)
+        b = binary("cb")
+        corpus = [
+            (x >= 3) & (y >= 3) & (x + y <= 5),
+            Or(x >= 7, y >= 7) & (x + y <= 6),
+            Implies(BoolAtom(b), x.eq(8)) & BoolAtom(b),
+            (x.eq(1) | x.eq(2)) & (x >= 1.5),
+        ]
+        for formula in corpus:
+            verdicts = {
+                name: bool(check_sat(formula, backend=name))
+                for name in sorted(BACKENDS)
+            }
+            assert len(set(verdicts.values())) == 1, (formula, verdicts)
+
+
+class TestPlumbing:
+    def test_unknown_backend(self):
+        with pytest.raises(SolverError, match="unknown solver backend"):
+            get_backend("cplex")
+
+    def test_sat_result_truthiness(self):
+        assert SatResult(True)
+        assert not SatResult(False)
+
+    def test_witness_restricted_to_formula_vars(self):
+        x = continuous("wx", 0, 10)
+        y = continuous("wy", 0, 10)
+        result = check_sat((x >= 9) | (y >= 9))
+        for var in result.assignment:
+            assert var in {x, y}

@@ -1,0 +1,179 @@
+"""Tests for the MILP model container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.expr.terms import binary, continuous, integer
+from repro.solver.model import ConstraintSense, LinearConstraint, Model
+
+
+@pytest.fixture
+def xy():
+    return continuous("x", 0, 10), continuous("y", 0, 10)
+
+
+class TestVariables:
+    def test_add_variable_idempotent(self, xy):
+        x, _ = xy
+        m = Model()
+        m.add_variable(x)
+        m.add_variable(x)
+        assert m.num_variables == 1
+
+    def test_factories(self):
+        m = Model()
+        b = m.new_binary("b")
+        i = m.new_integer("i", 0, 5)
+        c = m.new_continuous("c", -1, 1)
+        assert b.is_binary and i.is_integral and not c.is_integral
+        assert m.num_variables == 3
+
+    def test_index_of_unknown_raises(self, xy):
+        x, _ = xy
+        with pytest.raises(SolverError):
+            Model().index_of(x)
+
+    def test_index_stable(self, xy):
+        x, y = xy
+        m = Model()
+        m.add_variables([x, y])
+        assert m.index_of(x) == 0
+        assert m.index_of(y) == 1
+
+
+class TestConstraints:
+    def test_add_le_ge_eq(self, xy):
+        x, y = xy
+        m = Model()
+        m.add_le(x + y, 5)
+        m.add_ge(x, 1)
+        m.add_eq(y, 2)
+        assert m.num_constraints == 3
+        senses = [c.sense for c in m.constraints]
+        assert senses == [
+            ConstraintSense.LE,
+            ConstraintSense.GE,
+            ConstraintSense.EQ,
+        ]
+
+    def test_comparison_atom_accepted(self, xy):
+        x, _ = xy
+        m = Model()
+        cons = m.add_constraint(x <= 4)
+        assert cons.sense is ConstraintSense.LE
+        assert cons.rhs == 4.0
+
+    def test_eq_comparison_atom(self, xy):
+        x, _ = xy
+        m = Model()
+        cons = m.add_constraint(x.eq(3))
+        assert cons.sense is ConstraintSense.EQ
+        assert cons.rhs == 3.0
+
+    def test_constraint_registers_vars(self, xy):
+        x, y = xy
+        m = Model()
+        m.add_le(x + y, 5)
+        assert m.num_variables == 2
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SolverError):
+            Model().add_constraint("x <= 5")
+
+    def test_violated_by(self, xy):
+        x, _ = xy
+        le = LinearConstraint(x.to_expr(), ConstraintSense.LE, 5.0)
+        ge = LinearConstraint(x.to_expr(), ConstraintSense.GE, 5.0)
+        eq = LinearConstraint(x.to_expr(), ConstraintSense.EQ, 5.0)
+        assert not le.violated_by({x: 5})
+        assert le.violated_by({x: 6})
+        assert ge.violated_by({x: 4})
+        assert eq.violated_by({x: 4})
+        assert not eq.violated_by({x: 5})
+
+
+class TestFeasibilityCheck:
+    def test_is_feasible(self, xy):
+        x, y = xy
+        m = Model()
+        m.add_le(x + y, 5)
+        assert m.is_feasible({x: 2, y: 2})
+        assert not m.is_feasible({x: 4, y: 4})
+
+    def test_bounds_checked(self, xy):
+        x, _ = xy
+        m = Model()
+        m.add_variable(x)
+        assert not m.is_feasible({x: 11})
+        assert not m.is_feasible({x: -1})
+
+    def test_integrality_checked(self):
+        m = Model()
+        i = m.new_integer("i", 0, 5)
+        assert m.is_feasible({i: 3})
+        assert not m.is_feasible({i: 2.5})
+
+    def test_missing_assignment(self, xy):
+        x, _ = xy
+        m = Model()
+        m.add_variable(x)
+        assert not m.is_feasible({})
+
+
+class TestMatrixForm:
+    def test_shapes_and_content(self, xy):
+        x, y = xy
+        m = Model()
+        m.add_le(2 * x + y, 8)
+        m.add_ge(x, 1)          # becomes -x <= -1
+        m.add_eq(x + y, 4)
+        m.set_objective(x + 3 * y)
+        form = m.to_matrix_form()
+        assert form.a_ub.shape == (2, 2)
+        assert form.a_eq.shape == (1, 2)
+        np.testing.assert_allclose(form.a_ub[0], [2, 1])
+        np.testing.assert_allclose(form.a_ub[1], [-1, 0])
+        np.testing.assert_allclose(form.b_ub, [8, -1])
+        np.testing.assert_allclose(form.objective, [1, 3])
+        assert form.num_constraints == 3
+
+    def test_constant_in_expr_moves_to_rhs(self, xy):
+        x, _ = xy
+        m = Model()
+        m.add_le(x + 2, 5)
+        form = m.to_matrix_form()
+        assert form.b_ub[0] == 3.0
+
+    def test_maximize_negates(self, xy):
+        x, _ = xy
+        m = Model()
+        m.add_variable(x)
+        m.set_objective(x.to_expr(), minimize=False)
+        form = m.to_matrix_form()
+        assert form.objective[0] == -1.0
+
+    def test_integrality_mask(self):
+        m = Model()
+        m.new_binary("b")
+        m.new_continuous("c", 0, 1)
+        m.new_integer("i", 0, 3)
+        form = m.to_matrix_form()
+        assert list(form.integrality) == [1, 0, 1]
+
+    def test_copy_independent(self, xy):
+        x, y = xy
+        m = Model()
+        m.add_le(x, 5)
+        clone = m.copy()
+        clone.add_le(y, 5)
+        assert m.num_constraints == 1
+        assert clone.num_constraints == 2
+        assert m.num_variables == 1
+        assert clone.num_variables == 2
+
+    def test_objective_value(self, xy):
+        x, y = xy
+        m = Model()
+        m.set_objective(2 * x + y + 1)
+        assert m.objective_value({x: 2, y: 3}) == 8.0

@@ -1,0 +1,80 @@
+"""Tests specific to the scipy/HiGHS backend adapter."""
+
+import numpy as np
+import pytest
+
+from repro.expr.terms import binary, continuous, integer
+from repro.solver import scipy_backend
+from repro.solver.model import Model
+from repro.solver.result import SolveStatus
+
+
+class TestStatusMapping:
+    def test_optimal(self):
+        x = continuous("sx", 0, 5)
+        m = Model()
+        m.add_ge(x.to_expr(), 2)
+        m.set_objective(x.to_expr())
+        result = scipy_backend.solve(m)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(2.0)
+
+    def test_infeasible(self):
+        x = continuous("sy", 0, 1)
+        m = Model()
+        m.add_ge(x.to_expr(), 2)
+        assert scipy_backend.solve(m).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        x = continuous("sz", 0)
+        m = Model()
+        m.add_variable(x)
+        m.set_objective(-x.to_expr())
+        result = scipy_backend.solve(m)
+        assert result.status in (
+            SolveStatus.UNBOUNDED,
+            SolveStatus.ERROR,  # HiGHS may report unbounded as an error class
+        )
+
+    def test_maximization(self):
+        x = continuous("sw", 0, 9)
+        m = Model()
+        m.add_variable(x)
+        m.set_objective(x.to_expr(), minimize=False)
+        result = scipy_backend.solve(m)
+        assert result.objective == pytest.approx(9.0)
+
+
+class TestIntegerRounding:
+    def test_binaries_rounded_exactly(self):
+        bs = [binary(f"rb{i}") for i in range(4)]
+        m = Model()
+        m.add_ge(sum((b for b in bs), start=bs[0] * 0), 2)
+        m.set_objective(sum((b for b in bs), start=bs[0] * 0))
+        result = scipy_backend.solve(m)
+        for b in bs:
+            value = result.assignment[b]
+            assert value in (0.0, 1.0)
+
+    def test_objective_includes_constant(self):
+        x = integer("rc", 0, 5)
+        m = Model()
+        m.add_ge(x.to_expr(), 1)
+        m.set_objective(x + 100)
+        result = scipy_backend.solve(m)
+        assert result.objective == pytest.approx(101.0)
+
+
+class TestEmptyModels:
+    def test_trivially_feasible(self):
+        result = scipy_backend.solve(Model())
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(0.0)
+
+    def test_time_limit_accepted(self):
+        x = continuous("st", 0, 5)
+        m = Model()
+        m.add_ge(x.to_expr(), 1)
+        m.set_objective(x.to_expr())
+        result = scipy_backend.solve(m, time_limit=10.0)
+        assert result.status is SolveStatus.OPTIMAL

@@ -1,0 +1,137 @@
+"""Tests for the native two-phase simplex, cross-checked with scipy."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.solver.result import SolveStatus
+from repro.solver.simplex import solve_lp
+
+
+def _solve(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, lower=None, upper=None):
+    n = len(c)
+    a_ub = np.zeros((0, n)) if a_ub is None else np.asarray(a_ub, dtype=float)
+    b_ub = np.zeros(0) if b_ub is None else np.asarray(b_ub, dtype=float)
+    a_eq = np.zeros((0, n)) if a_eq is None else np.asarray(a_eq, dtype=float)
+    b_eq = np.zeros(0) if b_eq is None else np.asarray(b_eq, dtype=float)
+    lower = np.zeros(n) if lower is None else np.asarray(lower, dtype=float)
+    upper = np.full(n, np.inf) if upper is None else np.asarray(upper, dtype=float)
+    return solve_lp(np.asarray(c, dtype=float), a_ub, b_ub, a_eq, b_eq, lower, upper)
+
+
+def _scipy_reference(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None):
+    return linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+
+
+class TestBasicLPs:
+    def test_simple_minimization(self):
+        # min -x - y  s.t. x + y <= 4, x <= 3, y <= 3, x,y >= 0
+        res = _solve([-1, -1], a_ub=[[1, 1]], b_ub=[4], upper=[3, 3])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-4.0)
+
+    def test_equality_constraint(self):
+        # min x + 2y  s.t. x + y = 3
+        res = _solve([1, 2], a_eq=[[1, 1]], b_eq=[3])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(3.0)
+        assert res.x[0] == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        # x <= 1 and x >= 2  (as -x <= -2)
+        res = _solve([1], a_ub=[[1], [-1]], b_ub=[1, -2])
+        assert res.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        res = _solve([-1])  # min -x, x >= 0 unbounded above
+        assert res.status is SolveStatus.UNBOUNDED
+
+    def test_degenerate_vertex(self):
+        # Multiple constraints active at the optimum.
+        res = _solve(
+            [-1, -1],
+            a_ub=[[1, 0], [0, 1], [1, 1]],
+            b_ub=[2, 2, 2],
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-2.0)
+
+    def test_negative_lower_bounds(self):
+        # min x with x in [-5, 5]
+        res = _solve([1], lower=[-5], upper=[5])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-5.0)
+
+    def test_free_variable(self):
+        # min x  s.t. x >= -7 expressed via constraint, x free
+        res = _solve([1], a_ub=[[-1]], b_ub=[7], lower=[-np.inf])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-7.0)
+
+    def test_upper_bounded_only_variable(self):
+        # min -x with x <= 3 and no lower bound: optimum at 3
+        res = _solve([-1], lower=[-np.inf], upper=[3])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-3.0)
+
+    def test_no_constraints_box_only(self):
+        res = _solve([2, -3], lower=[1, 0], upper=[4, 5])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(2 * 1 - 3 * 5)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_bounded_lps(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 6, 4
+        c = rng.normal(size=n)
+        a_ub = rng.normal(size=(m, n))
+        b_ub = rng.uniform(1, 5, size=m)
+        lower = np.zeros(n)
+        upper = rng.uniform(1, 10, size=n)
+
+        ours = _solve(c, a_ub=a_ub, b_ub=b_ub, lower=lower, upper=upper)
+        ref = _scipy_reference(
+            c, a_ub=a_ub, b_ub=b_ub, bounds=list(zip(lower, upper))
+        )
+        assert ours.status is SolveStatus.OPTIMAL
+        assert ref.status == 0
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_equality_lps(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = 5
+        c = rng.normal(size=n)
+        a_eq = rng.normal(size=(2, n))
+        x_feasible = rng.uniform(0.5, 2.0, size=n)
+        b_eq = a_eq @ x_feasible  # guaranteed feasible
+        lower = np.zeros(n)
+        upper = np.full(n, 10.0)
+
+        ours = _solve(c, a_eq=a_eq, b_eq=b_eq, lower=lower, upper=upper)
+        ref = _scipy_reference(c, a_eq=a_eq, b_eq=b_eq, bounds=[(0, 10)] * n)
+        assert ref.status == 0
+        assert ours.status is SolveStatus.OPTIMAL
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    def test_solution_is_feasible(self):
+        rng = np.random.default_rng(7)
+        n, m = 5, 3
+        c = rng.normal(size=n)
+        a_ub = rng.normal(size=(m, n))
+        b_ub = rng.uniform(1, 5, size=m)
+        res = _solve(c, a_ub=a_ub, b_ub=b_ub, upper=np.full(n, 4.0))
+        assert res.status is SolveStatus.OPTIMAL
+        assert np.all(a_ub @ res.x <= b_ub + 1e-7)
+        assert np.all(res.x >= -1e-9)
+        assert np.all(res.x <= 4.0 + 1e-9)

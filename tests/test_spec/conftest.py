@@ -1,0 +1,79 @@
+"""Shared spec-test fixtures (same mini template as the arch tests)."""
+
+import pytest
+
+from repro.arch.component import Component, ComponentType
+from repro.arch.library import Library
+from repro.arch.template import MappingTemplate, Template
+
+SRC_T = ComponentType("source")
+WORK_T = ComponentType("worker", ("latency", "throughput"))
+SINK_T = ComponentType("sink")
+
+
+@pytest.fixture
+def library():
+    lib = Library()
+    lib.new("src_std", "source", cost=1.0)
+    lib.new("sink_std", "sink", cost=1.0)
+    lib.new("w_slow", "worker", cost=3.0, latency=9.0, throughput=5.0)
+    lib.new("w_fast", "worker", cost=7.0, latency=2.0, throughput=9.0)
+    return lib
+
+
+@pytest.fixture
+def template():
+    t = Template("mini")
+    t.add_component(
+        Component(
+            "src",
+            SRC_T,
+            max_fan_out=1,
+            generated_flow=3.0,
+            output_jitter=0.5,
+            params={"required": 1},
+        )
+    )
+    t.add_component(
+        Component("w1", WORK_T, max_fan_in=1, max_fan_out=1,
+                  input_jitter=1.0, output_jitter=0.5)
+    )
+    t.add_component(
+        Component("w2", WORK_T, max_fan_in=1, max_fan_out=1,
+                  input_jitter=1.0, output_jitter=0.5)
+    )
+    t.add_component(
+        Component(
+            "sink",
+            SINK_T,
+            max_fan_in=1,
+            consumed_flow=3.0,
+            input_jitter=1.0,
+            params={"required": 1},
+        )
+    )
+    t.connect("src", "w1")
+    t.connect("src", "w2")
+    t.connect("w1", "sink")
+    t.connect("w2", "sink")
+    t.mark_source_type("source")
+    t.mark_sink_type("sink")
+    return t
+
+
+@pytest.fixture
+def mt(template, library):
+    return MappingTemplate(template, library, time_bound=100.0)
+
+
+def zero_assignment(mt):
+    """A total assignment with every decision/auxiliary variable at 0."""
+    values = {var: 0.0 for var in mt.structural_vars()}
+    for src, dst in mt.template.edges():
+        values[mt.flow(src, dst)] = 0.0
+        values[mt.time(src, dst)] = 0.0
+        values[mt.nominal_time(src, dst)] = 0.0
+    for component in mt.template.components():
+        for attr in component.ctype.attributes:
+            values[mt.attribute(attr, component.name)] = 0.0
+    return values

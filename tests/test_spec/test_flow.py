@@ -1,0 +1,194 @@
+"""Tests for the flow contract generator."""
+
+import math
+
+import pytest
+
+from repro.contracts.viewpoints import (
+    FLOW,
+    AttributeDirection,
+    Viewpoint,
+)
+from tests.test_spec.conftest import zero_assignment
+from repro.spec.flow import FlowSpec
+
+
+@pytest.fixture
+def spec():
+    return FlowSpec(
+        FLOW, max_source_flow=50.0, max_loss=0.5, min_delivery=3.0
+    )
+
+
+def _flow_assignment(mt, flows=(), impls=(), attrs=()):
+    values = zero_assignment(mt)
+    for comp, impl in impls:
+        values[mt.mapping(comp, impl)] = 1.0
+    for src, dst, value in flows:
+        values[mt.flow(src, dst)] = value
+        values[mt.edge(src, dst)] = 1.0
+    for attr, comp, value in attrs:
+        values[mt.attribute(attr, comp)] = value
+    return values
+
+
+class TestComponentAssumptions:
+    def test_throughput_cap(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        ok = _flow_assignment(
+            mt,
+            flows=[("src", "w1", 3.0)],
+            impls=[("w1", "w_slow")],
+            attrs=[("throughput", "w1", 5.0)],
+        )
+        assert c.assumptions.evaluate(ok)
+        over = _flow_assignment(
+            mt,
+            flows=[("src", "w1", 6.0)],
+            impls=[("w1", "w_slow")],
+            attrs=[("throughput", "w1", 5.0)],
+        )
+        assert not c.assumptions.evaluate(over)
+
+    def test_sink_demand(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("sink"))
+        starved = _flow_assignment(
+            mt, flows=[("w1", "sink", 1.0)], impls=[("sink", "sink_std")]
+        )
+        assert not c.assumptions.evaluate(starved)
+        fed = _flow_assignment(
+            mt, flows=[("w1", "sink", 3.0)], impls=[("sink", "sink_std")]
+        )
+        assert c.assumptions.evaluate(fed)
+
+    def test_uninstantiated_sink_has_no_demand(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("sink"))
+        assert c.assumptions.evaluate(_flow_assignment(mt))
+
+
+class TestComponentGuarantees:
+    def test_conservation_exact(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        balanced = _flow_assignment(
+            mt,
+            flows=[("src", "w1", 3.0), ("w1", "sink", 3.0)],
+            impls=[("w1", "w_slow")],
+        )
+        assert c.guarantees.evaluate(balanced)
+        lossy = _flow_assignment(
+            mt,
+            flows=[("src", "w1", 3.0), ("w1", "sink", 1.0)],
+            impls=[("w1", "w_slow")],
+        )
+        assert not c.guarantees.evaluate(lossy)
+
+    def test_conservation_inequality_mode(self, mt):
+        spec = FlowSpec(FLOW, exact_conservation=False)
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        lossy = _flow_assignment(
+            mt,
+            flows=[("src", "w1", 3.0), ("w1", "sink", 1.0)],
+            impls=[("w1", "w_slow")],
+        )
+        assert c.guarantees.evaluate(lossy)
+        creating = _flow_assignment(
+            mt,
+            flows=[("src", "w1", 1.0), ("w1", "sink", 3.0)],
+            impls=[("w1", "w_slow")],
+        )
+        assert not c.guarantees.evaluate(creating)
+
+    def test_source_generation(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("src"))
+        # src generates 3.0 when instantiated.
+        ok = _flow_assignment(
+            mt, flows=[("src", "w1", 3.0)], impls=[("src", "src_std")]
+        )
+        assert c.guarantees.evaluate(ok)
+        wrong = _flow_assignment(
+            mt, flows=[("src", "w1", 1.0)], impls=[("src", "src_std")]
+        )
+        assert not c.guarantees.evaluate(wrong)
+
+    def test_edge_coupling_blocks_flow_without_edge(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        values = _flow_assignment(mt, impls=[("w1", "w_slow")])
+        # Flow on an unselected edge violates the coupling guarantee.
+        values[mt.flow("w1", "sink")] = 2.0
+        values[mt.edge("w1", "sink")] = 0.0
+        # Also push matching inflow so conservation alone is satisfied.
+        values[mt.flow("src", "w1")] = 2.0
+        values[mt.edge("src", "w1")] = 1.0
+        assert not c.guarantees.evaluate(values)
+
+
+class TestSystemContract:
+    def test_global_bounds(self, mt, spec):
+        c = spec.system_contract(mt)
+        ok = _flow_assignment(
+            mt,
+            flows=[("src", "w1", 3.0), ("w1", "sink", 3.0)],
+        )
+        assert c.assumptions.evaluate(ok)
+        assert c.guarantees.evaluate(ok)
+        lossy = _flow_assignment(
+            mt,
+            flows=[("src", "w1", 4.0), ("w1", "sink", 3.0)],
+        )
+        assert not c.guarantees.evaluate(lossy)  # loss 1.0 > 0.5
+
+    def test_min_delivery(self, mt, spec):
+        c = spec.system_contract(mt)
+        starved = _flow_assignment(
+            mt, flows=[("src", "w1", 2.0), ("w1", "sink", 2.0)]
+        )
+        assert not c.guarantees.evaluate(starved)
+
+    def test_source_cap_assumption(self, mt):
+        spec = FlowSpec(FLOW, max_source_flow=2.0)
+        c = spec.system_contract(mt)
+        heavy = _flow_assignment(mt, flows=[("src", "w1", 3.0)])
+        assert not c.assumptions.evaluate(heavy)
+
+    def test_unbounded_spec_is_trivial(self, mt):
+        spec = FlowSpec(FLOW)
+        c = spec.system_contract(mt)
+        assert c.assumptions.evaluate(_flow_assignment(mt))
+        assert c.guarantees.evaluate(_flow_assignment(mt))
+
+
+class TestPathSpecificFlow:
+    def _make_spec(self):
+        power = Viewpoint(
+            "power",
+            path_specific=True,
+            attribute="latency",  # reuse an existing attr as the loss
+            direction=AttributeDirection.HIGHER_IS_WORSE,
+        )
+        return FlowSpec(
+            power, loss_attribute="latency", path_loss_budget=5.0
+        )
+
+    def test_requires_budget_and_attribute(self):
+        power = Viewpoint(
+            "power",
+            path_specific=True,
+            attribute="loss",
+            direction=AttributeDirection.HIGHER_IS_WORSE,
+        )
+        with pytest.raises(ValueError):
+            FlowSpec(power, loss_attribute="loss")
+        with pytest.raises(ValueError):
+            FlowSpec(power, path_loss_budget=1.0)
+
+    def test_path_budget_contract(self, mt):
+        spec = self._make_spec()
+        c = spec.system_contract(mt, ["src", "w1", "sink"])
+        ok = _flow_assignment(mt, attrs=[("latency", "w1", 2.0)])
+        assert c.guarantees.evaluate(ok)
+        over = _flow_assignment(mt, attrs=[("latency", "w1", 9.0)])
+        assert not c.guarantees.evaluate(over)
+
+    def test_path_contract_requires_path(self, mt):
+        with pytest.raises(ValueError):
+            self._make_spec().system_contract(mt, None)

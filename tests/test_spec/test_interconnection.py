@@ -1,0 +1,127 @@
+"""Tests for the interconnection contract generator.
+
+Contracts are checked *semantically*: evaluate the formulas under
+hand-built structural assignments.
+"""
+
+import pytest
+
+from tests.test_spec.conftest import zero_assignment
+from repro.spec.interconnection import InterconnectionSpec
+
+
+@pytest.fixture
+def spec():
+    return InterconnectionSpec()
+
+
+def _assignment(mt, edges=(), impls=(), attrs=()):
+    """Structural assignment: selected edges / mappings get 1."""
+    values = zero_assignment(mt)
+    for src, dst in edges:
+        values[mt.edge(src, dst)] = 1.0
+    for comp, impl in impls:
+        values[mt.mapping(comp, impl)] = 1.0
+    for attr, comp, value in attrs:
+        values[mt.attribute(attr, comp)] = value
+    return values
+
+
+class TestAssumptions:
+    def test_connected_component_must_map(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        # Connected but unmapped: assumption violated.
+        a = _assignment(mt, edges=[("src", "w1")])
+        assert not c.assumptions.evaluate(a)
+        # Connected and mapped: fine.
+        a = _assignment(mt, edges=[("src", "w1")], impls=[("w1", "w_slow")])
+        assert c.assumptions.evaluate(a)
+
+    def test_disconnected_component_must_not_map(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        a = _assignment(mt, impls=[("w1", "w_slow")])
+        assert not c.assumptions.evaluate(a)
+        assert c.assumptions.evaluate(_assignment(mt))
+
+    def test_at_most_one_mapping(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        a = _assignment(
+            mt,
+            edges=[("src", "w1")],
+            impls=[("w1", "w_slow"), ("w1", "w_fast")],
+        )
+        assert not c.assumptions.evaluate(a)
+
+    def test_required_component_must_map(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("src"))
+        assert not c.assumptions.evaluate(_assignment(mt))
+        a = _assignment(mt, impls=[("src", "src_std")])
+        assert c.assumptions.evaluate(a)
+
+
+class TestGuarantees:
+    def test_attribute_binding(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        good = _assignment(
+            mt,
+            impls=[("w1", "w_slow")],
+            attrs=[("latency", "w1", 9.0), ("throughput", "w1", 5.0)],
+        )
+        assert c.guarantees.evaluate(good)
+        bad = _assignment(
+            mt,
+            impls=[("w1", "w_slow")],
+            attrs=[("latency", "w1", 2.0), ("throughput", "w1", 5.0)],
+        )
+        assert not c.guarantees.evaluate(bad)
+
+    def test_attribute_zero_when_unmapped(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        zero = _assignment(mt)
+        assert c.guarantees.evaluate(zero)
+        nonzero = _assignment(mt, attrs=[("latency", "w1", 9.0)])
+        assert not c.guarantees.evaluate(nonzero)
+
+    def test_fan_in_cap(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("sink"))
+        over = _assignment(
+            mt, edges=[("w1", "sink"), ("w2", "sink")]
+        )
+        assert not c.guarantees.evaluate(over)
+
+    def test_flow_through_coupling(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        # Input without output violates the through-coupling.
+        a = _assignment(
+            mt,
+            edges=[("src", "w1")],
+            impls=[("w1", "w_slow")],
+            attrs=[("latency", "w1", 9.0), ("throughput", "w1", 5.0)],
+        )
+        assert not c.guarantees.evaluate(a)
+        # Input and output together satisfy it.
+        a = _assignment(
+            mt,
+            edges=[("src", "w1"), ("w1", "sink")],
+            impls=[("w1", "w_slow")],
+            attrs=[("latency", "w1", 9.0), ("throughput", "w1", 5.0)],
+        )
+        assert c.guarantees.evaluate(a)
+
+    def test_boundary_source_needs_output_when_mapped(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("src"))
+        a = _assignment(mt, impls=[("src", "src_std")])
+        assert not c.guarantees.evaluate(a)
+        a = _assignment(
+            mt, edges=[("src", "w1")], impls=[("src", "src_std")]
+        )
+        assert c.guarantees.evaluate(a)
+
+    def test_boundary_sink_needs_input_when_mapped(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("sink"))
+        a = _assignment(mt, impls=[("sink", "sink_std")])
+        assert not c.guarantees.evaluate(a)
+        a = _assignment(
+            mt, edges=[("w1", "sink")], impls=[("sink", "sink_std")]
+        )
+        assert c.guarantees.evaluate(a)

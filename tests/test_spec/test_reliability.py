@@ -1,0 +1,83 @@
+"""Tests for the reliability viewpoint."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ContractError
+from repro.spec.reliability import (
+    LOG_SCALE,
+    RELIABILITY,
+    ReliabilitySpec,
+    log_fail_of,
+)
+
+
+class TestLogFail:
+    def test_perfect_reliability_is_zero(self):
+        assert log_fail_of(1.0) == 0.0
+
+    def test_scale(self):
+        assert log_fail_of(math.exp(-0.001)) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        assert log_fail_of(0.9) > log_fail_of(0.99) > log_fail_of(0.999)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ContractError):
+            log_fail_of(0.0)
+        with pytest.raises(ContractError):
+            log_fail_of(1.5)
+
+
+class TestSpec:
+    def test_budget(self):
+        spec = ReliabilitySpec(0.99)
+        assert spec.log_budget == pytest.approx(-math.log(0.99) * LOG_SCALE)
+
+    def test_viewpoint_metadata(self):
+        assert RELIABILITY.path_specific
+        assert RELIABILITY.attribute == "log_fail"
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ContractError):
+            ReliabilitySpec(0.0)
+
+    def test_component_contract_is_trivial(self):
+        from repro.casestudies import wsn
+
+        mt, _ = wsn.build_problem(1, 1, 1)
+        spec = ReliabilitySpec(0.99)
+        c = spec.component_contract(mt, mt.template.component("relay_t1_1"))
+        assert c.assumptions.evaluate({})
+        assert c.guarantees.evaluate({})
+
+    def test_system_contract_needs_path(self):
+        from repro.casestudies import wsn
+
+        mt, _ = wsn.build_problem(1, 1, 1)
+        with pytest.raises(ContractError):
+            ReliabilitySpec(0.99).system_contract(mt, None)
+
+    def test_series_reliability_semantics(self):
+        """The route contract accepts exactly the products >= target."""
+        from repro.casestudies import wsn
+
+        mt, _ = wsn.build_problem(1, 2, 2)
+        spec = ReliabilitySpec(0.99)
+        path = ["sensor_1", "relay_t1_1", "relay_t2_1", "gateway"]
+        contract = spec.system_contract(mt, path)
+        lam1 = mt.attribute("log_fail", "relay_t1_1")
+        lam2 = mt.attribute("log_fail", "relay_t2_1")
+        # 0.996 * 0.996 = 0.992 >= 0.99 -> holds.
+        good = {
+            lam1: log_fail_of(0.996),
+            lam2: log_fail_of(0.996),
+        }
+        assert contract.guarantees.evaluate(good)
+        # 0.992 * 0.992 = 0.984 < 0.99 -> violated.
+        bad = {
+            lam1: log_fail_of(0.992),
+            lam2: log_fail_of(0.992),
+        }
+        assert not contract.guarantees.evaluate(bad)

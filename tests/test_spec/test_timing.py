@@ -1,0 +1,157 @@
+"""Tests for the timing contract generator."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ContractError
+from repro.contracts.viewpoints import TIMING
+from tests.test_spec.conftest import zero_assignment
+from repro.spec.timing import TimingSpec
+
+
+@pytest.fixture
+def spec():
+    return TimingSpec(
+        TIMING, max_latency=10.0, source_jitter=1.0, sink_jitter=2.0
+    )
+
+
+def _timed(mt, edges=(), impls=(), attrs=(), times=()):
+    values = zero_assignment(mt)
+    for src, dst in edges:
+        values[mt.edge(src, dst)] = 1.0
+    for comp, impl in impls:
+        values[mt.mapping(comp, impl)] = 1.0
+    for attr, comp, value in attrs:
+        values[mt.attribute(attr, comp)] = value
+    for src, dst, t, tau in times:
+        values[mt.time(src, dst)] = t
+        values[mt.nominal_time(src, dst)] = tau
+    return values
+
+
+class TestComponentContracts:
+    def test_input_jitter_assumption(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        within = _timed(
+            mt,
+            edges=[("src", "w1")],
+            times=[("src", "w1", 5.5, 5.0)],
+        )
+        assert c.assumptions.evaluate(within)
+        beyond = _timed(
+            mt,
+            edges=[("src", "w1")],
+            times=[("src", "w1", 7.0, 5.0)],
+        )
+        assert not c.assumptions.evaluate(beyond)
+
+    def test_assumption_vacuous_without_edge(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        wild = _timed(mt, times=[("src", "w1", 50.0, 5.0)])
+        assert c.assumptions.evaluate(wild)
+
+    def test_output_jitter_guarantee(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        a = _timed(
+            mt,
+            edges=[("w1", "sink")],
+            times=[("w1", "sink", 8.0, 5.0)],
+        )
+        assert not c.guarantees.evaluate(a)
+
+    def test_latency_guarantee_binds_through_attribute(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        # in at t=5, out nominal 20, latency 9 -> 20 - 5 > 9: violated.
+        late = _timed(
+            mt,
+            edges=[("src", "w1"), ("w1", "sink")],
+            attrs=[("latency", "w1", 9.0)],
+            times=[("src", "w1", 5.0, 5.0), ("w1", "sink", 20.0, 20.0)],
+        )
+        assert not c.guarantees.evaluate(late)
+        on_time = _timed(
+            mt,
+            edges=[("src", "w1"), ("w1", "sink")],
+            attrs=[("latency", "w1", 9.0)],
+            times=[("src", "w1", 5.0, 5.0), ("w1", "sink", 14.0, 14.0)],
+        )
+        assert c.guarantees.evaluate(on_time)
+
+    def test_latency_vacuous_when_disconnected(self, mt, spec):
+        c = spec.component_contract(mt, mt.template.component("w1"))
+        values = _timed(
+            mt,
+            attrs=[("latency", "w1", 1.0)],
+            times=[("src", "w1", 0.0, 0.0), ("w1", "sink", 99.0, 99.0)],
+        )
+        assert c.guarantees.evaluate(values)
+
+    def test_infinite_jitter_generates_no_assumptions(self, mt):
+        spec = TimingSpec(TIMING, max_latency=10.0)
+        sink = mt.template.component("sink")
+        original = sink.input_jitter
+        sink.input_jitter = math.inf
+        try:
+            c = spec.component_contract(mt, sink)
+            wild = _timed(
+                mt,
+                edges=[("w1", "sink")],
+                times=[("w1", "sink", 500.0, 0.0)],
+            )
+            assert c.assumptions.evaluate(wild)
+        finally:
+            sink.input_jitter = original
+
+
+class TestSystemContract:
+    def test_deadline(self, mt, spec):
+        c = spec.system_contract(mt, ["src", "w1", "sink"])
+        fast = _timed(
+            mt,
+            edges=[("src", "w1"), ("w1", "sink")],
+            times=[("src", "w1", 0.0, 0.0), ("w1", "sink", 8.0, 8.0)],
+        )
+        assert c.guarantees.evaluate(fast)
+        slow = _timed(
+            mt,
+            edges=[("src", "w1"), ("w1", "sink")],
+            times=[("src", "w1", 0.0, 0.0), ("w1", "sink", 11.0, 11.0)],
+        )
+        assert not c.guarantees.evaluate(slow)
+
+    def test_source_jitter_assumption(self, mt, spec):
+        c = spec.system_contract(mt, ["src", "w1", "sink"])
+        jittery = _timed(
+            mt,
+            edges=[("src", "w1")],
+            times=[("src", "w1", 3.0, 0.0)],
+        )
+        assert not c.assumptions.evaluate(jittery)
+
+    def test_sink_jitter_guarantee(self, mt, spec):
+        c = spec.system_contract(mt, ["src", "w1", "sink"])
+        jittery = _timed(
+            mt,
+            edges=[("src", "w1"), ("w1", "sink")],
+            times=[("src", "w1", 0.0, 0.0), ("w1", "sink", 3.0, 0.5)],
+        )
+        assert not c.guarantees.evaluate(jittery)
+
+    def test_requires_path(self, mt, spec):
+        with pytest.raises(ContractError):
+            spec.system_contract(mt, None)
+        with pytest.raises(ContractError):
+            spec.system_contract(mt, ["src"])
+
+    def test_latency_expr_falls_back_to_param(self, mt):
+        spec = TimingSpec(TIMING, max_latency=10.0)
+        src = mt.template.component("src")
+        src.params["latency"] = 2.5
+        try:
+            expr = spec._latency_expr(mt, src)
+            assert expr.is_constant
+            assert expr.constant == 2.5
+        finally:
+            del src.params["latency"]
