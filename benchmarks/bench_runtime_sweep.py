@@ -1,0 +1,114 @@
+"""Runtime sweep — serial vs. pooled vs. pooled + on-disk oracle cache.
+
+Runs the same small Table II grid through the batch runtime three ways:
+
+* ``serial``        — one process, no oracle cache (the pre-runtime
+  baseline: each job is the old one-script-at-a-time loop);
+* ``pooled``        — process-pool fan-out, per-process in-memory
+  oracle only;
+* ``pooled+cache``  — process pool sharing an on-disk SQLite oracle,
+  run **twice** against the same database: the first pass seeds it, the
+  second demonstrates the warm-start (nonzero hit rate, lower wall
+  clock).
+
+Knobs: ``REPRO_BENCH_SWEEP_WORKERS`` (default cores-1, capped at 4) and
+``REPRO_BENCH_TIME_LIMIT`` (per-job engine budget, default 120 s).
+"""
+
+import os
+
+import pytest
+
+from repro.runtime.scheduler import Scheduler, default_workers
+from repro.runtime.sweep import run_sweep, table2_grid
+
+from benchmarks.conftest import report, scenario_time_limit
+
+#: Small grid: two EPN templates x three scenarios = 6 jobs.
+TEMPLATES = [(1, 0, 0), (2, 0, 0)]
+
+_RESULTS = {}
+
+
+def _workers() -> int:
+    return int(
+        os.environ.get("REPRO_BENCH_SWEEP_WORKERS", min(4, default_workers()))
+    )
+
+
+def _grid():
+    return table2_grid(
+        templates=TEMPLATES,
+        engine={"max_iterations": 20000, "time_limit": scenario_time_limit()},
+    )
+
+
+def _record(name, reports):
+    _RESULTS[name] = reports
+
+
+def test_serial_sweep(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: run_sweep(_grid(), serial=True, use_cache=False),
+        rounds=1,
+        iterations=1,
+    )
+    _record("serial", [sweep])
+    assert all(r.status in ("optimal", "time_limit") for r in sweep.results)
+
+
+def test_pooled_sweep(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: run_sweep(_grid(), max_workers=_workers()),
+        rounds=1,
+        iterations=1,
+    )
+    _record("pooled", [sweep])
+    assert all(r.status in ("optimal", "time_limit") for r in sweep.results)
+
+
+def test_pooled_cached_sweep(benchmark, tmp_path_factory):
+    cache = str(tmp_path_factory.mktemp("oracle") / "sweep.db")
+
+    def run_twice():
+        cold = run_sweep(
+            _grid(),
+            scheduler=Scheduler(max_workers=_workers(), cache_path=cache),
+        )
+        warm = run_sweep(
+            _grid(),
+            scheduler=Scheduler(max_workers=_workers(), cache_path=cache),
+        )
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    _record("pooled+cache", [cold, warm])
+    # The acceptance criteria of the runtime subsystem: the second run
+    # against the same on-disk cache hits the oracle and is faster.
+    assert warm.cache_totals["hits"] > 0
+    assert warm.cache_totals["hit_rate"] > 0.5
+    assert warm.wall_clock < cold.wall_clock
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _module_report(results_dir):
+    yield
+    if not _RESULTS:
+        return
+    lines = [
+        "Runtime sweep - Table II grid "
+        f"({len(TEMPLATES)} EPN templates x 3 scenarios, "
+        f"{_workers()} workers)",
+        "",
+    ]
+    for name, sweeps in _RESULTS.items():
+        for index, sweep in enumerate(sweeps):
+            arm = name if len(sweeps) == 1 else f"{name} run {index + 1}"
+            totals = sweep.cache_totals
+            lines.append(
+                f"{arm:22s} wall-clock {sweep.wall_clock:8.2f}s   "
+                f"job-time sum {sweep.total_job_time:8.2f}s   "
+                f"cache {totals['hits']:4d} hits / {totals['misses']:4d} "
+                f"misses ({totals['hit_rate']:.0%})"
+            )
+    report(results_dir, "runtime_sweep.txt", "\n".join(lines))

@@ -7,16 +7,22 @@ Commands:
 * ``wsn``      — explore a wireless sensor network instance;
 * ``table2``   — run the Table II scenario comparison on one EPN template;
 * ``topk``     — enumerate the K cheapest valid architectures of a case study;
-* ``diagnose`` — explain why an over-constrained design space is empty.
+* ``diagnose`` — explain why an over-constrained design space is empty;
+* ``sweep``    — fan a job grid (Table II / Fig. 5) out over a process
+  pool, with an optional on-disk oracle cache and JSONL telemetry.
 
 Each exploration command prints the summary, an audit of the selected
-architecture, and optionally writes it as Graphviz DOT.
+architecture, and optionally writes it as Graphviz DOT; ``--json``
+instead prints the machine-readable :class:`repro.runtime.JobResult`
+record the sweep aggregator consumes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.casestudies import epn, rpl, wsn
@@ -68,6 +74,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dot", metavar="FILE", help="write the selected architecture as DOT"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable result record instead of the summary",
+    )
 
 
 def _make_explorer(mapping_template, specification, args) -> ContrArcExplorer:
@@ -80,6 +91,33 @@ def _make_explorer(mapping_template, specification, args) -> ContrArcExplorer:
         max_iterations=args.max_iterations,
         time_limit=args.time_limit,
     )
+
+
+def _case_spec(case: str, args, sizes, problem) -> "JobSpec":
+    """Mirror the CLI invocation as a runtime JobSpec (for --json ids)."""
+    from repro.runtime.job import JobSpec
+
+    return JobSpec(
+        case,
+        sizes=sizes,
+        problem=problem,
+        engine={
+            "backend": args.backend,
+            "use_isomorphism": not args.no_isomorphism,
+            "use_decomposition": not args.no_decomposition,
+            "max_iterations": args.max_iterations,
+            "time_limit": args.time_limit,
+        },
+    )
+
+
+def _emit_json(spec, result, duration: float) -> int:
+    """Print the machine-readable record the sweep aggregator consumes."""
+    from repro.runtime.job import JobResult
+
+    record = JobResult.from_exploration(spec, result, duration=duration)
+    print(json.dumps(record.to_dict(), sort_keys=True))
+    return 0 if result.status is ExplorationStatus.OPTIMAL else 1
 
 
 def _print_result(
@@ -116,7 +154,16 @@ def _cmd_rpl(args) -> int:
     mapping_template, specification = rpl.build_problem(
         args.n_a, args.n_b, deadline=args.deadline
     )
+    started = time.perf_counter()
     result = _make_explorer(mapping_template, specification, args).explore()
+    if args.json:
+        spec = _case_spec(
+            "rpl",
+            args,
+            {"n_a": args.n_a, "n_b": args.n_b},
+            {"deadline": args.deadline},
+        )
+        return _emit_json(spec, result, time.perf_counter() - started)
     return _print_result(
         result, args.dot, audit_context=(mapping_template, specification)
     )
@@ -130,7 +177,16 @@ def _cmd_epn(args) -> int:
         deadline=args.deadline,
         loss_budget=args.loss_budget,
     )
+    started = time.perf_counter()
     result = _make_explorer(mapping_template, specification, args).explore()
+    if args.json:
+        spec = _case_spec(
+            "epn",
+            args,
+            {"left": args.left, "right": args.right, "apu": args.apu},
+            {"deadline": args.deadline, "loss_budget": args.loss_budget},
+        )
+        return _emit_json(spec, result, time.perf_counter() - started)
     return _print_result(
         result, args.dot, audit_context=(mapping_template, specification)
     )
@@ -144,7 +200,20 @@ def _cmd_wsn(args) -> int:
         deadline=args.deadline,
         min_reliability=args.min_reliability,
     )
+    started = time.perf_counter()
     result = _make_explorer(mapping_template, specification, args).explore()
+    if args.json:
+        spec = _case_spec(
+            "wsn",
+            args,
+            {
+                "num_sensors": args.sensors,
+                "num_relays": args.relays,
+                "tiers": args.tiers,
+            },
+            {"deadline": args.deadline, "min_reliability": args.min_reliability},
+        )
+        return _emit_json(spec, result, time.perf_counter() - started)
     return _print_result(
         result, args.dot, audit_context=(mapping_template, specification)
     )
@@ -186,29 +255,28 @@ def _cmd_diagnose(args) -> int:
 
 
 def _cmd_table2(args) -> int:
-    scenarios = {
-        "only-iso": dict(use_isomorphism=True, use_decomposition=False),
-        "only-decomp": dict(
-            use_isomorphism=False,
-            use_decomposition=True,
-            widen_implementations=False,
-        ),
-        "complete": dict(use_isomorphism=True, use_decomposition=True),
-    }
+    from repro.runtime.job import JobResult, JobSpec, SCENARIOS
+
     rows = []
-    for name, flags in scenarios.items():
-        mapping_template, specification = epn.build_problem(
-            args.left, args.right, args.apu
+    records = []
+    for name in ("only-iso", "only-decomp", "complete"):
+        spec = JobSpec(
+            "epn",
+            sizes={"left": args.left, "right": args.right, "apu": args.apu},
+            engine={
+                "scenario": name,
+                "backend": args.backend,
+                "max_iterations": args.max_iterations,
+                "time_limit": args.time_limit,
+            },
         )
-        explorer = ContrArcExplorer(
-            mapping_template,
-            specification,
-            backend=args.backend,
-            max_iterations=args.max_iterations,
-            time_limit=args.time_limit,
-            **flags,
+        started = time.perf_counter()
+        result = spec.make_explorer().explore()
+        records.append(
+            JobResult.from_exploration(
+                spec, result, duration=time.perf_counter() - started
+            ).to_dict()
         )
-        result = explorer.explore()
         rows.append(
             [
                 name,
@@ -218,6 +286,9 @@ def _cmd_table2(args) -> int:
                 f"{result.cost:g}" if result.cost is not None else "-",
             ]
         )
+    if args.json:
+        print(json.dumps(records, sort_keys=True))
+        return 0
     print(
         render_table(
             ["scenario", "status", "time", "iterations", "cost"],
@@ -226,6 +297,45 @@ def _cmd_table2(args) -> int:
         )
     )
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.runtime.scheduler import Scheduler, default_workers
+    from repro.runtime.sweep import GRIDS, run_sweep
+    from repro.runtime.telemetry import NullTelemetry, TelemetryLogger
+
+    engine_flags = {
+        "backend": args.backend,
+        "max_iterations": args.max_iterations,
+        "time_limit": args.time_limit,
+    }
+    specs = GRIDS[args.grid](engine_flags)
+    if args.limit is not None:
+        specs = specs[: args.limit]
+    telemetry = (
+        TelemetryLogger(args.telemetry) if args.telemetry else NullTelemetry()
+    )
+    scheduler = Scheduler(
+        max_workers=args.workers or default_workers(),
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_path=args.cache,
+        use_cache=not args.no_cache,
+        telemetry=telemetry,
+        serial=args.serial,
+    )
+    try:
+        report = run_sweep(specs, scheduler=scheduler)
+    finally:
+        telemetry.close()
+    if args.json:
+        print(json.dumps(report.records, sort_keys=True))
+    else:
+        print(report.render(title=f"sweep {args.grid} ({len(specs)} jobs)"))
+    # Engine outcomes (optimal/infeasible/iteration_limit/time_limit) are
+    # legitimate results; only runtime-level failures make the sweep fail.
+    failures = {"error", "crashed", "timeout", "cancelled"}
+    return 1 if any(r.status in failures for r in report.results) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -273,7 +383,56 @@ def build_parser() -> argparse.ArgumentParser:
     t2_cmd.add_argument("--backend", default="scipy", choices=["scipy", "native"])
     t2_cmd.add_argument("--max-iterations", type=int, default=5000)
     t2_cmd.add_argument("--time-limit", type=float, default=300.0)
+    t2_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable per-scenario records",
+    )
     t2_cmd.set_defaults(func=_cmd_table2)
+
+    sweep_cmd = commands.add_parser(
+        "sweep", help="run a job grid in parallel with a memoized oracle"
+    )
+    sweep_cmd.add_argument(
+        "--grid",
+        default="table2-epn",
+        choices=["table2-epn", "fig5-rpl", "wsn"],
+        help="which job grid to run",
+    )
+    sweep_cmd.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cores-1)"
+    )
+    sweep_cmd.add_argument(
+        "--serial", action="store_true", help="run in-process, no pool"
+    )
+    sweep_cmd.add_argument(
+        "--cache", metavar="FILE", help="shared on-disk SQLite oracle cache"
+    )
+    sweep_cmd.add_argument(
+        "--no-cache", action="store_true", help="disable the oracle cache"
+    )
+    sweep_cmd.add_argument(
+        "--telemetry", metavar="FILE", help="append JSONL run events here"
+    )
+    sweep_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job scheduler wall-clock bound (s)",
+    )
+    sweep_cmd.add_argument(
+        "--retries", type=int, default=1, help="resubmissions after a crash"
+    )
+    sweep_cmd.add_argument(
+        "--limit", type=int, default=None, help="run only the first N jobs"
+    )
+    sweep_cmd.add_argument("--backend", default="scipy", choices=["scipy", "native"])
+    sweep_cmd.add_argument("--max-iterations", type=int, default=5000)
+    sweep_cmd.add_argument("--time-limit", type=float, default=120.0)
+    sweep_cmd.add_argument(
+        "--json", action="store_true", help="print the aggregated records as JSON"
+    )
+    sweep_cmd.set_defaults(func=_cmd_sweep)
 
     def _add_case_flags(sub):
         sub.add_argument("case", choices=sorted(CASE_BUILDERS))

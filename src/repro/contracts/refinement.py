@@ -67,6 +67,7 @@ def check_refinement(
     backend: str = DEFAULT_BACKEND,
     check_assumptions: bool = True,
     saturate_concrete: bool = True,
+    oracle=None,
 ) -> RefinementResult:
     """Check ``concrete <= abstract``.
 
@@ -83,6 +84,10 @@ def check_refinement(
     delivered flow underivable from any composition; the raw form is the
     appropriate check when every component assumption is already
     enforced by the candidate-selection MILP.
+
+    ``oracle`` memoizes the two UNSAT queries (see
+    :func:`repro.solver.feasibility.check_sat`); repeated refinement
+    checks over the same contract pair are served from cache.
     """
     concrete_sat = concrete if not saturate_concrete else concrete.saturate()
     abstract_sat = abstract.saturate()
@@ -91,14 +96,14 @@ def check_refinement(
         assumptions_query = And(
             abstract_sat.assumptions, negate(concrete_sat.assumptions)
         )
-        sat = check_sat(assumptions_query, backend=backend)
+        sat = check_sat(assumptions_query, backend=backend, oracle=oracle)
         if sat:
             return RefinementResult(
                 False, RefinementFailure.ASSUMPTIONS, sat.assignment
             )
 
     guarantees_query = And(concrete_sat.guarantees, negate(abstract_sat.guarantees))
-    sat = check_sat(guarantees_query, backend=backend)
+    sat = check_sat(guarantees_query, backend=backend, oracle=oracle)
     if sat:
         return RefinementResult(False, RefinementFailure.GUARANTEES, sat.assignment)
     return RefinementResult(True)

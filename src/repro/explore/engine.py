@@ -94,9 +94,15 @@ class ContrArcExplorer:
         max_embeddings: int = 0,
         time_limit: Optional[float] = None,
         matcher: str = "native",
+        oracle=None,
     ) -> None:
         #: Subgraph-isomorphism backend for certificate generation.
         self.matcher = matcher
+        #: Optional memoizing oracle (see
+        #: :class:`repro.runtime.oracle.OracleCache`). Serves repeated
+        #: refinement queries and candidate-MILP solves from cache —
+        #: the warm-start seam of the batch runtime.
+        self.oracle = oracle
         if max_iterations < 1:
             raise ExplorationError("max_iterations must be at least 1")
         #: Wall-clock budget in seconds; exploration stops with
@@ -116,6 +122,7 @@ class ContrArcExplorer:
             backend=backend,
             decompose=use_decomposition,
             check_assumptions=check_assumptions,
+            oracle=oracle,
         )
 
     # -- main loop -------------------------------------------------------------
@@ -123,6 +130,8 @@ class ContrArcExplorer:
     def explore(self) -> ExplorationResult:
         """Run the select/verify/prune loop to the optimal architecture."""
         solve = get_backend(self.backend)
+        if self.oracle is not None:
+            solve = self.oracle.wrap_solver(self.backend, solve)
         stats = ExplorationStats()
         cuts: List[Cut] = []
         last_violation: Optional[Violation] = None

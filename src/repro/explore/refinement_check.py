@@ -62,11 +62,17 @@ class RefinementChecker:
         backend: str = "scipy",
         decompose: bool = True,
         check_assumptions: bool = False,
+        oracle=None,
     ) -> None:
         self.mapping_template = mapping_template
         self.specification = specification
         self.backend = backend
         self.decompose = decompose
+        #: Optional memoizing oracle (see
+        #: :class:`repro.runtime.oracle.OracleCache`); forwarded to every
+        #: refinement query so repeated checks across iterations, jobs
+        #: and runs are served from cache.
+        self.oracle = oracle
         #: The assumptions half of refinement is skipped by default: the
         #: candidate MILP already enforces every component assumption, so
         #: only guarantee containment is informative here (see DESIGN.md).
@@ -169,6 +175,7 @@ class RefinementChecker:
             backend=self.backend,
             check_assumptions=self.check_assumptions,
             saturate_concrete=False,
+            oracle=self.oracle,
         )
         if result:
             return None
@@ -201,6 +208,7 @@ class RefinementChecker:
             backend=self.backend,
             check_assumptions=self.check_assumptions,
             saturate_concrete=False,
+            oracle=self.oracle,
         )
         if result:
             return None

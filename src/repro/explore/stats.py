@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 
 class IterationRecord:
@@ -39,6 +39,31 @@ class IterationRecord:
     @property
     def total_time(self) -> float:
         return self.milp_time + self.refinement_time + self.certificate_time
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible record (one telemetry/reporting row)."""
+        return {
+            "index": self.index,
+            "milp_time": self.milp_time,
+            "refinement_time": self.refinement_time,
+            "certificate_time": self.certificate_time,
+            "total_time": self.total_time,
+            "candidate_cost": self.candidate_cost,
+            "violated_viewpoint": self.violated_viewpoint,
+            "cuts_added": self.cuts_added,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "IterationRecord":
+        return cls(
+            data["index"],
+            milp_time=data.get("milp_time", 0.0),
+            refinement_time=data.get("refinement_time", 0.0),
+            certificate_time=data.get("certificate_time", 0.0),
+            candidate_cost=data.get("candidate_cost"),
+            violated_viewpoint=data.get("violated_viewpoint"),
+            cuts_added=data.get("cuts_added", 0),
+        )
 
     def __repr__(self) -> str:
         verdict = self.violated_viewpoint or "accepted"
@@ -77,6 +102,41 @@ class ExplorationStats:
     def record(self, record: IterationRecord) -> None:
         self.iterations.append(record)
         self.total_cuts += record.cuts_added
+
+    def to_dict(self, include_iterations: bool = True) -> Dict[str, Any]:
+        """One serialization path for telemetry and reporting.
+
+        The aggregate wall-clock totals (overall and per phase) are
+        materialized alongside the raw per-iteration rows so consumers
+        never re-derive them from ad-hoc attribute reads.
+        """
+        data: Dict[str, Any] = {
+            "num_iterations": self.num_iterations,
+            "total_time": self.total_time,
+            "milp_time": self.milp_time,
+            "refinement_time": self.refinement_time,
+            "certificate_time": self.certificate_time,
+            "milp_variables": self.milp_variables,
+            "milp_constraints": self.milp_constraints,
+            "total_cuts": self.total_cuts,
+        }
+        if include_iterations:
+            data["iterations"] = [r.to_dict() for r in self.iterations]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExplorationStats":
+        stats = cls()
+        for row in data.get("iterations", []):
+            stats.record(IterationRecord.from_dict(row))
+        stats.total_time = data.get("total_time", 0.0)
+        stats.milp_variables = data.get("milp_variables", 0)
+        stats.milp_constraints = data.get("milp_constraints", 0)
+        # total_cuts was re-accumulated by record(); trust the explicit
+        # figure when the iteration rows were elided.
+        if "total_cuts" in data and not data.get("iterations"):
+            stats.total_cuts = data["total_cuts"]
+        return stats
 
     def __repr__(self) -> str:
         return (

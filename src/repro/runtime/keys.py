@@ -1,0 +1,172 @@
+"""Content-addressed cache keys for solver oracle queries.
+
+The runtime memoizes two kinds of oracle calls:
+
+* satisfiability queries over :class:`repro.expr.constraints.Formula`
+  trees (the refinement checks of Algorithm 1), and
+* full MILP solves of :class:`repro.solver.model.Model` instances (the
+  Problem-2 candidate selection, including accumulated cuts).
+
+Both are keyed by a SHA-256 digest of a *canonical text form* of the
+query. Variables are identified by ``(name, domain, bounds)`` — never by
+the interpreter-level identity the in-process representation uses — so
+the same problem built twice, or built in two different worker
+processes, hashes to the same key. Coefficient maps are sorted by
+variable name, and floats are rendered through :func:`repr` (shortest
+round-trip form), which is stable across CPython processes and
+platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional, Sequence
+
+from repro.contracts.contract import Contract
+from repro.expr.constraints import (
+    And,
+    BoolAtom,
+    BoolConst,
+    Comparison,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+from repro.expr.terms import LinExpr, Var
+from repro.solver.model import ConstraintSense, LinearConstraint, Model
+
+
+def _num(value: float) -> str:
+    """Canonical text for a float (shortest round-trip repr)."""
+    return repr(float(value))
+
+
+def canonical_var(var: Var) -> str:
+    """Canonical text for a variable: name, domain and bounds.
+
+    The per-process ``_uid`` is deliberately excluded — identity must
+    survive rebuilding the problem in another process.
+    """
+    return f"{var.name}:{var.domain.value}:[{_num(var.lb)},{_num(var.ub)}]"
+
+
+def canonical_expr(expr: LinExpr) -> str:
+    """Canonical text for an affine expression (terms sorted by name)."""
+    terms = ",".join(
+        f"{_num(coef)}*{canonical_var(var)}"
+        for var, coef in sorted(expr.coeffs.items(), key=lambda kv: kv[0].name)
+    )
+    return f"({terms}+{_num(expr.constant)})"
+
+
+def canonical_formula(formula: Formula) -> str:
+    """Canonical S-expression for a formula tree."""
+    if isinstance(formula, BoolConst):
+        return "T" if formula.value else "F"
+    if isinstance(formula, Comparison):
+        return f"(cmp {formula.sense.value} {canonical_expr(formula.expr)})"
+    if isinstance(formula, BoolAtom):
+        return f"(atom {canonical_var(formula.var)})"
+    if isinstance(formula, Not):
+        return f"(not {canonical_formula(formula.child)})"
+    if isinstance(formula, (And, Or)):
+        op = "and" if isinstance(formula, And) else "or"
+        inner = " ".join(canonical_formula(c) for c in formula.children)
+        return f"({op} {inner})"
+    if isinstance(formula, Implies):
+        return (
+            f"(implies {canonical_formula(formula.antecedent)} "
+            f"{canonical_formula(formula.consequent)})"
+        )
+    if isinstance(formula, Iff):
+        return (
+            f"(iff {canonical_formula(formula.left)} "
+            f"{canonical_formula(formula.right)})"
+        )
+    raise TypeError(f"cannot canonicalize {type(formula).__name__}")
+
+
+def _digest(*parts: str) -> str:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def formula_key(
+    formula: Formula,
+    backend: str = "",
+    default_big_m: Optional[float] = None,
+) -> str:
+    """Cache key for a satisfiability query.
+
+    The backend and big-M relaxation are part of the key: a different
+    backend or relaxation may legitimately answer borderline queries
+    differently, and a cache must never launder one configuration's
+    answer into another's.
+    """
+    big_m = "" if default_big_m is None else _num(default_big_m)
+    return _digest("sat", backend, big_m, canonical_formula(formula))
+
+
+def contract_key(contract: Contract) -> str:
+    """Cache key for a contract's (assumptions, guarantees) pair.
+
+    The contract *name* is excluded: two contracts with identical
+    formulas are the same query regardless of labeling.
+    """
+    return _digest(
+        "contract",
+        canonical_formula(contract.assumptions),
+        canonical_formula(contract.guarantees),
+    )
+
+
+def contract_pair_key(
+    concrete: Contract,
+    abstract: Contract,
+    check_assumptions: bool,
+    saturate_concrete: bool,
+) -> str:
+    """Cache key for one refinement query ``concrete <= abstract``."""
+    return _digest(
+        "refines",
+        contract_key(concrete),
+        contract_key(abstract),
+        f"a={int(check_assumptions)}",
+        f"s={int(saturate_concrete)}",
+    )
+
+
+def _canonical_constraint(constraint: LinearConstraint) -> str:
+    return (
+        f"({constraint.sense.value} {canonical_expr(constraint.expr)} "
+        f"{_num(constraint.rhs)})"
+    )
+
+
+def model_key(model: Model, backend: str = "") -> str:
+    """Cache key for a full MILP solve.
+
+    Hashes the complete mathematical content — variables with domains
+    and bounds, every constraint row, the objective and its sense — but
+    not model/constraint *names*, so a rebuilt model with identical
+    mathematics warm-starts from a previous run's answer. Constraint
+    order is preserved (it is deterministic per build and cheap to keep).
+    """
+    variables = ";".join(
+        canonical_var(v) for v in sorted(model.variables, key=lambda v: v.name)
+    )
+    constraints = ";".join(_canonical_constraint(c) for c in model.constraints)
+    objective = (
+        f"{'min' if model.minimize else 'max'} {canonical_expr(model.objective)}"
+    )
+    return _digest("milp", backend, variables, constraints, objective)
+
+
+def text_key(*parts: str) -> str:
+    """Generic digest over text parts (used for job ids)."""
+    return _digest(*parts)

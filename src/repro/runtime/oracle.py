@@ -1,0 +1,221 @@
+"""Memoizing oracle for satisfiability and MILP feasibility calls.
+
+The exploration loop (Fig. 1) and the Table II / Fig. 5 sweeps re-issue
+near-identical solver queries: the same path-refinement UNSAT checks
+recur across iterations, scenarios and template sizes, and a re-run of a
+sweep repeats *every* query verbatim. :class:`OracleCache` intercepts
+those calls behind a small protocol seam (see
+:func:`repro.solver.feasibility.check_sat` and
+:class:`repro.explore.engine.ContrArcExplorer`) and serves repeats from
+an in-memory LRU, optionally backed by an on-disk
+:class:`repro.runtime.store.SQLiteStore` so later runs warm-start.
+
+Cached values are plain JSON-compatible dicts with assignments keyed by
+*variable name*; on a hit the witness is re-attached to the querying
+formula's (or model's) own :class:`~repro.expr.terms.Var` objects, so
+identity-based variable semantics are preserved inside each process.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
+
+from repro.expr.constraints import Formula
+from repro.expr.terms import Var
+from repro.runtime.keys import formula_key, model_key
+from repro.solver.model import Model
+from repro.solver.result import SolveResult, SolveStatus
+
+
+class OracleStats:
+    """Hit/miss/store counters for one oracle instance."""
+
+    __slots__ = ("hits", "misses", "stores", "uncacheable")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Queries skipped because the result cannot be keyed safely
+        #: (e.g. duplicate variable names would make a by-name witness
+        #: ambiguous).
+        self.uncacheable = 0
+
+    @property
+    def queries(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.queries if self.queries else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "uncacheable": self.uncacheable,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OracleStats(hits={self.hits}, misses={self.misses}, "
+            f"rate={self.hit_rate:.0%})"
+        )
+
+
+class OracleCache:
+    """Content-addressed memo for sat queries and MILP solves.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity of the in-memory layer (per process).
+    store:
+        Optional persistent second layer with ``get(key) -> dict | None``
+        and ``put(key, value: dict)`` — see
+        :class:`repro.runtime.store.SQLiteStore`. Misses that fall
+        through memory consult the store; computed answers are written
+        to both layers.
+    """
+
+    def __init__(self, max_entries: int = 100_000, store: Optional[Any] = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.store = store
+        self.stats = OracleStats()
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+
+    # -- generic two-layer lookup ------------------------------------------
+
+    def _get(self, key: str) -> Optional[Dict[str, Any]]:
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return self._memory[key]
+        if self.store is not None:
+            value = self.store.get(key)
+            if value is not None:
+                self._remember(key, value)
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def _put(self, key: str, value: Dict[str, Any]) -> None:
+        self._remember(key, value)
+        if self.store is not None:
+            self.store.put(key, value)
+        self.stats.stores += 1
+
+    def _remember(self, key: str, value: Dict[str, Any]) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- the oracle protocol ------------------------------------------------
+
+    def sat_query(
+        self,
+        formula: Formula,
+        backend: str,
+        default_big_m: Optional[float],
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Serve a satisfiability query, computing on miss.
+
+        ``compute`` returns a :class:`repro.solver.feasibility.SatResult`;
+        the class is not imported here to keep the dependency one-way
+        (runtime -> solver at call time only).
+        """
+        by_name = {var.name: var for var in formula.variables()}
+        if len(by_name) != len(formula.variables()):
+            # Duplicate names would make the by-name witness ambiguous.
+            self.stats.uncacheable += 1
+            return compute()
+        key = formula_key(formula, backend=backend, default_big_m=default_big_m)
+        cached = self._get(key)
+        if cached is not None:
+            from repro.solver.feasibility import SatResult
+
+            witness = {
+                by_name[name]: value
+                for name, value in cached["witness"].items()
+                if name in by_name
+            }
+            return SatResult(bool(cached["sat"]), witness)
+        result = compute()
+        self._put(
+            key,
+            {
+                "sat": bool(result.satisfiable),
+                "witness": {
+                    var.name: float(value)
+                    for var, value in result.assignment.items()
+                },
+            },
+        )
+        return result
+
+    def milp_solve(
+        self,
+        model: Model,
+        backend: str,
+        solve: Callable[[Model], SolveResult],
+    ) -> SolveResult:
+        """Serve a full MILP solve, computing on miss."""
+        by_name = {var.name: var for var in model.variables}
+        if len(by_name) != model.num_variables:
+            self.stats.uncacheable += 1
+            return solve(model)
+        key = model_key(model, backend=backend)
+        cached = self._get(key)
+        if cached is not None:
+            assignment = {
+                by_name[name]: value
+                for name, value in cached["assignment"].items()
+                if name in by_name
+            }
+            return SolveResult(
+                SolveStatus(cached["status"]),
+                objective=cached["objective"],
+                assignment=assignment,
+                iterations=int(cached.get("iterations", 0)),
+                message=cached.get("message", ""),
+            )
+        result = solve(model)
+        if result.status not in (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE):
+            # Limits and errors are run-specific; never replay them.
+            self.stats.uncacheable += 1
+            return result
+        self._put(
+            key,
+            {
+                "status": result.status.value,
+                "objective": result.objective,
+                "assignment": {
+                    var.name: float(value)
+                    for var, value in result.assignment.items()
+                },
+                "iterations": result.iterations,
+                "message": result.message,
+            },
+        )
+        return result
+
+    def wrap_solver(
+        self, backend: str, solve: Callable[[Model], SolveResult]
+    ) -> Callable[[Model], SolveResult]:
+        """Return a drop-in ``solve(model)`` that consults the cache."""
+
+        def cached_solve(model: Model) -> SolveResult:
+            return self.milp_solve(model, backend, solve)
+
+        return cached_solve

@@ -1,0 +1,249 @@
+"""Fan jobs out over a process pool with timeouts, retries, telemetry.
+
+The :class:`Scheduler` turns a list of :class:`JobSpec` into a list of
+:class:`JobResult`:
+
+* ``serial=True`` runs jobs in-process (no pool) — useful as the
+  baseline arm of benchmarks and anywhere fork overhead dwarfs the
+  work;
+* otherwise jobs are submitted to a ``ProcessPoolExecutor``. A worker
+  that *returns* an error record consumed its own exception; a worker
+  process that dies (segfault, OOM kill) surfaces as
+  ``BrokenProcessPool`` — the pool is rebuilt and the affected job is
+  resubmitted up to ``retries`` times before being reported as
+  ``crashed``.
+* ``timeout`` bounds each job's wall clock from the parent's side. A
+  pending job past its deadline is cancelled; a *running* one cannot be
+  interrupted cooperatively, so the scheduler records ``timeout`` and
+  abandons the future — pass the engine-level ``time_limit`` in the
+  spec as well to bound the worker itself.
+* ``KeyboardInterrupt`` cancels everything pending and returns the
+  results gathered so far (each un-run job reported as ``cancelled``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runtime.job import JobResult, JobSpec
+from repro.runtime.telemetry import NullTelemetry
+from repro.runtime.worker import run_job
+
+
+def default_workers() -> int:
+    """Default pool size: all cores but one (at least one)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class _Pending:
+    """Book-keeping for one in-flight job."""
+
+    __slots__ = ("spec", "attempts", "submitted")
+
+    def __init__(self, spec: JobSpec, attempts: int, submitted: float) -> None:
+        self.spec = spec
+        self.attempts = attempts
+        self.submitted = submitted
+
+
+class Scheduler:
+    """Run exploration jobs serially or over a process pool."""
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        cache_path: Optional[str] = None,
+        use_cache: bool = True,
+        telemetry=None,
+        serial: bool = False,
+        poll_interval: float = 0.2,
+    ) -> None:
+        self.max_workers = max_workers or default_workers()
+        self.timeout = timeout
+        self.retries = retries
+        self.cache_path = cache_path
+        self.use_cache = use_cache
+        self.telemetry = telemetry if telemetry is not None else NullTelemetry()
+        self.serial = serial
+        self.poll_interval = poll_interval
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        """Execute all jobs; results come back in input order."""
+        self.telemetry.emit(
+            "sweep_start",
+            jobs=len(specs),
+            workers=1 if self.serial else self.max_workers,
+            serial=self.serial,
+            cache_path=self.cache_path,
+        )
+        started = time.perf_counter()
+        if self.serial:
+            results = self._run_serial(specs)
+        else:
+            results = self._run_pooled(specs)
+        statuses: Dict[str, int] = {}
+        for result in results:
+            statuses[result.status] = statuses.get(result.status, 0) + 1
+        self.telemetry.emit(
+            "sweep_end",
+            jobs=len(specs),
+            wall_clock=time.perf_counter() - started,
+            statuses=statuses,
+        )
+        return results
+
+    # -- serial path ------------------------------------------------------------
+
+    def _run_serial(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        results: List[JobResult] = []
+        for spec in specs:
+            self.telemetry.emit("job_start", job_id=spec.job_id, label=spec.label)
+            record = run_job(
+                spec.to_dict(), cache_path=self.cache_path, use_cache=self.use_cache
+            )
+            result = JobResult.from_dict(record)
+            self._emit_end(result)
+            results.append(result)
+        return results
+
+    # -- pooled path ------------------------------------------------------------
+
+    def _run_pooled(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        by_id: Dict[str, JobResult] = {}
+        queue: List[_Pending] = [_Pending(s, 1, 0.0) for s in specs]
+        executor = self._new_executor()
+        futures: Dict[concurrent.futures.Future, _Pending] = {}
+        try:
+            while queue or futures:
+                while queue and len(futures) < self.max_workers * 2:
+                    pending = queue.pop(0)
+                    pending.submitted = time.perf_counter()
+                    self.telemetry.emit(
+                        "job_start",
+                        job_id=pending.spec.job_id,
+                        label=pending.spec.label,
+                        attempt=pending.attempts,
+                    )
+                    futures[self._submit(executor, pending)] = pending
+                done, _ = concurrent.futures.wait(
+                    futures,
+                    timeout=self.poll_interval,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    pending = futures.pop(future)
+                    broken = isinstance(future.exception(), BrokenProcessPool)
+                    outcome = self._collect(future, pending, queue)
+                    if outcome is not None:
+                        by_id[outcome.job_id] = outcome
+                    if broken:
+                        # The pool is unusable after a worker death;
+                        # rebuild it and resubmit everything in flight.
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = self._new_executor()
+                        queue.extend(futures.values())
+                        futures.clear()
+                        break
+                self._expire_timeouts(futures, queue, by_id)
+        except KeyboardInterrupt:
+            executor.shutdown(wait=False, cancel_futures=True)
+            for pending in list(futures.values()) + queue:
+                by_id[pending.spec.job_id] = JobResult(
+                    pending.spec.job_id, pending.spec, "cancelled",
+                    attempts=pending.attempts,
+                )
+            self.telemetry.emit("sweep_cancelled", completed=len(by_id))
+        else:
+            executor.shutdown()
+        return [
+            by_id.get(
+                spec.job_id,
+                JobResult(spec.job_id, spec, "cancelled"),
+            )
+            for spec in specs
+        ]
+
+    def _new_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def _submit(self, executor, pending: _Pending) -> concurrent.futures.Future:
+        return executor.submit(
+            run_job,
+            pending.spec.to_dict(),
+            cache_path=self.cache_path,
+            use_cache=self.use_cache,
+        )
+
+    def _collect(
+        self,
+        future: concurrent.futures.Future,
+        pending: _Pending,
+        queue: List[_Pending],
+    ) -> Optional[JobResult]:
+        """Turn a completed future into a result, or requeue on crash.
+
+        Returns None when the job was requeued (or the pool broke and
+        the caller must rebuild it).
+        """
+        error = future.exception()
+        if error is None:
+            record = future.result()
+            record["attempts"] = pending.attempts
+            result = JobResult.from_dict(record)
+            self._emit_end(result)
+            return result
+        if pending.attempts <= self.retries:
+            self.telemetry.emit(
+                "job_retry",
+                job_id=pending.spec.job_id,
+                attempt=pending.attempts,
+                error=repr(error),
+            )
+            queue.append(_Pending(pending.spec, pending.attempts + 1, 0.0))
+            return None
+        result = JobResult(
+            pending.spec.job_id,
+            pending.spec,
+            "crashed",
+            error=repr(error),
+            attempts=pending.attempts,
+        )
+        self._emit_end(result)
+        return result
+
+    def _expire_timeouts(
+        self,
+        futures: Dict[concurrent.futures.Future, _Pending],
+        queue: List[_Pending],
+        by_id: Dict[str, JobResult],
+    ) -> None:
+        if self.timeout is None:
+            return
+        now = time.perf_counter()
+        for future, pending in list(futures.items()):
+            if now - pending.submitted <= self.timeout:
+                continue
+            future.cancel()
+            del futures[future]
+            result = JobResult(
+                pending.spec.job_id,
+                pending.spec,
+                "timeout",
+                attempts=pending.attempts,
+                duration=now - pending.submitted,
+            )
+            by_id[result.job_id] = result
+            self.telemetry.emit(
+                "job_timeout", job_id=result.job_id, after=self.timeout
+            )
+
+    def _emit_end(self, result: JobResult) -> None:
+        self.telemetry.emit("job_end", **result.to_dict())

@@ -1,0 +1,69 @@
+"""On-disk persistence for the oracle cache.
+
+A :class:`SQLiteStore` is a process-safe key/value table of JSON
+payloads. Worker processes of one sweep share a single database file:
+SQLite's own locking (plus WAL journaling and a generous busy timeout)
+serializes the writes, and because every entry is content-addressed a
+lost race simply re-writes an identical row.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from typing import Any, Dict, Optional
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS oracle_cache (
+    key     TEXT PRIMARY KEY,
+    value   TEXT NOT NULL,
+    created REAL NOT NULL
+)
+"""
+
+
+class SQLiteStore:
+    """Persistent JSON key/value store backing :class:`OracleCache`."""
+
+    def __init__(self, path: str, busy_timeout: float = 30.0) -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path, timeout=busy_timeout)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(_SCHEMA)
+        self._conn.commit()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        row = self._conn.execute(
+            "SELECT value FROM oracle_cache WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO oracle_cache (key, value, created) "
+            "VALUES (?, ?, ?)",
+            (key, json.dumps(value, sort_keys=True), time.time()),
+        )
+        self._conn.commit()
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM oracle_cache").fetchone()[0]
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteStore":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SQLiteStore({self.path!r}, entries={len(self)})"

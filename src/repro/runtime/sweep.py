@@ -1,0 +1,177 @@
+"""Sweep grids and result aggregation.
+
+Builders produce the job grids behind the paper's artifacts:
+
+* :func:`table2_grid` — the Table II matrix: EPN templates x the three
+  certificate scenarios;
+* :func:`fig5_rpl_grid` — the Fig. 5a axis: RPL instances of growing
+  size under the complete method;
+* :func:`wsn_grid` — a WSN scaling sweep (the "as many scenarios as you
+  can imagine" axis beyond the paper).
+
+:func:`run_sweep` drives a :class:`~repro.runtime.scheduler.Scheduler`
+over a grid and returns a :class:`SweepReport` whose rows are plain
+``JobResult.to_dict()`` records — the same records the per-command
+``--json`` CLI flag prints, so ad-hoc runs and sweeps aggregate through
+one path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.job import JobResult, JobSpec, SCENARIOS
+from repro.runtime.scheduler import Scheduler
+from repro.reporting.tables import format_seconds, render_table
+
+#: The representative Table II subset used when a full sweep is not
+#: requested (mirrors benchmarks/conftest.py).
+DEFAULT_EPN_TEMPLATES: Tuple[Tuple[int, int, int], ...] = (
+    (1, 0, 0),
+    (2, 0, 0),
+    (1, 1, 0),
+    (2, 1, 0),
+)
+
+
+def _engine(flags: Optional[Dict[str, Any]], **extra: Any) -> Dict[str, Any]:
+    merged = dict(extra)
+    merged.update(flags or {})
+    return {k: v for k, v in merged.items() if v is not None}
+
+
+def table2_grid(
+    templates: Optional[Sequence[Tuple[int, int, int]]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    engine: Optional[Dict[str, Any]] = None,
+) -> List[JobSpec]:
+    """EPN templates x certificate scenarios (the Table II matrix)."""
+    specs = []
+    for left, right, apu in templates or DEFAULT_EPN_TEMPLATES:
+        for scenario in scenarios or sorted(SCENARIOS):
+            specs.append(
+                JobSpec(
+                    "epn",
+                    sizes={"left": left, "right": right, "apu": apu},
+                    engine=_engine(engine, scenario=scenario),
+                    label=f"epn({left},{right},{apu}) {scenario}",
+                )
+            )
+    return specs
+
+
+def fig5_rpl_grid(
+    max_n: int = 3,
+    engine: Optional[Dict[str, Any]] = None,
+) -> List[JobSpec]:
+    """RPL instances of growing size (the Fig. 5a runtime axis)."""
+    return [
+        JobSpec(
+            "rpl",
+            sizes={"n_a": n, "n_b": 0},
+            engine=_engine(engine, scenario="complete"),
+            label=f"rpl(n={n}) complete",
+        )
+        for n in range(1, max_n + 1)
+    ]
+
+
+def wsn_grid(
+    max_sensors: int = 3,
+    relays: int = 2,
+    tiers: int = 1,
+    engine: Optional[Dict[str, Any]] = None,
+) -> List[JobSpec]:
+    """WSN instances of growing sensor count."""
+    return [
+        JobSpec(
+            "wsn",
+            sizes={"num_sensors": s, "num_relays": relays, "tiers": tiers},
+            engine=_engine(engine, scenario="complete"),
+            label=f"wsn(s={s},r={relays},t={tiers}) complete",
+        )
+        for s in range(1, max_sensors + 1)
+    ]
+
+
+GRIDS = {
+    "table2-epn": lambda args: table2_grid(engine=args),
+    "fig5-rpl": lambda args: fig5_rpl_grid(engine=args),
+    "wsn": lambda args: wsn_grid(engine=args),
+}
+
+
+class SweepReport:
+    """Aggregated outcome of one sweep run."""
+
+    def __init__(
+        self, results: Sequence[JobResult], wall_clock: float
+    ) -> None:
+        self.results = list(results)
+        self.wall_clock = wall_clock
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """The machine-readable rows (``JobResult.to_dict()`` each)."""
+        return [result.to_dict() for result in self.results]
+
+    @property
+    def cache_totals(self) -> Dict[str, Any]:
+        hits = sum(r.cache.get("hits", 0) for r in self.results)
+        misses = sum(r.cache.get("misses", 0) for r in self.results)
+        queries = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / queries if queries else 0.0,
+        }
+
+    @property
+    def total_job_time(self) -> float:
+        """Sum of per-job durations (serial-equivalent wall clock)."""
+        return sum(r.duration for r in self.results)
+
+    def render(self, title: str = "sweep") -> str:
+        rows = []
+        for result in self.results:
+            stats = result.stats
+            rows.append(
+                [
+                    result.spec.label,
+                    result.job_id[:8],
+                    result.status,
+                    format_seconds(result.duration),
+                    stats.get("num_iterations"),
+                    f"{result.cost:g}" if result.cost is not None else "-",
+                    f"{result.cache.get('hit_rate', 0.0):.0%}"
+                    if result.cache
+                    else "-",
+                ]
+            )
+        table = render_table(
+            ["job", "id", "status", "time", "iters", "cost", "cache"],
+            rows,
+            title=title,
+        )
+        totals = self.cache_totals
+        footer = (
+            f"wall-clock {self.wall_clock:.2f}s over {len(self.results)} jobs "
+            f"(sum of job times {self.total_job_time:.2f}s); "
+            f"oracle cache: {totals['hits']} hits / "
+            f"{totals['misses']} misses ({totals['hit_rate']:.0%})"
+        )
+        return f"{table}\n{footer}"
+
+
+def run_sweep(
+    specs: Sequence[JobSpec],
+    scheduler: Optional[Scheduler] = None,
+    **scheduler_kwargs: Any,
+) -> SweepReport:
+    """Run a grid and aggregate it. Extra kwargs configure the scheduler."""
+    import time
+
+    scheduler = scheduler or Scheduler(**scheduler_kwargs)
+    started = time.perf_counter()
+    results = scheduler.run(specs)
+    return SweepReport(results, time.perf_counter() - started)

@@ -1,0 +1,93 @@
+"""Structured run telemetry as JSON Lines.
+
+One event per line, each a flat-ish JSON object with at least ``event``
+and ``ts`` (Unix seconds). The scheduler emits lifecycle events
+(``sweep_start``, ``job_start``, ``job_end``, ``job_retry``,
+``job_timeout``, ``sweep_end``); ``job_end`` events embed the full
+:class:`~repro.runtime.job.JobResult` record, including the
+per-iteration MILP/refinement/certificate timings from
+:meth:`ExplorationStats.to_dict` and the job's oracle cache counters, so
+`reporting.tables` (or any JSONL consumer) can rebuild every sweep
+artifact offline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
+
+
+class TelemetryLogger:
+    """Append-only JSONL event writer.
+
+    Accepts a filesystem path (opened in append mode, so several
+    sequential runs can share one journal) or any writable text stream.
+    """
+
+    def __init__(self, sink: Union[str, IO[str]]) -> None:
+        if isinstance(sink, str):
+            self._stream: IO[str] = open(sink, "a", encoding="utf-8")
+            self._owns_stream = True
+            self.path: Optional[str] = sink
+        else:
+            self._stream = sink
+            self._owns_stream = False
+            self.path = None
+        self.events_emitted = 0
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Write one event; returns the record for convenience."""
+        record = {"event": event, "ts": time.time()}
+        record.update(fields)
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+        self.events_emitted += 1
+        return record
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "TelemetryLogger":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+class NullTelemetry:
+    """No-op stand-in used when no journal is requested."""
+
+    events_emitted = 0
+    path = None
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTelemetry":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        pass
+
+
+def read_events(path: str, event: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Load a JSONL journal, optionally filtered to one event type."""
+    return [
+        record
+        for record in iter_events(path)
+        if event is None or record.get("event") == event
+    ]
+
+
+def iter_events(path: str) -> Iterator[Dict[str, Any]]:
+    """Stream a JSONL journal one decoded record at a time."""
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

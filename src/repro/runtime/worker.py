@@ -1,0 +1,80 @@
+"""Process-pool worker entry point.
+
+Only JSON-compatible dicts cross the process boundary: the parent sends
+``JobSpec.to_dict()`` payloads, the worker rebuilds the problem, runs
+the exploration with a per-process :class:`OracleCache` (optionally
+backed by the sweep's shared SQLite file) and returns
+``JobResult.to_dict()``. Keeping the boundary dict-shaped makes the
+worker indifferent to pickling details of live model objects and lets
+the scheduler journal raw payloads straight into telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Dict, Optional
+
+from repro.runtime.job import JobResult, JobSpec
+from repro.runtime.oracle import OracleCache
+
+#: Per-process oracle, keyed by cache path, so one worker process reuses
+#: its in-memory layer (and SQLite connection) across the many jobs the
+#: pool feeds it.
+_PROCESS_ORACLES: Dict[Optional[str], OracleCache] = {}
+
+
+def _oracle_for(cache_path: Optional[str], use_cache: bool) -> Optional[OracleCache]:
+    if not use_cache:
+        return None
+    if cache_path not in _PROCESS_ORACLES:
+        store = None
+        if cache_path is not None:
+            from repro.runtime.store import SQLiteStore
+
+            store = SQLiteStore(cache_path)
+        _PROCESS_ORACLES[cache_path] = OracleCache(store=store)
+    return _PROCESS_ORACLES[cache_path]
+
+
+def run_job(
+    spec_dict: Dict[str, Any],
+    cache_path: Optional[str] = None,
+    use_cache: bool = True,
+) -> Dict[str, Any]:
+    """Execute one job and return its ``JobResult.to_dict()`` record.
+
+    Exceptions are captured into an ``error`` record rather than
+    propagated — a crashed *query* should fail one job, not poison the
+    pool. (Hard crashes of the worker process itself are handled by the
+    scheduler's retry logic.)
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    oracle = _oracle_for(cache_path, use_cache)
+    before = oracle.stats.to_dict() if oracle is not None else None
+    started = time.perf_counter()
+    try:
+        result = spec.make_explorer(oracle=oracle).explore()
+    except Exception:
+        return JobResult(
+            spec.job_id,
+            spec,
+            "error",
+            error=traceback.format_exc(limit=20),
+            duration=time.perf_counter() - started,
+        ).to_dict()
+    cache_stats = None
+    if oracle is not None:
+        after = oracle.stats.to_dict()
+        cache_stats = {
+            key: after[key] - before[key]
+            for key in ("hits", "misses", "stores", "uncacheable")
+        }
+        queries = cache_stats["hits"] + cache_stats["misses"]
+        cache_stats["hit_rate"] = cache_stats["hits"] / queries if queries else 0.0
+    return JobResult.from_exploration(
+        spec,
+        result,
+        cache=cache_stats,
+        duration=time.perf_counter() - started,
+    ).to_dict()

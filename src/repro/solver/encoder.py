@@ -36,9 +36,6 @@ from repro.expr.terms import LinExpr, Var
 from repro.expr.transform import to_nnf
 from repro.solver.model import Model
 
-_selector_counter = itertools.count()
-
-
 class FormulaEncoder:
     """Encodes NNF formulas into a target :class:`Model`."""
 
@@ -51,6 +48,12 @@ class FormulaEncoder:
         self.model = model
         self.default_big_m = default_big_m
         self.prefix = prefix
+        # Selector names number per-encoder (not via a module-global
+        # counter) so identical builds produce identical variable names
+        # — the content-addressed oracle cache keys depend on it. Each
+        # model pairs every prefix with at most one encoder, which keeps
+        # the names unique.
+        self._selector_counter = itertools.count()
 
     # -- public API -----------------------------------------------------------
 
@@ -183,7 +186,7 @@ class FormulaEncoder:
         )
 
     def _new_selector(self) -> Var:
-        name = f"{self.prefix}__sel{next(_selector_counter)}"
+        name = f"{self.prefix}__sel{next(self._selector_counter)}"
         return self.model.new_binary(name)
 
 

@@ -60,8 +60,22 @@ def check_sat(
     formula: Formula,
     backend: str = DEFAULT_BACKEND,
     default_big_m: Optional[float] = None,
+    oracle=None,
 ) -> SatResult:
-    """Decide satisfiability of ``formula`` over its variables' domains."""
+    """Decide satisfiability of ``formula`` over its variables' domains.
+
+    ``oracle`` is the memoization seam used by the batch runtime: any
+    object with a ``sat_query(formula, backend, default_big_m, compute)``
+    method (see :class:`repro.runtime.oracle.OracleCache`) may intercept
+    the query and serve repeats without re-solving.
+    """
+    if oracle is not None:
+        return oracle.sat_query(
+            formula,
+            backend,
+            default_big_m,
+            lambda: check_sat(formula, backend=backend, default_big_m=default_big_m),
+        )
     model = Model("sat-query")
     for var in sorted(formula.variables(), key=lambda v: v.name):
         model.add_variable(var)
@@ -86,6 +100,9 @@ def is_unsat(
     formula: Formula,
     backend: str = DEFAULT_BACKEND,
     default_big_m: Optional[float] = None,
+    oracle=None,
 ) -> bool:
     """True iff ``formula`` has no satisfying assignment."""
-    return not check_sat(formula, backend=backend, default_big_m=default_big_m)
+    return not check_sat(
+        formula, backend=backend, default_big_m=default_big_m, oracle=oracle
+    )

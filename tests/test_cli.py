@@ -90,3 +90,77 @@ class TestExecution:
         out = capsys.readouterr().out
         assert code == 1
         assert "diagnosis unavailable" in out
+
+
+class TestJsonOutput:
+    def test_rpl_json_record(self, capsys):
+        import json
+
+        code = main(["rpl", "--n-a", "1", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        record = json.loads(out)
+        assert record["status"] == "optimal"
+        assert record["spec"]["case"] == "rpl"
+        assert record["spec"]["sizes"] == {"n_a": 1, "n_b": 0}
+        assert record["stats"]["num_iterations"] >= 1
+        assert record["selected"]
+        assert record["job_id"]
+
+    def test_json_id_matches_runtime_spec(self, capsys):
+        import json
+
+        from repro.runtime.job import JobSpec
+
+        main(["rpl", "--n-a", "1", "--json"])
+        record = json.loads(capsys.readouterr().out)
+        assert record["job_id"] == JobSpec.from_dict(record["spec"]).job_id
+
+    def test_table2_json_records(self, capsys):
+        import json
+
+        code = main(
+            ["table2", "--left", "1", "--right", "0", "--time-limit", "60",
+             "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        records = json.loads(out)
+        assert len(records) == 3
+        scenarios = {r["spec"]["engine"]["scenario"] for r in records}
+        assert scenarios == {"only-iso", "only-decomp", "complete"}
+
+
+class TestSweep:
+    def test_serial_sweep_table(self, capsys):
+        code = main(
+            ["sweep", "--grid", "fig5-rpl", "--limit", "1", "--serial",
+             "--max-iterations", "200"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rpl(n=1)" in out
+        assert "oracle cache" in out
+
+    def test_serial_sweep_json_with_cache_and_telemetry(self, capsys, tmp_path):
+        import json
+
+        cache = str(tmp_path / "oracle.db")
+        journal = str(tmp_path / "events.jsonl")
+        argv = [
+            "sweep", "--grid", "fig5-rpl", "--limit", "1", "--serial",
+            "--cache", cache, "--telemetry", journal, "--json",
+            "--max-iterations", "200",
+        ]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold[0]["status"] == "optimal"
+        assert warm[0]["cache"]["hits"] > 0
+        assert warm[0]["cache"]["misses"] == 0
+        from repro.runtime.telemetry import read_events
+
+        ends = read_events(journal, event="job_end")
+        assert len(ends) == 2
+        assert ends[0]["job_id"] == ends[1]["job_id"]

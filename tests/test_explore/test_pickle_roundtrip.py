@@ -1,0 +1,79 @@
+"""Pickle round-trips for result objects.
+
+Process-pool workers hand exploration outcomes back through pickle, so
+``ExplorationResult`` — and everything it carries: the winning
+architecture, ``ExplorationStats``, accumulated cuts, and a
+``Violation`` with its refinement witness — must survive serialization.
+"""
+
+import pickle
+
+import pytest
+
+from repro.casestudies import rpl
+from repro.explore.engine import ContrArcExplorer, ExplorationStatus
+from repro.explore.refinement_check import Violation
+from repro.explore.stats import ExplorationStats, IterationRecord
+
+
+@pytest.fixture(scope="module")
+def optimal_result():
+    return ContrArcExplorer(*rpl.build_problem(1, 0)).explore()
+
+
+@pytest.fixture(scope="module")
+def limited_result():
+    # Stopping after one iteration leaves a live Violation on the result.
+    result = ContrArcExplorer(*rpl.build_problem(1, 0), max_iterations=1).explore()
+    assert result.status is ExplorationStatus.ITERATION_LIMIT
+    assert result.last_violation is not None
+    return result
+
+
+class TestExplorationResult:
+    def test_optimal_roundtrip(self, optimal_result):
+        clone = pickle.loads(pickle.dumps(optimal_result))
+        assert clone.status is ExplorationStatus.OPTIMAL
+        assert clone.cost == optimal_result.cost
+        assert clone.stats.num_iterations == optimal_result.stats.num_iterations
+        assert sorted(clone.architecture.selected_impls) == sorted(
+            optimal_result.architecture.selected_impls
+        )
+        assert len(clone.cuts) == len(optimal_result.cuts)
+
+    def test_violation_roundtrip(self, limited_result):
+        clone = pickle.loads(pickle.dumps(limited_result))
+        violation = clone.last_violation
+        assert isinstance(violation, Violation)
+        assert violation.viewpoint.name == limited_result.last_violation.viewpoint.name
+        assert violation.sub_architecture.nodes == (
+            limited_result.last_violation.sub_architecture.nodes
+        )
+        assert not violation.refinement.holds
+        # The witness assignment survives with values intact.
+        original = limited_result.last_violation.refinement.witness
+        cloned = violation.refinement.witness
+        assert sorted(v.name for v in cloned) == sorted(v.name for v in original)
+
+    def test_var_identity_consistent_within_clone(self, optimal_result):
+        # Vars compare by identity; pickling must preserve the sharing
+        # graph so formulas still reference their architecture's vars.
+        clone = pickle.loads(pickle.dumps(optimal_result))
+        cut_vars = {v for cut in clone.cuts for v in cut.formula.variables()}
+        mapping_template = clone.architecture.mapping_template
+        template_vars = set(mapping_template.edge_vars().values()) | set(
+            mapping_template.mapping_vars().values()
+        )
+        assert cut_vars <= template_vars
+
+
+class TestStatsPickle:
+    def test_stats_roundtrip(self):
+        stats = ExplorationStats()
+        stats.record(IterationRecord(1, milp_time=0.5, cuts_added=3))
+        stats.total_time = 0.75
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.num_iterations == 1
+        assert clone.total_cuts == 3
+        assert clone.total_time == 0.75
+        assert clone.iterations[0].milp_time == 0.5

@@ -45,3 +45,60 @@ class TestExplorationStats:
         stats = self._stats()
         stats.total_time = 3.6
         assert "iterations=2" in repr(stats)
+
+
+class TestSerialization:
+    def _stats(self):
+        stats = ExplorationStats()
+        stats.record(
+            IterationRecord(
+                1,
+                milp_time=1.0,
+                refinement_time=0.5,
+                certificate_time=0.1,
+                candidate_cost=12.0,
+                violated_viewpoint="timing",
+                cuts_added=3,
+            )
+        )
+        stats.record(IterationRecord(2, milp_time=2.0, refinement_time=0.5))
+        stats.total_time = 4.2
+        stats.milp_variables = 10
+        stats.milp_constraints = 20
+        return stats
+
+    def test_to_dict_materializes_aggregates(self):
+        data = self._stats().to_dict()
+        assert data["num_iterations"] == 2
+        assert data["total_time"] == 4.2
+        assert data["milp_time"] == 3.0
+        assert data["refinement_time"] == 1.0
+        assert data["certificate_time"] == 0.1
+        assert data["total_cuts"] == 3
+        assert len(data["iterations"]) == 2
+        assert data["iterations"][0]["violated_viewpoint"] == "timing"
+        assert data["iterations"][0]["total_time"] == 1.6
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+
+        json.dumps(self._stats().to_dict())
+
+    def test_roundtrip(self):
+        stats = self._stats()
+        clone = ExplorationStats.from_dict(stats.to_dict())
+        assert clone.num_iterations == stats.num_iterations
+        assert clone.total_time == stats.total_time
+        assert clone.milp_time == stats.milp_time
+        assert clone.total_cuts == stats.total_cuts
+        assert clone.milp_variables == 10
+        assert clone.iterations[1].milp_time == 2.0
+
+    def test_roundtrip_without_iterations(self):
+        stats = self._stats()
+        data = stats.to_dict(include_iterations=False)
+        assert "iterations" not in data
+        clone = ExplorationStats.from_dict(data)
+        assert clone.num_iterations == 0
+        assert clone.total_cuts == stats.total_cuts
+        assert clone.total_time == stats.total_time

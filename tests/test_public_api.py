@@ -21,6 +21,7 @@ PUBLIC_MODULES = [
     "repro.explore",
     "repro.casestudies",
     "repro.reporting",
+    "repro.runtime",
 ]
 
 

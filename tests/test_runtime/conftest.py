@@ -1,0 +1,18 @@
+"""Isolation for runtime tests.
+
+Serial schedulers execute jobs in-process, sharing the module-level
+per-process oracle registry. That reuse is a feature for real sweeps
+(warm cache across runs) but couples tests to execution order, so each
+test starts from an empty registry.
+"""
+
+import pytest
+
+from repro.runtime import worker
+
+
+@pytest.fixture(autouse=True)
+def _fresh_process_oracles():
+    worker._PROCESS_ORACLES.clear()
+    yield
+    worker._PROCESS_ORACLES.clear()

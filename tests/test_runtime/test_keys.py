@@ -1,0 +1,135 @@
+"""Cache-key stability tests.
+
+The oracle cache is only sound if canonical hashing is (a) stable —
+the same problem built twice, in the same or another process, yields
+identical keys — and (b) sensitive — semantically different pins yield
+different keys.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.casestudies import epn, rpl
+from repro.contracts.contract import Contract
+from repro.explore.encoding import build_candidate_milp
+from repro.expr.terms import binary, continuous
+from repro.runtime.keys import (
+    canonical_formula,
+    contract_key,
+    contract_pair_key,
+    formula_key,
+    model_key,
+)
+
+
+def _first_viewpoint_contracts(build_problem, *sizes):
+    """(component contract, system contract) of the first path viewpoint."""
+    from repro.graph.paths import all_source_sink_paths
+
+    mapping_template, specification = build_problem(*sizes)
+    spec = specification.path_specific_specs[0]
+    template = mapping_template.template
+    comp = spec.component_contract(mapping_template, template.components()[0])
+    sources = [c.name for c in template.source_components()]
+    sinks = [c.name for c in template.sink_components()]
+    path = list(next(iter(all_source_sink_paths(template.graph(), sources, sinks))))
+    system = spec.system_contract(mapping_template, path)
+    return comp, system
+
+
+class TestStability:
+    def test_same_contract_built_twice_same_key(self):
+        comp1, sys1 = _first_viewpoint_contracts(rpl.build_problem, 1, 0)
+        comp2, sys2 = _first_viewpoint_contracts(rpl.build_problem, 1, 0)
+        assert contract_key(comp1) == contract_key(comp2)
+        assert contract_key(sys1) == contract_key(sys2)
+        assert contract_pair_key(comp1, sys1, False, False) == contract_pair_key(
+            comp2, sys2, False, False
+        )
+
+    def test_same_model_built_twice_same_key(self):
+        m1 = build_candidate_milp(*epn.build_problem(1, 0, 0))
+        m2 = build_candidate_milp(*epn.build_problem(1, 0, 0))
+        assert model_key(m1) == model_key(m2)
+
+    def test_formula_key_independent_of_var_identity(self):
+        # Two distinct Var objects with the same (name, domain, bounds)
+        # must hash identically — the uid never leaks into the key.
+        f1 = continuous("x", 0, 10) + 2 <= 5
+        f2 = continuous("x", 0, 10) + 2 <= 5
+        assert formula_key(f1) == formula_key(f2)
+
+    def test_key_stable_across_processes(self):
+        program = textwrap.dedent(
+            """
+            from repro.casestudies import epn
+            from repro.explore.encoding import build_candidate_milp
+            from repro.runtime.keys import model_key
+            print(model_key(build_candidate_milp(*epn.build_problem(1, 1, 0))))
+            """
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        remote = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.strip()
+        local = model_key(build_candidate_milp(*epn.build_problem(1, 1, 0)))
+        assert remote == local
+
+
+class TestSensitivity:
+    def test_different_pins_different_keys(self):
+        # Pinning the same attribute variable to different values must
+        # produce different keys for the residual formula.
+        x = continuous("x", 0, 10)
+        y = continuous("y", 0, 10)
+        base = x + y <= 5
+        pinned_a = base.substitute({y: 3.0})
+        pinned_b = base.substitute({y: 4.0})
+        assert canonical_formula(pinned_a) != canonical_formula(pinned_b)
+        assert formula_key(pinned_a) != formula_key(pinned_b)
+
+    def test_different_sizes_different_model_keys(self):
+        m1 = build_candidate_milp(*epn.build_problem(1, 0, 0))
+        m2 = build_candidate_milp(*epn.build_problem(2, 0, 0))
+        assert model_key(m1) != model_key(m2)
+
+    def test_backend_is_part_of_key(self):
+        model = build_candidate_milp(*rpl.build_problem(1, 0))
+        assert model_key(model, "scipy") != model_key(model, "native")
+        f = continuous("x", 0, 1) <= 0.5
+        assert formula_key(f, "scipy") != formula_key(f, "native")
+
+    def test_bounds_are_part_of_key(self):
+        f1 = continuous("x", 0, 10) <= 5
+        f2 = continuous("x", 0, 99) <= 5
+        assert formula_key(f1) != formula_key(f2)
+
+    def test_contract_name_excluded(self):
+        x = continuous("x", 0, 10)
+        c1 = Contract("first", x >= 1, x <= 5)
+        c2 = Contract("second", x >= 1, x <= 5)
+        assert contract_key(c1) == contract_key(c2)
+
+    def test_pair_key_depends_on_flags(self):
+        x = continuous("x", 0, 10)
+        c = Contract("c", x >= 1, x <= 5)
+        s = Contract("s", x >= 0, x <= 6)
+        assert contract_pair_key(c, s, True, True) != contract_pair_key(
+            c, s, False, True
+        )
+
+    def test_boolean_structure_distinguished(self):
+        a, b = binary("a"), binary("b")
+        from repro.expr.constraints import And, BoolAtom, Or
+
+        conj = And(BoolAtom(a), BoolAtom(b))
+        disj = Or(BoolAtom(a), BoolAtom(b))
+        assert formula_key(conj) != formula_key(disj)

@@ -1,0 +1,120 @@
+"""OracleCache behaviour: memoization, LRU, persistence, correctness."""
+
+import pytest
+
+from repro.casestudies import rpl
+from repro.explore.encoding import build_candidate_milp
+from repro.explore.engine import ContrArcExplorer
+from repro.expr.terms import continuous
+from repro.runtime.oracle import OracleCache
+from repro.runtime.store import SQLiteStore
+from repro.solver.feasibility import check_sat, get_backend
+from repro.solver.result import SolveStatus
+
+
+class TestSatMemoization:
+    def test_hit_on_equivalent_formula(self):
+        oracle = OracleCache()
+        f1 = continuous("x", 0, 10) + 2 <= 5
+        r1 = check_sat(f1, oracle=oracle)
+        f2 = continuous("x", 0, 10) + 2 <= 5  # distinct Var object
+        r2 = check_sat(f2, oracle=oracle)
+        assert oracle.stats.hits == 1 and oracle.stats.misses == 1
+        assert r1.satisfiable == r2.satisfiable
+
+    def test_witness_rebound_to_query_vars(self):
+        oracle = OracleCache()
+        x1 = continuous("x", 0, 10)
+        check_sat(x1 >= 3, oracle=oracle)
+        x2 = continuous("x", 0, 10)
+        result = check_sat(x2 >= 3, oracle=oracle)
+        assert result.satisfiable
+        # The cached witness must be keyed by the *second* query's Var.
+        assert x2 in result.assignment
+        assert result.assignment[x2] >= 3 - 1e-6
+
+    def test_unsat_cached(self):
+        oracle = OracleCache()
+        x = continuous("x", 0, 1)
+        assert not check_sat(x >= 5, oracle=oracle)
+        assert not check_sat(continuous("x", 0, 1) >= 5, oracle=oracle)
+        assert oracle.stats.hits == 1
+
+    def test_no_oracle_is_identity(self):
+        x = continuous("x", 0, 10)
+        assert check_sat(x >= 3).satisfiable
+        assert not check_sat(x >= 30).satisfiable
+
+
+class TestMilpMemoization:
+    def test_candidate_milp_served_from_cache(self):
+        oracle = OracleCache()
+        solve = get_backend("scipy")
+        m1 = build_candidate_milp(*rpl.build_problem(1, 0))
+        r1 = oracle.milp_solve(m1, "scipy", solve)
+        m2 = build_candidate_milp(*rpl.build_problem(1, 0))
+        r2 = oracle.milp_solve(m2, "scipy", solve)
+        assert oracle.stats.hits == 1
+        assert r1.status is SolveStatus.OPTIMAL
+        assert r2.status is SolveStatus.OPTIMAL
+        assert r2.objective == pytest.approx(r1.objective)
+        # The replayed assignment is bound to m2's own variables.
+        assert m2.is_feasible(r2.assignment)
+
+
+class TestLru:
+    def test_eviction_keeps_capacity(self):
+        oracle = OracleCache(max_entries=2)
+        for i in range(5):
+            check_sat(continuous(f"x{i}", 0, 1) >= 0.5, oracle=oracle)
+        assert len(oracle) == 2
+        assert oracle.stats.misses == 5
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            OracleCache(max_entries=0)
+
+
+class TestPersistence:
+    def test_disk_store_survives_new_oracle(self, tmp_path):
+        path = str(tmp_path / "cache.db")
+        with SQLiteStore(path) as store:
+            oracle = OracleCache(store=store)
+            check_sat(continuous("x", 0, 10) >= 3, oracle=oracle)
+            assert oracle.stats.misses == 1
+        with SQLiteStore(path) as store:
+            fresh = OracleCache(store=store)
+            result = check_sat(continuous("x", 0, 10) >= 3, oracle=fresh)
+            assert fresh.stats.hits == 1 and fresh.stats.misses == 0
+            assert result.satisfiable
+
+    def test_store_roundtrip(self, tmp_path):
+        with SQLiteStore(str(tmp_path / "kv.db")) as store:
+            assert store.get("missing") is None
+            store.put("k", {"a": 1.5, "b": [1, 2]})
+            assert store.get("k") == {"a": 1.5, "b": [1, 2]}
+            store.put("k", {"a": 2.0})
+            assert store.get("k") == {"a": 2.0}
+            assert "k" in store and len(store) == 1
+
+
+class TestEndToEnd:
+    def test_warm_rerun_is_all_hits_and_same_answer(self):
+        oracle = OracleCache()
+        cold = ContrArcExplorer(*rpl.build_problem(1, 0), oracle=oracle).explore()
+        cold_misses = oracle.stats.misses
+        warm = ContrArcExplorer(*rpl.build_problem(1, 0), oracle=oracle).explore()
+        assert warm.cost == cold.cost
+        assert warm.stats.num_iterations == cold.stats.num_iterations
+        # The warm run issues the same queries and misses none.
+        assert oracle.stats.misses == cold_misses
+        assert oracle.stats.hits >= cold_misses
+
+    def test_cached_run_matches_uncached(self):
+        plain = ContrArcExplorer(*rpl.build_problem(1, 0)).explore()
+        cached = ContrArcExplorer(
+            *rpl.build_problem(1, 0), oracle=OracleCache()
+        ).explore()
+        assert cached.status is plain.status
+        assert cached.cost == plain.cost
+        assert cached.stats.num_iterations == plain.stats.num_iterations

@@ -1,0 +1,143 @@
+"""Scheduler tests: serial path, pooled fan-out, retry and timeout."""
+
+import concurrent.futures
+import io
+
+import pytest
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.runtime.job import JobSpec
+from repro.runtime.scheduler import Scheduler, default_workers
+from repro.runtime.telemetry import TelemetryLogger
+
+
+def _tiny_specs(n=2):
+    return [
+        JobSpec(
+            "rpl",
+            sizes={"n_a": 1, "n_b": 0},
+            engine={"scenario": scenario, "max_iterations": 200},
+            label=f"tiny {scenario}",
+        )
+        for scenario in ["complete", "only-iso"][:n]
+    ]
+
+
+class TestSerial:
+    def test_runs_all_jobs_in_order(self):
+        specs = _tiny_specs()
+        results = Scheduler(serial=True, use_cache=False).run(specs)
+        assert [r.job_id for r in results] == [s.job_id for s in specs]
+        assert all(r.status == "optimal" for r in results)
+        assert all(r.duration > 0 for r in results)
+
+    def test_worker_exception_becomes_error_record(self, monkeypatch):
+        # Sabotage the problem builder so the worker's own try/except
+        # (not the scheduler) reports the failure.
+        specs = [JobSpec("rpl", sizes={"n_a": 1}, engine={"backend": "bogus"})]
+        results = Scheduler(serial=True, use_cache=False).run(specs)
+        assert results[0].status == "error"
+        assert "bogus" in results[0].error
+
+    def test_telemetry_lifecycle(self):
+        stream = io.StringIO()
+        telemetry = TelemetryLogger(stream)
+        Scheduler(serial=True, use_cache=False, telemetry=telemetry).run(
+            _tiny_specs(1)
+        )
+        events = [line for line in stream.getvalue().splitlines() if line]
+        assert len(events) == 4  # sweep_start, job_start, job_end, sweep_end
+
+
+class TestPooled:
+    def test_pool_runs_grid(self):
+        specs = _tiny_specs()
+        results = Scheduler(max_workers=2, use_cache=False).run(specs)
+        assert [r.job_id for r in results] == [s.job_id for s in specs]
+        assert all(r.status == "optimal" for r in results)
+
+    def test_shared_disk_cache_across_workers(self, tmp_path):
+        cache = str(tmp_path / "oracle.db")
+        scheduler = Scheduler(max_workers=2, cache_path=cache)
+        cold = scheduler.run(_tiny_specs())
+        warm = Scheduler(max_workers=2, cache_path=cache).run(_tiny_specs())
+        assert all(r.status == "optimal" for r in cold + warm)
+        hits = sum(r.cache["hits"] for r in warm)
+        misses = sum(r.cache["misses"] for r in warm)
+        assert hits > 0 and misses == 0  # fully warm-started
+
+
+class _FakeExecutor:
+    """Executor double whose first N submissions die like a crashed worker."""
+
+    def __init__(self, crashes):
+        self.crashes = crashes
+        self.submitted = 0
+
+    def submit(self, fn, *args, **kwargs):
+        future = concurrent.futures.Future()
+        self.submitted += 1
+        if self.crashes > 0:
+            self.crashes -= 1
+            future.set_exception(BrokenProcessPool("worker died"))
+        else:
+            future.set_result(fn(*args, **kwargs))
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestRetry:
+    def _patched(self, monkeypatch, crashes, retries):
+        scheduler = Scheduler(max_workers=1, retries=retries, use_cache=False)
+        state = {"executor": _FakeExecutor(crashes)}
+
+        def new_executor():
+            # The scheduler rebuilds the pool after a BrokenProcessPool;
+            # hand it the same double so the crash budget carries over.
+            return state["executor"]
+
+        monkeypatch.setattr(scheduler, "_new_executor", new_executor)
+        return scheduler, state["executor"]
+
+    def test_crash_then_success_is_retried(self, monkeypatch):
+        scheduler, executor = self._patched(monkeypatch, crashes=1, retries=1)
+        results = scheduler.run(_tiny_specs(1))
+        assert results[0].status == "optimal"
+        assert results[0].attempts == 2
+        assert executor.submitted == 2
+
+    def test_retries_exhausted_reports_crashed(self, monkeypatch):
+        scheduler, executor = self._patched(monkeypatch, crashes=5, retries=1)
+        results = scheduler.run(_tiny_specs(1))
+        assert results[0].status == "crashed"
+        assert results[0].attempts == 2
+        assert "worker died" in results[0].error
+
+
+class TestTimeout:
+    def test_pending_job_past_deadline_reported(self):
+        # One worker, two jobs: with an aggressive deadline the queued
+        # job (and possibly the running one) must come back as timeout
+        # rather than hanging the sweep.
+        specs = [
+            JobSpec(
+                "rpl",
+                sizes={"n_a": 2, "n_b": 2},
+                engine={"scenario": s, "max_iterations": 5000, "time_limit": 3.0},
+                label=f"slow {s}",
+            )
+            for s in ("complete", "only-decomp")
+        ]
+        scheduler = Scheduler(
+            max_workers=1, timeout=0.2, use_cache=False, poll_interval=0.05
+        )
+        results = scheduler.run(specs)
+        assert {r.status for r in results} <= {"timeout", "optimal", "time_limit"}
+        assert any(r.status == "timeout" for r in results)
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1

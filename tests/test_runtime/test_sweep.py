@@ -1,0 +1,68 @@
+"""Sweep grid builders and aggregation."""
+
+from repro.casestudies.epn import TABLE2_TEMPLATES
+from repro.runtime.job import SCENARIOS
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.sweep import (
+    SweepReport,
+    fig5_rpl_grid,
+    run_sweep,
+    table2_grid,
+    wsn_grid,
+)
+
+
+class TestGrids:
+    def test_table2_grid_is_templates_x_scenarios(self):
+        specs = table2_grid(templates=TABLE2_TEMPLATES[:2])
+        assert len(specs) == 2 * len(SCENARIOS)
+        assert all(s.case == "epn" for s in specs)
+        assert len({s.job_id for s in specs}) == len(specs)
+
+    def test_engine_overrides_reach_every_job(self):
+        specs = table2_grid(
+            templates=[(1, 0, 0)], engine={"max_iterations": 7, "time_limit": 9.0}
+        )
+        for spec in specs:
+            kwargs = spec.engine_kwargs()
+            assert kwargs["max_iterations"] == 7
+            assert kwargs["time_limit"] == 9.0
+
+    def test_fig5_grid_sizes(self):
+        specs = fig5_rpl_grid(max_n=4)
+        assert [s.sizes["n_a"] for s in specs] == [1, 2, 3, 4]
+
+    def test_wsn_grid_sizes(self):
+        specs = wsn_grid(max_sensors=2)
+        assert [s.sizes["num_sensors"] for s in specs] == [1, 2]
+
+
+class TestRunSweep:
+    def test_serial_sweep_aggregates(self):
+        specs = fig5_rpl_grid(max_n=1, engine={"max_iterations": 200})
+        report = run_sweep(specs, serial=True, use_cache=False)
+        assert len(report.results) == 1
+        assert report.results[0].status == "optimal"
+        assert report.wall_clock > 0
+        assert report.records[0]["spec"]["case"] == "rpl"
+        rendered = report.render()
+        assert "rpl(n=1)" in rendered
+        assert "oracle cache" in rendered
+
+    def test_cache_totals_cover_all_jobs(self):
+        specs = fig5_rpl_grid(max_n=1, engine={"max_iterations": 200})
+        scheduler = Scheduler(serial=True)  # in-memory oracle, no disk
+        report = run_sweep(specs, scheduler=scheduler)
+        totals = report.cache_totals
+        assert totals["misses"] > 0
+        assert 0.0 <= totals["hit_rate"] <= 1.0
+
+    def test_report_renders_failures(self):
+        from repro.runtime.job import JobResult, JobSpec
+
+        spec = JobSpec("rpl", sizes={"n_a": 1})
+        report = SweepReport(
+            [JobResult(spec.job_id, spec, "crashed", error="boom")], 0.1
+        )
+        rendered = report.render()
+        assert "crashed" in rendered

@@ -1,0 +1,56 @@
+"""Telemetry JSONL writer/reader tests."""
+
+import io
+import json
+
+from repro.runtime.telemetry import (
+    NullTelemetry,
+    TelemetryLogger,
+    iter_events,
+    read_events,
+)
+
+
+class TestLogger:
+    def test_emit_writes_one_json_line_per_event(self):
+        stream = io.StringIO()
+        logger = TelemetryLogger(stream)
+        logger.emit("job_start", job_id="abc", label="x")
+        logger.emit("job_end", job_id="abc", status="optimal")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "job_start"
+        assert first["job_id"] == "abc"
+        assert "ts" in first
+        assert logger.events_emitted == 2
+
+    def test_path_sink_appends_across_loggers(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with TelemetryLogger(path) as logger:
+            logger.emit("sweep_start", jobs=1)
+        with TelemetryLogger(path) as logger:
+            logger.emit("sweep_end", jobs=1)
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["sweep_start", "sweep_end"]
+
+    def test_read_events_filter(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with TelemetryLogger(path) as logger:
+            logger.emit("job_start", job_id="a")
+            logger.emit("job_end", job_id="a")
+            logger.emit("job_start", job_id="b")
+        assert len(read_events(path, event="job_start")) == 2
+        assert len(list(iter_events(path))) == 3
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "x", "ts": 1}\n\n\n{"event": "y", "ts": 2}\n')
+        assert [e["event"] for e in read_events(str(path))] == ["x", "y"]
+
+
+class TestNullTelemetry:
+    def test_noop(self):
+        with NullTelemetry() as telemetry:
+            assert telemetry.emit("anything", a=1) == {}
+        assert telemetry.events_emitted == 0
