@@ -18,7 +18,7 @@ from repro.explore import ContrArcExplorer
 from repro.explore.engine import ExplorationStatus
 from repro.reporting.tables import format_seconds, render_table
 
-from benchmarks.conftest import report, scenario_time_limit
+from benchmarks.conftest import exploration_record, report, scenario_time_limit
 
 CASES = {
     "rpl(n=1)": lambda: rpl.build_problem(1),
@@ -99,4 +99,11 @@ def _render_report(results_dir):
     text = render_table(
         headers, rows, title="Ablation - implementation widening (L_g+)"
     )
-    report(results_dir, "ablation_widening.txt", text)
+    data = {
+        case: {
+            ("widened" if widen else "exact"): exploration_record(result, elapsed)
+            for widen, (result, elapsed) in entries.items()
+        }
+        for case, entries in _RESULTS.items()
+    }
+    report(results_dir, "ablation_widening.txt", text, data=data)

@@ -24,7 +24,12 @@ from repro.explore.baseline import MonolithicExplorer, lazy_nogood_explorer
 from repro.explore.engine import ExplorationStatus
 from repro.reporting.tables import format_seconds, render_table
 
-from benchmarks.conftest import report, rpl_max_n, scenario_time_limit
+from benchmarks.conftest import (
+    exploration_record,
+    report,
+    rpl_max_n,
+    scenario_time_limit,
+)
 
 SIZES = list(range(1, rpl_max_n() + 1))
 _RESULTS = {}
@@ -41,6 +46,7 @@ def _run_contrarc(n):
         spec,
         max_iterations=5000,
         time_limit=scenario_time_limit(),
+        profile=True,
     ).explore()
 
 
@@ -151,4 +157,11 @@ def _render_report(results_dir):
     plot = render_series_plot(
         series, title="Fig. 5(a): exploration runtime vs n (log scale)"
     )
-    report(results_dir, "fig5a_rpl.txt", text + "\n\n" + plot)
+    data = {
+        str(n): {
+            name: exploration_record(result, elapsed)
+            for name, (result, elapsed) in entries.items()
+        }
+        for n, entries in _RESULTS.items()
+    }
+    report(results_dir, "fig5a_rpl.txt", text + "\n\n" + plot, data=data)

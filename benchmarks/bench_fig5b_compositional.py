@@ -25,7 +25,12 @@ from repro.explore import (
 from repro.explore.engine import ExplorationStatus
 from repro.reporting.tables import format_seconds, render_table
 
-from benchmarks.conftest import report, rpl_max_n, scenario_time_limit
+from benchmarks.conftest import (
+    exploration_record,
+    report,
+    rpl_max_n,
+    scenario_time_limit,
+)
 
 SIZES = list(range(1, rpl_max_n() + 1))
 COMB_THROUGHPUT = 12.0
@@ -134,4 +139,20 @@ def _render_report(results_dir):
     plot = render_series_plot(
         series, title="Fig. 5(b): flat vs compositional runtime (log scale)"
     )
-    report(results_dir, "fig5b_compositional.txt", text + "\n\n" + plot)
+    data = {}
+    for n, entries in _RESULTS.items():
+        row = {}
+        if "flat" in entries:
+            row["flat"] = exploration_record(*entries["flat"])
+        if "comp" in entries:
+            comp, comp_time = entries["comp"]
+            row["compositional"] = {
+                "status": "optimal" if comp.is_optimal else "failed",
+                "cost": comp.total_cost,
+                "wall_clock": round(comp_time, 4),
+                "iterations": comp.total_iterations,
+            }
+        data[str(n)] = row
+    report(
+        results_dir, "fig5b_compositional.txt", text + "\n\n" + plot, data=data
+    )

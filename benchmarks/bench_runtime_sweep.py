@@ -101,6 +101,7 @@ def _module_report(results_dir):
         f"{_workers()} workers)",
         "",
     ]
+    data = {}
     for name, sweeps in _RESULTS.items():
         for index, sweep in enumerate(sweeps):
             arm = name if len(sweeps) == 1 else f"{name} run {index + 1}"
@@ -111,4 +112,9 @@ def _module_report(results_dir):
                 f"cache {totals['hits']:4d} hits / {totals['misses']:4d} "
                 f"misses ({totals['hit_rate']:.0%})"
             )
-    report(results_dir, "runtime_sweep.txt", "\n".join(lines))
+            data[arm] = {
+                "wall_clock": round(sweep.wall_clock, 4),
+                "total_job_time": round(sweep.total_job_time, 4),
+                "cache": dict(totals),
+            }
+    report(results_dir, "runtime_sweep.txt", "\n".join(lines), data=data)

@@ -16,7 +16,7 @@ from repro.explore.engine import ExplorationStatus
 from repro.reporting.tables import format_seconds, render_table
 from repro.solver.feasibility import BACKENDS
 
-from benchmarks.conftest import report, scenario_time_limit
+from benchmarks.conftest import exploration_record, report, scenario_time_limit
 
 _RESULTS = {}
 
@@ -63,4 +63,8 @@ def _render_report(results_dir):
         rows,
         title="Ablation - MILP backend (Gurobi stand-ins)",
     )
-    report(results_dir, "solver_backends.txt", text)
+    data = {
+        name: exploration_record(result, elapsed)
+        for name, (result, elapsed) in _RESULTS.items()
+    }
+    report(results_dir, "solver_backends.txt", text, data=data)

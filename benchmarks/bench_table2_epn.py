@@ -27,7 +27,12 @@ from repro.explore.encoding import build_candidate_milp
 from repro.explore.engine import ExplorationStatus
 from repro.reporting.tables import Table2Row, render_table2
 
-from benchmarks.conftest import epn_templates, report, scenario_time_limit
+from benchmarks.conftest import (
+    epn_templates,
+    exploration_record,
+    report,
+    scenario_time_limit,
+)
 
 TEMPLATES = epn_templates()
 _RESULTS = {}
@@ -50,6 +55,7 @@ def _run(template, scenario):
         spec,
         max_iterations=20000,
         time_limit=scenario_time_limit(),
+        profile=True,
         **SCENARIOS[scenario],
     )
     return explorer.explore()
@@ -130,4 +136,11 @@ def _render_report(results_dir):
                 <= finished["only_decomp"].stats.num_iterations
             )
     text = render_table2(rows)
-    report(results_dir, "table2_epn.txt", text)
+    data = {
+        _template_id(template): {
+            scenario: exploration_record(result, elapsed)
+            for scenario, (result, elapsed) in entries.items()
+        }
+        for template, entries in _RESULTS.items()
+    }
+    report(results_dir, "table2_epn.txt", text, data=data)

@@ -11,9 +11,13 @@ Environment knobs (all optional):
   ``>limit`` — the paper's slowest cells run for thousands of seconds
   by design, which is the very effect being demonstrated.
 
-Each bench writes its paper-style table to ``benchmarks/results/``.
+Each bench writes its paper-style table to ``benchmarks/results/``, and
+(when it passes structured data to :func:`report`) a machine-readable
+``BENCH_<name>.json`` twin so the perf trajectory is diffable across
+PRs.
 """
 
+import json
 import os
 import pathlib
 
@@ -44,8 +48,40 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
-def report(results_dir: pathlib.Path, name: str, text: str) -> None:
-    """Print a rendered table and persist it under benchmarks/results/."""
+def report(results_dir: pathlib.Path, name: str, text: str, data=None) -> None:
+    """Print a rendered table and persist it under benchmarks/results/.
+
+    ``data`` (any JSON-serializable object) additionally lands in
+    ``BENCH_<stem>.json`` next to the table — per-case wall-clock,
+    iteration counts and phase breakdowns, for machine consumption.
+    """
     print()
     print(text)
     (results_dir / name).write_text(text + "\n", encoding="utf-8")
+    if data is not None:
+        stem = pathlib.Path(name).stem
+        (results_dir / f"BENCH_{stem}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+
+def exploration_record(result, elapsed: float) -> dict:
+    """Per-case JSON record from an ExplorationResult + wall-clock."""
+    stats = result.stats
+    record = {
+        "status": result.status.value,
+        "cost": result.cost,
+        "wall_clock": round(elapsed, 4),
+        "iterations": stats.num_iterations,
+        "total_cuts": stats.total_cuts,
+        "milp_variables": stats.milp_variables,
+        "milp_constraints": stats.milp_constraints,
+        "final_milp_variables": stats.final_milp_variables,
+        "final_milp_constraints": stats.final_milp_constraints,
+    }
+    if stats.phase_profile:
+        record["phases"] = {
+            name: round(seconds, 4)
+            for name, seconds in stats.phase_profile["totals"].items()
+        }
+    return record

@@ -72,6 +72,21 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--time-limit", type=float, default=None, help="wall-clock cap (s)"
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect and print a per-phase wall-clock breakdown",
+    )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable the persistent solver session (stateless re-solves)",
+    )
+    parser.add_argument(
+        "--no-multicut",
+        action="store_true",
+        help="generate certificates only for the first violation per iteration",
+    )
+    parser.add_argument(
         "--dot", metavar="FILE", help="write the selected architecture as DOT"
     )
     parser.add_argument(
@@ -90,6 +105,9 @@ def _make_explorer(mapping_template, specification, args) -> ContrArcExplorer:
         use_decomposition=not args.no_decomposition,
         max_iterations=args.max_iterations,
         time_limit=args.time_limit,
+        incremental=not getattr(args, "no_incremental", False),
+        multicut=not getattr(args, "no_multicut", False),
+        profile=getattr(args, "profile", False),
     )
 
 
@@ -97,18 +115,22 @@ def _case_spec(case: str, args, sizes, problem) -> "JobSpec":
     """Mirror the CLI invocation as a runtime JobSpec (for --json ids)."""
     from repro.runtime.job import JobSpec
 
-    return JobSpec(
-        case,
-        sizes=sizes,
-        problem=problem,
-        engine={
-            "backend": args.backend,
-            "use_isomorphism": not args.no_isomorphism,
-            "use_decomposition": not args.no_decomposition,
-            "max_iterations": args.max_iterations,
-            "time_limit": args.time_limit,
-        },
-    )
+    engine = {
+        "backend": args.backend,
+        "use_isomorphism": not args.no_isomorphism,
+        "use_decomposition": not args.no_decomposition,
+        "max_iterations": args.max_iterations,
+        "time_limit": args.time_limit,
+    }
+    # Non-default engine levers only, so default invocations keep their
+    # historical job ids.
+    if getattr(args, "no_incremental", False):
+        engine["incremental"] = False
+    if getattr(args, "no_multicut", False):
+        engine["multicut"] = False
+    if getattr(args, "profile", False):
+        engine["profile"] = True
+    return JobSpec(case, sizes=sizes, problem=problem, engine=engine)
 
 
 def _emit_json(spec, result, duration: float) -> int:
@@ -120,6 +142,17 @@ def _emit_json(spec, result, duration: float) -> int:
     return 0 if result.status is ExplorationStatus.OPTIMAL else 1
 
 
+def _print_phase_profile(profile: dict) -> None:
+    totals = profile.get("totals", {})
+    counts = profile.get("counts", {})
+    if not totals:
+        return
+    print("phase breakdown:")
+    width = max(len(name) for name in totals)
+    for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:<{width}s}  {seconds:8.3f}s  ({counts.get(name, 0)}x)")
+
+
 def _print_result(
     result,
     dot_path: Optional[str],
@@ -127,12 +160,18 @@ def _print_result(
 ) -> int:
     print(f"status:     {result.status.value}")
     if result.status is not ExplorationStatus.OPTIMAL:
+        if result.stats.phase_profile:
+            _print_phase_profile(result.stats.phase_profile)
         return 1
     print(f"cost:       {result.cost:g}")
     print(f"iterations: {result.stats.num_iterations}")
     print(f"time:       {result.stats.total_time:.2f}s")
     print(f"milp size:  {result.stats.milp_variables} vars x "
-          f"{result.stats.milp_constraints} constraints")
+          f"{result.stats.milp_constraints} constraints "
+          f"(final {result.stats.final_milp_variables} x "
+          f"{result.stats.final_milp_constraints})")
+    if result.stats.phase_profile:
+        _print_phase_profile(result.stats.phase_profile)
     print("selected implementations:")
     for name in sorted(result.architecture.selected_impls):
         impl = result.architecture.implementation_of(name)

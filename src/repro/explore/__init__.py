@@ -8,6 +8,7 @@ from repro.explore.engine import (
     ExplorationResult,
     ExplorationStatus,
 )
+from repro.explore.profiling import PhaseProfiler
 from repro.explore.stats import ExplorationStats, IterationRecord
 from repro.explore.baseline import (
     MonolithicExplorer,
@@ -50,4 +51,5 @@ __all__ = [
     "ExplorationStatus",
     "ExplorationStats",
     "IterationRecord",
+    "PhaseProfiler",
 ]

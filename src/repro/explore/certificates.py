@@ -24,7 +24,8 @@ generated cut set excludes at least the current candidate — the loop in
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from contextlib import nullcontext
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.architecture import CandidateArchitecture
 from repro.arch.library import Implementation
@@ -80,6 +81,27 @@ def _boundary_edges(
     return crossing
 
 
+def _symmetry_colors(
+    pattern: DiGraph,
+    widened: Dict[str, Optional[List[Implementation]]],
+) -> Dict[NodeId, Hashable]:
+    """Per pattern node, a key of its cut contribution besides structure.
+
+    Two pattern nodes whose colors agree produce *identical* cut terms
+    when their images are swapped, so the matcher may treat them as
+    interchangeable (it still verifies structural interchangeability
+    itself). The color is the widened implementation set — ``None``
+    (any implementation) is itself a valid color.
+    """
+    colors: Dict[NodeId, Hashable] = {}
+    for node in pattern.nodes():
+        bad = widened.get(str(node))
+        colors[node] = (
+            None if bad is None else tuple(sorted(impl.name for impl in bad))
+        )
+    return colors
+
+
 def generate_cuts(
     mapping_template: MappingTemplate,
     candidate: CandidateArchitecture,
@@ -88,25 +110,58 @@ def generate_cuts(
     widen: bool = True,
     max_embeddings: int = 0,
     matcher: str = "native",
+    embedding_cache=None,
+    profiler=None,
 ) -> List[Cut]:
-    """Produce the certificate constraint set ``c`` for one violation."""
-    from repro.graph.matchers import get_matcher
+    """Produce the certificate constraint set ``c`` for one violation.
+
+    ``embedding_cache`` is an optional
+    :class:`repro.graph.matchers.EmbeddingCache` scoped to one
+    exploration run; repeated fragments then skip re-enumeration.
+    ``profiler`` is an optional
+    :class:`repro.explore.profiling.PhaseProfiler`; enumeration time is
+    charged to its ``embedding`` phase.
+    """
+    from repro.graph.matchers import EmbeddingCache, get_matcher
 
     fragment = violation.sub_architecture
     pattern = fragment.graph()
     template_graph = mapping_template.template.graph()
 
-    if use_isomorphism:
-        embeddings = deduplicate_embeddings(
-            pattern,
-            get_matcher(matcher)(template_graph, pattern, max_embeddings),
-        )
-    else:
-        embeddings = [{node: node for node in pattern.nodes()}]
-
     widened = implementation_search(
         mapping_template, fragment.implementations(), violation.viewpoint, widen
     )
+
+    if use_isomorphism:
+        colors = _symmetry_colors(pattern, widened)
+        cache_key = None
+        embeddings = None
+        if embedding_cache is not None:
+            cache_key = EmbeddingCache.key(pattern, matcher, max_embeddings, colors)
+            embeddings = embedding_cache.get(cache_key)
+        if embeddings is None:
+            by_color: Dict[Hashable, List[NodeId]] = {}
+            for node, color in colors.items():
+                by_color.setdefault(color, []).append(node)
+            timer = (
+                profiler.phase("embedding") if profiler is not None else nullcontext()
+            )
+            with timer:
+                embeddings = deduplicate_embeddings(
+                    pattern,
+                    get_matcher(matcher)(
+                        template_graph,
+                        pattern,
+                        max_embeddings,
+                        symmetry_classes=[
+                            group for group in by_color.values() if len(group) > 1
+                        ],
+                    ),
+                )
+            if embedding_cache is not None:
+                embedding_cache.put(cache_key, embeddings)
+    else:
+        embeddings = [{node: node for node in pattern.nodes()}]
 
     cuts: List[Cut] = []
     whole = fragment.is_whole_candidate

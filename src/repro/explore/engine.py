@@ -20,18 +20,23 @@ from __future__ import annotations
 
 import enum
 import time
-from typing import List, Optional
+from contextlib import nullcontext
+from typing import List, Optional, Set
 
 from repro.exceptions import ExplorationError, NoFeasibleArchitectureError
 from repro.arch.architecture import CandidateArchitecture
 from repro.arch.template import MappingTemplate
 from repro.explore.certificates import generate_cuts
 from repro.explore.encoding import Cut, build_candidate_milp
+from repro.explore.profiling import PhaseProfiler
 from repro.explore.refinement_check import RefinementChecker, Violation
 from repro.explore.stats import ExplorationStats, IterationRecord
+from repro.graph.matchers import EmbeddingCache
+from repro.runtime.keys import formula_key
 from repro.solver.encoder import FormulaEncoder
 from repro.solver.feasibility import get_backend
 from repro.solver.result import SolveStatus
+from repro.solver.session import IncrementalSession
 from repro.spec.base import Specification
 
 
@@ -95,6 +100,9 @@ class ContrArcExplorer:
         time_limit: Optional[float] = None,
         matcher: str = "native",
         oracle=None,
+        incremental: bool = True,
+        multicut: bool = True,
+        profile: bool = False,
     ) -> None:
         #: Subgraph-isomorphism backend for certificate generation.
         self.matcher = matcher
@@ -103,6 +111,17 @@ class ContrArcExplorer:
         #: refinement queries and candidate-MILP solves from cache —
         #: the warm-start seam of the batch runtime.
         self.oracle = oracle
+        #: Reuse solver state across iterations (persistent HiGHS
+        #: instance / warm-started native branch-and-bound). Results are
+        #: identical either way; see repro.solver.session.
+        self.incremental = incremental
+        #: Turn *every* violated (viewpoint, path) of a candidate into
+        #: certificates at once instead of only the first — fewer MILP
+        #: re-solves for the same final cut set.
+        self.multicut = multicut
+        #: Collect a per-phase wall-clock breakdown into
+        #: ``stats.phase_profile`` (see repro.explore.profiling).
+        self.profile = profile
         if max_iterations < 1:
             raise ExplorationError("max_iterations must be at least 1")
         #: Wall-clock budget in seconds; exploration stops with
@@ -116,25 +135,37 @@ class ContrArcExplorer:
         self.widen_implementations = widen_implementations
         self.max_iterations = max_iterations
         self.max_embeddings = max_embeddings
+        if oracle is None:
+            # No user oracle: still memoize refinement sat-queries within
+            # this explorer's lifetime — identical (path, spec) checks
+            # recur across iterations whenever a cut leaves part of the
+            # candidate unchanged. Solver-side wrapping stays off: the
+            # candidate MILP grows every iteration, so its cache key
+            # never repeats within a run.
+            from repro.runtime.oracle import OracleCache
+
+            checker_oracle = OracleCache()
+        else:
+            checker_oracle = oracle
         self.checker = RefinementChecker(
             mapping_template,
             specification,
             backend=backend,
             decompose=use_decomposition,
             check_assumptions=check_assumptions,
-            oracle=oracle,
+            oracle=checker_oracle,
         )
 
     # -- main loop -------------------------------------------------------------
 
     def explore(self) -> ExplorationResult:
         """Run the select/verify/prune loop to the optimal architecture."""
-        solve = get_backend(self.backend)
-        if self.oracle is not None:
-            solve = self.oracle.wrap_solver(self.backend, solve)
+        profiler = PhaseProfiler() if self.profile else None
         stats = ExplorationStats()
         cuts: List[Cut] = []
+        seen_cut_keys: Set[str] = set()
         last_violation: Optional[Violation] = None
+        embedding_cache = EmbeddingCache()
         started = time.perf_counter()
 
         # The contract encoding never changes across iterations; build it
@@ -142,19 +173,43 @@ class ContrArcExplorer:
         model = build_candidate_milp(self.mapping_template, self.specification)
         cut_encoder = FormulaEncoder(model, prefix="cut")
 
+        session: Optional[IncrementalSession] = None
+        if self.incremental and self.backend in ("scipy", "native"):
+            session = IncrementalSession(
+                model, backend=self.backend, profiler=profiler
+            )
+            solve = session.as_solver()
+        else:
+            solve = get_backend(self.backend)
+        if self.oracle is not None:
+            solve = self.oracle.wrap_solver(self.backend, solve)
+
+        def finalize(status, architecture=None, violation=None):
+            stats.total_time = time.perf_counter() - started
+            stats.final_milp_variables = model.num_variables
+            stats.final_milp_constraints = model.num_constraints
+            if profiler is not None:
+                stats.phase_profile = profiler.report()
+            return ExplorationResult(status, architecture, stats, cuts, violation)
+
         for index in range(1, self.max_iterations + 1):
             if (
                 self.time_limit is not None
                 and time.perf_counter() - started > self.time_limit
             ):
-                stats.total_time = time.perf_counter() - started
-                return ExplorationResult(
-                    ExplorationStatus.TIME_LIMIT, None, stats, cuts, last_violation
-                )
+                return finalize(ExplorationStatus.TIME_LIMIT, None, last_violation)
             record = IterationRecord(index)
+            if profiler is not None:
+                profiler.begin_iteration(index)
 
             t0 = time.perf_counter()
-            solve_result = solve(model)
+            if profiler is not None and session is None:
+                # Sessions attribute their own matrix_build/milp_solve
+                # split; the stateless path is all solver time.
+                with profiler.phase("milp_solve"):
+                    solve_result = solve(model)
+            else:
+                solve_result = solve(model)
             record.milp_time = time.perf_counter() - t0
             if index == 1:
                 stats.milp_variables = model.num_variables
@@ -162,10 +217,7 @@ class ContrArcExplorer:
 
             if solve_result.status is SolveStatus.INFEASIBLE:
                 stats.record(record)
-                stats.total_time = time.perf_counter() - started
-                return ExplorationResult(
-                    ExplorationStatus.INFEASIBLE, None, stats, cuts, last_violation
-                )
+                return finalize(ExplorationStatus.INFEASIBLE, None, last_violation)
             if solve_result.status is not SolveStatus.OPTIMAL:
                 raise ExplorationError(
                     f"candidate MILP ended with status "
@@ -178,39 +230,62 @@ class ContrArcExplorer:
             record.candidate_cost = candidate.cost
 
             t0 = time.perf_counter()
-            violation = self.checker.check(candidate)
+            if profiler is not None:
+                with profiler.phase("refinement"):
+                    violations = self._violations(candidate)
+            else:
+                violations = self._violations(candidate)
             record.refinement_time = time.perf_counter() - t0
 
-            if violation is None:
+            if not violations:
                 stats.record(record)
-                stats.total_time = time.perf_counter() - started
-                return ExplorationResult(
-                    ExplorationStatus.OPTIMAL, candidate, stats, cuts
-                )
+                return finalize(ExplorationStatus.OPTIMAL, candidate)
 
-            last_violation = violation
-            record.violated_viewpoint = violation.viewpoint.name
+            last_violation = violations[0]
+            record.violated_viewpoint = violations[0].viewpoint.name
             t0 = time.perf_counter()
-            new_cuts = generate_cuts(
-                self.mapping_template,
-                candidate,
-                violation,
-                use_isomorphism=self.use_isomorphism,
-                widen=self.widen_implementations,
-                max_embeddings=self.max_embeddings,
-                matcher=self.matcher,
+            timer = (
+                profiler.phase("certificate_build")
+                if profiler is not None
+                else nullcontext()
             )
+            with timer:
+                added: List[Cut] = []
+                for violation in violations:
+                    for cut in generate_cuts(
+                        self.mapping_template,
+                        candidate,
+                        violation,
+                        use_isomorphism=self.use_isomorphism,
+                        widen=self.widen_implementations,
+                        max_embeddings=self.max_embeddings,
+                        matcher=self.matcher,
+                        embedding_cache=embedding_cache,
+                        profiler=profiler,
+                    ):
+                        # Distinct (viewpoint, path) violations often
+                        # certify overlapping fragments; keep one row
+                        # per distinct cut constraint.
+                        key = formula_key(cut.formula)
+                        if key in seen_cut_keys:
+                            continue
+                        seen_cut_keys.add(key)
+                        added.append(cut)
             record.certificate_time = time.perf_counter() - t0
-            record.cuts_added = len(new_cuts)
-            cuts.extend(new_cuts)
-            for cut in new_cuts:
+            record.cuts_added = len(added)
+            cuts.extend(added)
+            for cut in added:
                 cut_encoder.enforce(cut.formula)
             stats.record(record)
 
-        stats.total_time = time.perf_counter() - started
-        return ExplorationResult(
-            ExplorationStatus.ITERATION_LIMIT, None, stats, cuts, last_violation
-        )
+        return finalize(ExplorationStatus.ITERATION_LIMIT, None, last_violation)
+
+    def _violations(self, candidate: CandidateArchitecture) -> List[Violation]:
+        """All violations (multi-cut mode) or at most the first one."""
+        if self.multicut:
+            return self.checker.check_all(candidate)
+        violation = self.checker.check(candidate)
+        return [violation] if violation is not None else []
 
     def explore_or_raise(self) -> ExplorationResult:
         """Like :meth:`explore` but raises when no architecture exists."""

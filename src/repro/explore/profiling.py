@@ -1,0 +1,84 @@
+"""Opt-in phase profiler for the exploration loop.
+
+Answers "where does an iteration spend its time" without external
+dependencies: the engine (and, via pass-through, the certificate
+generator) brackets each phase with :meth:`PhaseProfiler.phase` and the
+profiler accumulates wall-clock totals, call counts, and a per-iteration
+breakdown. Enabled with ``ContrArcExplorer(profile=True)`` or the
+``--profile`` CLI flag; the report lands in
+``ExplorationStats.phase_profile`` and therefore in every ``to_dict``
+serialization (CLI ``--json``, benchmark JSON artifacts).
+
+Phases used by the engine:
+
+``matrix_build``
+    ``Model.to_matrix_form`` — incremental row conversion (near zero
+    once the append-only cache path is active).
+``milp_solve``
+    The candidate MILP solve: LP relaxations plus branch-and-bound for
+    the native backend, the HiGHS ``run()`` for scipy.
+``refinement``
+    Algorithm 1 — all refinement checks of the iteration.
+``embedding``
+    Subgraph-isomorphism enumeration inside ``generate_cuts``.
+``certificate_build``
+    The rest of Algorithm 2 (widening, cut assembly, encoding).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall-clock across an exploration run."""
+
+    __slots__ = ("totals", "counts", "iterations", "_current")
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        self.iterations: List[Dict[str, Any]] = []
+        self._current: Optional[Dict[str, Any]] = None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block and charge it to ``name`` (re-entrant safe via
+        plain accumulation; nested phases are charged to both)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+            if self._current is not None:
+                self._current[name] = self._current.get(name, 0.0) + elapsed
+
+    def begin_iteration(self, index: int) -> None:
+        """Start a fresh per-iteration row; subsequent phases add to it."""
+        self._current = {"index": index}
+        self.iterations.append(self._current)
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-compatible summary (stored on ``ExplorationStats``)."""
+        return {
+            "totals": dict(self.totals),
+            "counts": dict(self.counts),
+            "iterations": [dict(row) for row in self.iterations],
+        }
+
+    def format_table(self) -> str:
+        """Human-readable per-phase summary for CLI output."""
+        if not self.totals:
+            return "profile: no phases recorded"
+        width = max(len(name) for name in self.totals)
+        lines = ["phase".ljust(width) + "    total(s)   calls"]
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{name.ljust(width)}  {self.totals[name]:10.4f}  "
+                f"{self.counts.get(name, 0):6d}"
+            )
+        return "\n".join(lines)

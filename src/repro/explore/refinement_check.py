@@ -16,7 +16,7 @@ paths of the candidate.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.arch.architecture import CandidateArchitecture, SubArchitecture
 from repro.arch.template import MappingTemplate
@@ -86,6 +86,21 @@ class RefinementChecker:
 
     def check(self, candidate: CandidateArchitecture) -> Optional[Violation]:
         """Return the first violation, or None if all refinements hold."""
+        return next(self._iter_violations(candidate), None)
+
+    def check_all(self, candidate: CandidateArchitecture) -> List[Violation]:
+        """Every violation of the candidate, in :meth:`check` order.
+
+        The multi-cut variant of the exploration loop turns all of them
+        into certificates at once instead of re-solving the MILP to
+        rediscover the remaining failures one per iteration. An empty
+        list means the candidate refines every system contract.
+        """
+        return list(self._iter_violations(candidate))
+
+    def _iter_violations(
+        self, candidate: CandidateArchitecture
+    ) -> "Iterator[Violation]":
         assignment = self._candidate_assignment(candidate)
         paths = self._candidate_paths(candidate)
 
@@ -94,19 +109,18 @@ class RefinementChecker:
                 for path in paths:
                     violation = self._check_path(candidate, spec, path, assignment)
                     if violation is not None:
-                        return violation
+                        yield violation
             for spec in self.specification.global_specs:
                 violation = self._check_whole(candidate, spec, paths, assignment)
                 if violation is not None:
-                    return violation
-            return None
+                    yield violation
+            return
 
         # No decomposition: every viewpoint against the whole candidate.
         for spec in self.specification.viewpoint_specs:
             violation = self._check_whole(candidate, spec, paths, assignment)
             if violation is not None:
-                return violation
-        return None
+                yield violation
 
     # -- helpers -----------------------------------------------------------------
 

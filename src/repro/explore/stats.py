@@ -79,9 +79,17 @@ class ExplorationStats:
     def __init__(self) -> None:
         self.iterations: List[IterationRecord] = []
         self.total_time: float = 0.0
+        #: Model size at iteration 1, before any certificate cuts.
         self.milp_variables: int = 0
         self.milp_constraints: int = 0
+        #: Model size when exploration ended — the cut-augmented model
+        #: actually solved in the last iteration.
+        self.final_milp_variables: int = 0
+        self.final_milp_constraints: int = 0
         self.total_cuts: int = 0
+        #: Per-phase wall-clock breakdown when the run was profiled
+        #: (see :class:`repro.explore.profiling.PhaseProfiler.report`).
+        self.phase_profile: Optional[Dict[str, Any]] = None
 
     @property
     def num_iterations(self) -> int:
@@ -118,8 +126,12 @@ class ExplorationStats:
             "certificate_time": self.certificate_time,
             "milp_variables": self.milp_variables,
             "milp_constraints": self.milp_constraints,
+            "final_milp_variables": self.final_milp_variables,
+            "final_milp_constraints": self.final_milp_constraints,
             "total_cuts": self.total_cuts,
         }
+        if self.phase_profile is not None:
+            data["phase_profile"] = self.phase_profile
         if include_iterations:
             data["iterations"] = [r.to_dict() for r in self.iterations]
         return data
@@ -132,6 +144,9 @@ class ExplorationStats:
         stats.total_time = data.get("total_time", 0.0)
         stats.milp_variables = data.get("milp_variables", 0)
         stats.milp_constraints = data.get("milp_constraints", 0)
+        stats.final_milp_variables = data.get("final_milp_variables", 0)
+        stats.final_milp_constraints = data.get("final_milp_constraints", 0)
+        stats.phase_profile = data.get("phase_profile")
         # total_cuts was re-accumulated by record(); trust the explicit
         # figure when the iteration rows were elided.
         if "total_cuts" in data and not data.get("iterations"):

@@ -17,7 +17,7 @@ from repro.graph.isomorphism import (
     find_embeddings,
 )
 from repro.graph.dot import to_dot, write_dot
-from repro.graph.matchers import MATCHERS, get_matcher
+from repro.graph.matchers import MATCHERS, EmbeddingCache, get_matcher
 
 __all__ = [
     "DiGraph",
@@ -37,5 +37,6 @@ __all__ = [
     "to_dot",
     "write_dot",
     "MATCHERS",
+    "EmbeddingCache",
     "get_matcher",
 ]

@@ -14,22 +14,38 @@ matcher is pluggable the same way MILP backends are. Two backends ship:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.exceptions import ReproError
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import DiGraph, NodeId
 from repro.graph.isomorphism import Embedding, find_embeddings
 
-MatcherFn = Callable[[DiGraph, DiGraph, int], List[Embedding]]
+MatcherFn = Callable[..., List[Embedding]]
+
+#: Optional hint accepted by matcher backends: groups of pattern nodes
+#: the *caller* treats as interchangeable. Backends may use it to prune
+#: automorphic enumeration (the native engine verifies the groups are
+#: real automorphisms first); backends without such support ignore it.
+SymmetryClasses = Optional[Iterable[Iterable[NodeId]]]
 
 
-def native_matcher(host: DiGraph, pattern: DiGraph, limit: int = 0) -> List[Embedding]:
-    """The built-in VF2 enumerator."""
-    return find_embeddings(host, pattern, limit=limit)
+def native_matcher(
+    host: DiGraph,
+    pattern: DiGraph,
+    limit: int = 0,
+    symmetry_classes: SymmetryClasses = None,
+) -> List[Embedding]:
+    """The built-in bitset VF2 enumerator."""
+    return find_embeddings(
+        host, pattern, limit=limit, symmetry_classes=symmetry_classes
+    )
 
 
 def networkx_matcher(
-    host: DiGraph, pattern: DiGraph, limit: int = 0
+    host: DiGraph,
+    pattern: DiGraph,
+    limit: int = 0,
+    symmetry_classes: SymmetryClasses = None,
 ) -> List[Embedding]:
     """Enumerate embeddings with networkx's DiGraphMatcher."""
     import networkx as nx
@@ -61,6 +77,58 @@ MATCHERS: Dict[str, MatcherFn] = {
     "native": native_matcher,
     "networkx": networkx_matcher,
 }
+
+
+class EmbeddingCache:
+    """Per-run memo for deduplicated embedding enumerations.
+
+    The exploration loop re-derives the same detached fragment across
+    many iterations (the host template never changes within a run), so
+    :func:`repro.explore.certificates.generate_cuts` can skip repeated
+    enumeration entirely. Keys cover everything the result depends on:
+    matcher backend, limit, the pattern's full structure (nodes with
+    labels, edges) and the symmetry colors supplied by the caller. The
+    host is deliberately *not* part of the key — one cache serves one
+    exploration run over one template; create a fresh cache per run.
+    """
+
+    __slots__ = ("_store", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._store: Dict[Hashable, List[Embedding]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(
+        pattern: DiGraph,
+        matcher: str,
+        limit: int,
+        colors: Optional[Dict[NodeId, Hashable]] = None,
+    ) -> Hashable:
+        nodes: Tuple = tuple(
+            sorted(
+                (
+                    (node, pattern.label(node), colors.get(node) if colors else None)
+                    for node in pattern.nodes()
+                ),
+                key=str,
+            )
+        )
+        edges: Tuple = tuple(sorted(pattern.edges(), key=str))
+        return (matcher, limit, nodes, edges)
+
+    def get(self, key: Hashable) -> Optional[List[Embedding]]:
+        found = self._store.get(key)
+        if found is not None:
+            self.hits += 1
+            # Copy the mappings: callers treat embeddings as their own.
+            return [dict(embedding) for embedding in found]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, embeddings: List[Embedding]) -> None:
+        self._store[key] = [dict(embedding) for embedding in embeddings]
 
 
 def get_matcher(name: str) -> MatcherFn:

@@ -12,6 +12,7 @@ from repro.solver.feasibility import (
     is_unsat,
 )
 from repro.solver import branch_bound, scipy_backend, simplex
+from repro.solver.session import IncrementalSession
 from repro.solver.presolve import PresolveResult, PresolveStatus, presolve
 from repro.solver.diagnostics import find_iis, summarize_iis
 
@@ -33,6 +34,7 @@ __all__ = [
     "branch_bound",
     "scipy_backend",
     "simplex",
+    "IncrementalSession",
     "PresolveResult",
     "PresolveStatus",
     "presolve",

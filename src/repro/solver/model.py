@@ -106,6 +106,31 @@ class MatrixForm:
         return self.a_ub.shape[0] + self.a_eq.shape[0]
 
 
+class _MatrixCache:
+    """Snapshot of the last :meth:`Model.to_matrix_form` conversion.
+
+    Holds the assembled form plus the model revision and sizes it was
+    built at, so a later call can detect "only appends happened since"
+    and convert just the new constraint rows instead of re-walking every
+    coefficient map (the exploration loop appends a few cut rows per
+    iteration to an otherwise unchanged model).
+    """
+
+    __slots__ = ("revision", "num_variables", "num_constraints", "form")
+
+    def __init__(
+        self,
+        revision: int,
+        num_variables: int,
+        num_constraints: int,
+        form: MatrixForm,
+    ) -> None:
+        self.revision = revision
+        self.num_variables = num_variables
+        self.num_constraints = num_constraints
+        self.form = form
+
+
 class Model:
     """A mixed integer linear program."""
 
@@ -116,6 +141,15 @@ class Model:
         self.constraints: List[LinearConstraint] = []
         self.objective: LinExpr = LinExpr()
         self.minimize = True
+        #: Bumped on *every* mutation (variable add, constraint add,
+        #: objective change). Incremental consumers — the matrix cache
+        #: below and :class:`repro.solver.session.IncrementalSession` —
+        #: compare revision deltas against variable/constraint count
+        #: deltas to decide whether all mutations since their last sync
+        #: were pure appends. Cache keys (repro.runtime.keys.model_key)
+        #: hash mathematical content only and never read this counter.
+        self.revision: int = 0
+        self._matrix_cache: Optional[_MatrixCache] = None
 
     # -- variables ---------------------------------------------------------
 
@@ -124,6 +158,7 @@ class Model:
         if var not in self._var_set:
             self._var_set[var] = len(self._variables)
             self._variables.append(var)
+            self.revision += 1
         return var
 
     def add_variables(self, variables: Iterable[Var]) -> None:
@@ -186,6 +221,7 @@ class Model:
         for var in constraint.expr.coeffs:
             self.add_variable(var)
         self.constraints.append(constraint)
+        self.revision += 1
         return constraint
 
     def add_le(self, expr, rhs: float, name: str = "") -> LinearConstraint:
@@ -208,6 +244,7 @@ class Model:
     def set_objective(self, expr, minimize: bool = True) -> None:
         self.objective = LinExpr.coerce(expr)
         self.minimize = minimize
+        self.revision += 1
         for var in self.objective.coeffs:
             self.add_variable(var)
 
@@ -245,7 +282,55 @@ class Model:
     # -- matrix form -------------------------------------------------------------
 
     def to_matrix_form(self) -> MatrixForm:
-        """Convert to dense matrices (minimization form)."""
+        """Convert to dense matrices (minimization form).
+
+        The conversion is cached on the model: when every mutation since
+        the previous call was an append (new variables and/or new
+        constraints — the cut-accumulation pattern of the exploration
+        loop), only the new rows are converted and the cached dense
+        blocks are reused. Any other mutation (objective change) falls
+        back to a full rebuild. Returned forms are fresh objects; their
+        arrays must be treated as read-only by backends.
+        """
+        cache = self._matrix_cache
+        if cache is not None and cache.revision == self.revision:
+            return cache.form
+        if cache is not None:
+            new_vars = len(self._variables) - cache.num_variables
+            new_cons = len(self.constraints) - cache.num_constraints
+            if (
+                new_vars >= 0
+                and new_cons >= 0
+                and self.revision - cache.revision == new_vars + new_cons
+            ):
+                form = self._extend_matrix_form(cache, new_vars)
+                self._matrix_cache = _MatrixCache(
+                    self.revision,
+                    len(self._variables),
+                    len(self.constraints),
+                    form,
+                )
+                return form
+        form = self._build_matrix_form()
+        self._matrix_cache = _MatrixCache(
+            self.revision, len(self._variables), len(self.constraints), form
+        )
+        return form
+
+    def _constraint_row(
+        self, constraint: LinearConstraint, n: int
+    ) -> Tuple[np.ndarray, float, bool]:
+        """One LE-or-EQ normalized dense row: (row, rhs, is_equality)."""
+        row = np.zeros(n)
+        for var, coef in constraint.expr.coeffs.items():
+            row[self._var_set[var]] = coef
+        rhs = constraint.rhs - constraint.expr.constant
+        if constraint.sense is ConstraintSense.GE:
+            return -row, -rhs, False
+        return row, rhs, constraint.sense is ConstraintSense.EQ
+
+    def _build_matrix_form(self) -> MatrixForm:
+        """Full conversion from scratch."""
         n = len(self._variables)
         objective = np.zeros(n)
         for var, coef in self.objective.coeffs.items():
@@ -260,19 +345,13 @@ class Model:
         eq_rows: List[np.ndarray] = []
         eq_rhs: List[float] = []
         for constraint in self.constraints:
-            row = np.zeros(n)
-            for var, coef in constraint.expr.coeffs.items():
-                row[self._var_set[var]] = coef
-            rhs = constraint.rhs - constraint.expr.constant
-            if constraint.sense is ConstraintSense.LE:
-                ub_rows.append(row)
-                ub_rhs.append(rhs)
-            elif constraint.sense is ConstraintSense.GE:
-                ub_rows.append(-row)
-                ub_rhs.append(-rhs)
-            else:
+            row, rhs, is_eq = self._constraint_row(constraint, n)
+            if is_eq:
                 eq_rows.append(row)
                 eq_rhs.append(rhs)
+            else:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
 
         a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
         a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n))
@@ -289,6 +368,64 @@ class Model:
             np.array(ub_rhs),
             a_eq,
             np.array(eq_rhs),
+            lower,
+            upper,
+            integrality,
+        )
+
+    def _extend_matrix_form(self, cache: _MatrixCache, new_vars: int) -> MatrixForm:
+        """Append-only fast path: pad columns, convert only new rows."""
+        old = cache.form
+        n = len(self._variables)
+        if new_vars:
+            # Appended variables carry zero coefficients in every cached
+            # row and in the (unchanged) objective.
+            pad_ub = np.zeros((old.a_ub.shape[0], new_vars))
+            pad_eq = np.zeros((old.a_eq.shape[0], new_vars))
+            a_ub = np.hstack([old.a_ub, pad_ub])
+            a_eq = np.hstack([old.a_eq, pad_eq])
+            objective = np.concatenate([old.objective, np.zeros(new_vars)])
+            added = self._variables[cache.num_variables:]
+            lower = np.concatenate([old.lower, [v.lb for v in added]])
+            upper = np.concatenate([old.upper, [v.ub for v in added]])
+            integrality = np.concatenate(
+                [old.integrality, [1 if v.is_integral else 0 for v in added]]
+            ).astype(int)
+        else:
+            a_ub, a_eq = old.a_ub, old.a_eq
+            objective = old.objective
+            lower, upper, integrality = old.lower, old.upper, old.integrality
+
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for constraint in self.constraints[cache.num_constraints:]:
+            row, rhs, is_eq = self._constraint_row(constraint, n)
+            if is_eq:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+            else:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+        if ub_rows:
+            a_ub = np.vstack([a_ub] + ub_rows)
+            b_ub = np.concatenate([old.b_ub, ub_rhs])
+        else:
+            b_ub = old.b_ub
+        if eq_rows:
+            a_eq = np.vstack([a_eq] + eq_rows)
+            b_eq = np.concatenate([old.b_eq, eq_rhs])
+        else:
+            b_eq = old.b_eq
+        return MatrixForm(
+            self._variables,
+            objective,
+            old.objective_constant,
+            a_ub,
+            b_ub,
+            a_eq,
+            b_eq,
             lower,
             upper,
             integrality,

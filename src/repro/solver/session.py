@@ -1,0 +1,360 @@
+"""Persistent MILP sessions for the exploration hot loop.
+
+`ContrArcExplorer.explore()` re-solves one model per iteration, and the
+only mutation between solves is a handful of appended certificate cuts.
+A stateless backend pays the full model-construction cost every time:
+scipy's ``milp()`` rebuilds the HiGHS instance from dense matrices, and
+the native branch-and-bound restarts its search from nothing.
+
+:class:`IncrementalSession` keeps per-model solver state alive across
+those solves:
+
+* **scipy backend** — one vendored HiGHS instance
+  (``scipy.optimize._highspy``) receives the model once via
+  ``passModel`` and afterwards only ``addCol``/``addRow`` calls for the
+  appended cut variables/rows (built sparsely, straight from the
+  constraint coefficient maps — the dense matrix form is never
+  materialized again). Along an append-only chain the optimum is
+  monotone non-decreasing (rows only shrink the feasible set and
+  appended columns carry zero objective), so the previous optimal value
+  is replayed as HiGHS's ``objective_target``: branch-and-cut stops at
+  the first incumbent matching the plateau value instead of re-proving
+  the dual bound. Any non-append mutation falls back to a full
+  ``passModel`` rebuild (which also clears the target), and if the
+  vendored module is missing the session degrades to per-call
+  ``scipy.optimize.milp``.
+* **native backend** — a :class:`repro.solver.branch_bound.WarmStart`
+  carries the incumbent pool, pseudo-costs and root LP basis between
+  iterations. (The native simplex is a dense-tableau solver, so this
+  path still converts via ``Model.to_matrix_form`` — itself cached
+  append-only.)
+
+Sessions affect *how fast* a solve finishes, never its result: the
+regression suite pins incremental-vs-scratch equality, and cache keys
+(:mod:`repro.runtime.keys`) hash mathematical content only, so oracle
+caching is blind to session reuse.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.solver import branch_bound, scipy_backend
+from repro.solver.model import ConstraintSense, Model
+from repro.solver.result import SolveResult, SolveStatus
+
+try:  # scipy >= 1.15 vendors the full highspy binding
+    from scipy.optimize._highspy import _core as _highs_core
+except ImportError:  # pragma: no cover - older scipy layouts
+    _highs_core = None
+
+
+class IncrementalSession:
+    """A persistent solver bound to one append-only :class:`Model`.
+
+    Create one per exploration run and call :meth:`solve` each
+    iteration. The session watches the model's revision counter: when
+    every mutation since the last solve was an append (new variables
+    and/or constraints), solver state is extended in place; anything
+    else triggers a transparent full rebuild.
+
+    ``profiler`` is an optional
+    :class:`repro.explore.profiling.PhaseProfiler`; model-sync work is
+    charged to its ``matrix_build`` phase and solver runs to
+    ``milp_solve``.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        backend: str = "scipy",
+        time_limit: Optional[float] = None,
+        profiler=None,
+    ) -> None:
+        self.model = model
+        self.backend = backend
+        self.time_limit = time_limit
+        self.profiler = profiler
+        #: Diagnostics: how often the fast append path was taken vs a
+        #: full rebuild. Read by tests and reports.
+        self.appends = 0
+        self.rebuilds = 0
+        if backend == "scipy":
+            self._impl: Optional[_BackendSession] = (
+                _HighsSession(time_limit) if _highs_core is not None else None
+            )
+        elif backend == "native":
+            self._impl = _NativeSession()
+        else:
+            raise SolverError(
+                f"unknown solver backend {backend!r} for IncrementalSession"
+            )
+
+    def _phase(self, name: str):
+        return self.profiler.phase(name) if self.profiler is not None else nullcontext()
+
+    def solve(self) -> SolveResult:
+        """Solve the bound model, reusing solver state where possible."""
+        if self._impl is None:
+            with self._phase("matrix_build"):
+                form = self.model.to_matrix_form()
+            with self._phase("milp_solve"):
+                result = scipy_backend.solve_matrix(form, time_limit=self.time_limit)
+        else:
+            with self._phase("matrix_build"):
+                self._impl.sync(self.model)
+            if self._impl.last_was_append:
+                self.appends += 1
+            else:
+                self.rebuilds += 1
+            with self._phase("milp_solve"):
+                result = self._impl.solve(self.model)
+        if (
+            result.is_optimal
+            and not self.model.minimize
+            and result.objective is not None
+        ):
+            result.objective = -result.objective
+        return result
+
+    def as_solver(self) -> Callable[[Model], SolveResult]:
+        """Adapt to the ``solve(model)`` backend signature.
+
+        The returned callable routes solves of the bound model through
+        the session and anything else (defensive case — the exploration
+        loop only ever passes one model) through the stateless backend.
+        This keeps the oracle seam unchanged:
+        ``oracle.wrap_solver(backend, session.as_solver())`` caches on
+        ``model_key`` exactly as it would around a plain backend.
+        """
+        from repro.solver.feasibility import get_backend
+
+        def solve(model: Model) -> SolveResult:
+            if model is self.model:
+                return self.solve()
+            return get_backend(self.backend)(model)
+
+        return solve
+
+
+class _BackendSession:
+    """Interface for backend-specific session state."""
+
+    #: True when the most recent sync reused state via pure appends.
+    last_was_append = False
+
+    def sync(self, model: Model) -> None:
+        raise NotImplementedError
+
+    def solve(self, model: Model) -> SolveResult:
+        raise NotImplementedError
+
+
+class _NativeSession(_BackendSession):
+    """Warm-started native branch-and-bound."""
+
+    def __init__(self) -> None:
+        self._warm = branch_bound.WarmStart()
+        self._started = False
+        self._form = None
+
+    def sync(self, model: Model) -> None:
+        # Dense conversion; Model caches it and extends append-only.
+        self.last_was_append = self._started
+        self._started = True
+        self._form = model.to_matrix_form()
+
+    def solve(self, model: Model) -> SolveResult:
+        return branch_bound.solve_matrix(self._form, warm=self._warm)
+
+
+class _HighsSession(_BackendSession):
+    """One long-lived HiGHS instance fed by passModel + addCol/addRow.
+
+    After the initial ``passModel``, appended cut rows are translated
+    straight from each :class:`LinearConstraint`'s coefficient map into
+    sparse ``addRow`` calls — cost proportional to the new rows'
+    nonzeros, independent of model size.
+
+    A MIP start is deliberately *not* replayed: in the exploration loop
+    the appended cuts exclude the previous optimum by construction, and
+    feeding HiGHS an infeasible start measurably slows it down (it
+    attempts sub-MIP repair). The previous optimal *value* is sound
+    regardless — appends can only raise the minimize-normalized optimum
+    — and goes in as ``objective_target`` so plateau solves terminate at
+    the first matching incumbent.
+    """
+
+    #: Slack added to the monotone objective target; an early-exit
+    #: incumbent is optimal to within this absolute error (well inside
+    #: HiGHS's own default 1e-4 relative MIP gap).
+    _TARGET_TOL = 1e-6
+
+    def __init__(self, time_limit: Optional[float] = None) -> None:
+        h = _highs_core._Highs()
+        h.setOptionValue("output_flag", False)
+        if time_limit is not None:
+            h.setOptionValue("time_limit", float(time_limit))
+        self._h = h
+        self._revision: Optional[int] = None
+        self._num_vars = 0
+        self._num_cons = 0
+        #: Minimize-normalized objective vector mirrored locally (HiGHS
+        #: owns the authoritative copy; this one prices solutions).
+        self._cost: Optional[np.ndarray] = None
+        self._objective_constant = 0.0
+        #: Minimize-normalized optimum of the previous solve along the
+        #: current append-only chain; None right after a full rebuild.
+        self._prev_obj: Optional[float] = None
+
+    # -- sync ---------------------------------------------------------------
+
+    def _is_append_only(self, model: Model) -> bool:
+        if self._revision is None:
+            return False
+        new_vars = model.num_variables - self._num_vars
+        new_cons = model.num_constraints - self._num_cons
+        if new_vars < 0 or new_cons < 0:
+            return False
+        return model.revision - self._revision == new_vars + new_cons
+
+    def sync(self, model: Model) -> None:
+        if self._is_append_only(model):
+            self._append(model)
+            self.last_was_append = True
+        else:
+            self._pass_full(model)
+            self.last_was_append = False
+        self._revision = model.revision
+        self._num_vars = model.num_variables
+        self._num_cons = model.num_constraints
+
+    def _pass_full(self, model: Model) -> None:
+        core = _highs_core
+        form = model.to_matrix_form()
+        n = form.num_variables
+        a = np.vstack([form.a_ub, form.a_eq]) if n else np.zeros((0, 0))
+        m = a.shape[0]
+        lp = core.HighsLp()
+        lp.num_col_ = n
+        lp.num_row_ = m
+        lp.col_cost_ = np.asarray(form.objective, dtype=float)
+        lp.col_lower_ = np.asarray(form.lower, dtype=float)
+        lp.col_upper_ = np.asarray(form.upper, dtype=float)
+        lp.row_lower_ = np.concatenate(
+            [np.full(form.a_ub.shape[0], -core.kHighsInf), form.b_eq]
+        )
+        lp.row_upper_ = np.concatenate([form.b_ub, form.b_eq])
+        lp.integrality_ = [
+            core.HighsVarType.kInteger if flag else core.HighsVarType.kContinuous
+            for flag in form.integrality
+        ]
+        matrix = core.HighsSparseMatrix()
+        matrix.format_ = core.MatrixFormat.kRowwise
+        matrix.num_col_ = n
+        matrix.num_row_ = m
+        starts = [0]
+        indices: List[int] = []
+        values: List[float] = []
+        for row in a:
+            nz = np.nonzero(row)[0]
+            indices.extend(int(j) for j in nz)
+            values.extend(float(v) for v in row[nz])
+            starts.append(len(indices))
+        matrix.start_ = np.asarray(starts, dtype=np.int32)
+        matrix.index_ = np.asarray(indices, dtype=np.int32)
+        matrix.value_ = np.asarray(values, dtype=float)
+        lp.a_matrix_ = matrix
+        self._h.passModel(lp)
+        self._cost = np.asarray(form.objective, dtype=float).copy()
+        self._objective_constant = form.objective_constant
+        # Monotonicity only holds along an append chain; a rebuild may
+        # have relaxed anything.
+        self._prev_obj = None
+        self._h.setOptionValue("objective_target", -core.kHighsInf)
+
+    def _append(self, model: Model) -> None:
+        """Push appended variables and constraints, sparsely.
+
+        Under the append-only invariant the objective is untouched, so
+        every new column has cost zero; its constraint coefficients
+        arrive with the new rows below.
+        """
+        core = _highs_core
+        h = self._h
+        added_vars = model.variables[self._num_vars:]
+        if added_vars:
+            empty_idx = np.zeros(0, dtype=np.int32)
+            empty_val = np.zeros(0, dtype=float)
+            for offset, var in enumerate(added_vars):
+                h.addCol(0.0, float(var.lb), float(var.ub), 0, empty_idx, empty_val)
+                if var.is_integral:
+                    h.changeColIntegrality(
+                        self._num_vars + offset, core.HighsVarType.kInteger
+                    )
+            self._cost = np.concatenate([self._cost, np.zeros(len(added_vars))])
+        index_of = model.index_of
+        for constraint in model.constraints[self._num_cons:]:
+            coeffs = constraint.expr.coeffs
+            idx = np.fromiter(
+                (index_of(var) for var in coeffs), dtype=np.int32, count=len(coeffs)
+            )
+            val = np.fromiter(
+                (float(c) for c in coeffs.values()), dtype=float, count=len(coeffs)
+            )
+            rhs = constraint.rhs - constraint.expr.constant
+            if constraint.sense is ConstraintSense.LE:
+                lo, hi = -core.kHighsInf, rhs
+            elif constraint.sense is ConstraintSense.GE:
+                lo, hi = rhs, core.kHighsInf
+            else:
+                lo, hi = rhs, rhs
+            h.addRow(lo, hi, len(idx), idx, val)
+
+    # -- solve ----------------------------------------------------------------
+
+    def solve(self, model: Model) -> SolveResult:
+        if model.num_variables == 0:
+            return scipy_backend.solve(model)
+        if self._prev_obj is not None:
+            self._h.setOptionValue(
+                "objective_target",
+                self._prev_obj - self._objective_constant + self._TARGET_TOL,
+            )
+        self._h.run()
+        return self._extract(model)
+
+    def _extract(self, model: Model) -> SolveResult:
+        core = _highs_core
+        status = self._h.getModelStatus()
+        ms = core.HighsModelStatus
+        if status in (ms.kOptimal, ms.kObjectiveTarget):
+            # kObjectiveTarget: an incumbent at (or below) the previous
+            # optimum along this append chain — optimal by monotonicity,
+            # to within _TARGET_TOL.
+            x = np.asarray(self._h.getSolution().col_value, dtype=float)
+            variables = model.variables
+            for i, var in enumerate(variables):
+                if var.is_integral:
+                    x[i] = round(x[i])
+            assignment = {var: float(x[i]) for i, var in enumerate(variables)}
+            objective = float(self._cost @ x) + self._objective_constant
+            if status == ms.kOptimal:
+                self._prev_obj = objective
+            # On a target exit keep the previously *proven* bound: the
+            # incumbent may sit up to _TARGET_TOL above it, and advancing
+            # the target from incumbents would let that slack accumulate.
+            return SolveResult(SolveStatus.OPTIMAL, objective, assignment)
+        if status == ms.kInfeasible:
+            return SolveResult(SolveStatus.INFEASIBLE, message="highs session")
+        if status in (ms.kUnbounded, ms.kUnboundedOrInfeasible):
+            return SolveResult(SolveStatus.UNBOUNDED, message="highs session")
+        if status in (ms.kTimeLimit, ms.kIterationLimit, ms.kSolutionLimit):
+            return SolveResult(
+                SolveStatus.ITERATION_LIMIT, message="highs session limit"
+            )
+        return SolveResult(SolveStatus.ERROR, message=str(status))

@@ -29,7 +29,7 @@ _PIVOT_TOL = 1e-10
 class LPSolution:
     """Raw LP outcome in the original variable space."""
 
-    __slots__ = ("status", "x", "objective", "iterations")
+    __slots__ = ("status", "x", "objective", "iterations", "basic_vars")
 
     def __init__(
         self,
@@ -37,11 +37,15 @@ class LPSolution:
         x: Optional[np.ndarray],
         objective: Optional[float],
         iterations: int,
+        basic_vars: Optional[List[int]] = None,
     ) -> None:
         self.status = status
         self.x = x
         self.objective = objective
         self.iterations = iterations
+        #: Original-variable indices that were basic at termination —
+        #: the warm-start hint consumed by the next solve's ``prefer``.
+        self.basic_vars = basic_vars
 
 
 def solve_lp(
@@ -53,8 +57,18 @@ def solve_lp(
     lower: np.ndarray,
     upper: np.ndarray,
     max_iterations: int = 20000,
+    prefer: Optional[np.ndarray] = None,
 ) -> LPSolution:
-    """Minimize ``c @ x`` subject to the given constraints and box bounds."""
+    """Minimize ``c @ x`` subject to the given constraints and box bounds.
+
+    ``prefer`` is an optional boolean mask over the original variables:
+    columns flagged in it are chosen first among eligible entering
+    columns (negative reduced cost). Passing the basic set of a previous,
+    closely-related solve steers the pivot sequence back toward that
+    basis — a crash heuristic that cuts iteration counts when rows were
+    merely appended. Any mask is safe: eligibility is still decided by
+    the reduced costs, so the result is unaffected.
+    """
     n = len(c)
     c = np.asarray(c, dtype=float)
     lower = np.asarray(lower, dtype=float)
@@ -198,6 +212,13 @@ def solve_lp(
     total_cols = tableau_a.shape[1]
     iterations = 0
 
+    prefer_std: Optional[np.ndarray] = None
+    if prefer is not None and np.any(prefer):
+        prefer_std = np.zeros(total_cols, dtype=bool)
+        for k, (_, j) in enumerate(col_map):
+            if prefer[j]:
+                prefer_std[k] = True
+
     def run_simplex(obj: np.ndarray, allowed: np.ndarray) -> Optional[str]:
         """Run simplex on the current (tableau_a, b, basis) in place.
 
@@ -225,6 +246,14 @@ def solve_lp(
                 enter = int(np.argmin(reduced))
                 if reduced[enter] >= -_TOL:
                     return None
+                if prefer_std is not None:
+                    # Steer toward hinted columns whenever one is
+                    # eligible; the most negative hinted column is as
+                    # valid an entering choice as the global argmin.
+                    pref = np.where(prefer_std, reduced, np.inf)
+                    best_pref = int(np.argmin(pref))
+                    if pref[best_pref] < -_TOL:
+                        enter = best_pref
             col = tableau_a[:, enter]
             positive = col > _PIVOT_TOL
             if not positive.any():
@@ -297,7 +326,10 @@ def solve_lp(
         else:
             x[j] -= y[k]
     objective = float(c @ x)
-    return LPSolution(SolveStatus.OPTIMAL, x, objective, iterations)
+    basic_vars = sorted(
+        {col_map[col][1] for col in basis if col < n_std}
+    )
+    return LPSolution(SolveStatus.OPTIMAL, x, objective, iterations, basic_vars)
 
 
 def _pivot(a: np.ndarray, b: np.ndarray, row: int, col: int) -> None:

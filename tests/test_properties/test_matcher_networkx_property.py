@@ -1,0 +1,120 @@
+"""Property-based cross-check of the bitset subgraph matcher.
+
+networkx's ``DiGraphMatcher`` is the independent oracle: on random
+labeled digraphs the full embedding *sets* (not just counts) must agree
+in both semantics — non-induced (``subgraph_monomorphisms_iter``) and
+induced (``subgraph_isomorphisms_iter``). Pattern sizes range from the
+empty graph to larger-than-host, so both early-exit edges of
+``SubgraphMatcher.iter_embeddings`` are inside the sampled space.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.isomorphism import find_embeddings
+
+LABELS = ["A", "B", "C"]
+
+
+@st.composite
+def labeled_digraphs(draw, min_nodes=0, max_nodes=6, prefix="n"):
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    graph = DiGraph(f"{prefix}{n}")
+    for i in range(n):
+        graph.add_node(f"{prefix}{i}", label=draw(st.sampled_from(LABELS)))
+    for u in range(n):
+        for v in range(n):
+            if u != v and draw(
+                st.floats(min_value=0, max_value=1)
+            ) < 0.3:
+                graph.add_edge(f"{prefix}{u}", f"{prefix}{v}")
+    return graph
+
+
+@st.composite
+def host_pattern_pairs(draw):
+    # Patterns sampled up to one node *larger* than the largest host so
+    # the pattern-exceeds-host early exit is regularly exercised, and
+    # down to zero nodes for the empty-pattern edge.
+    host = draw(labeled_digraphs(min_nodes=1, max_nodes=6, prefix="h"))
+    pattern = draw(labeled_digraphs(min_nodes=0, max_nodes=7, prefix="p"))
+    return host, pattern
+
+
+def _to_nx(graph):
+    out = nx.DiGraph()
+    for node in graph.nodes():
+        out.add_node(node, label=graph.label(node))
+    out.add_edges_from(graph.edges())
+    return out
+
+
+def _nx_embedding_set(host, pattern, induced):
+    matcher = nx.algorithms.isomorphism.DiGraphMatcher(
+        _to_nx(host),
+        _to_nx(pattern),
+        node_match=lambda a, b: a["label"] == b["label"],
+    )
+    mappings = (
+        matcher.subgraph_isomorphisms_iter()
+        if induced
+        else matcher.subgraph_monomorphisms_iter()
+    )
+    # networkx maps host-subgraph nodes to pattern nodes; invert.
+    return {
+        frozenset((p, h) for h, p in mapping.items()) for mapping in mappings
+    }
+
+
+def _native_embedding_set(host, pattern, induced):
+    return {
+        frozenset(embedding.items())
+        for embedding in find_embeddings(host, pattern, induced=induced)
+    }
+
+
+class TestAgainstNetworkxOracle:
+    @settings(max_examples=50, deadline=None)
+    @given(host_pattern_pairs())
+    def test_non_induced_sets_agree(self, pair):
+        host, pattern = pair
+        assert _native_embedding_set(host, pattern, False) == _nx_embedding_set(
+            host, pattern, False
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(host_pattern_pairs())
+    def test_induced_sets_agree(self, pair):
+        host, pattern = pair
+        assert _native_embedding_set(host, pattern, True) == _nx_embedding_set(
+            host, pattern, True
+        )
+
+
+class TestDeterministicEdges:
+    """The two early-exit edges, pinned without hypothesis."""
+
+    def _host(self):
+        host = DiGraph("h")
+        host.add_node("x", label="A")
+        host.add_node("y", label="B")
+        host.add_edge("x", "y")
+        return host
+
+    @pytest.mark.parametrize("induced", [False, True])
+    def test_empty_pattern_matches_once(self, induced):
+        host = self._host()
+        assert _native_embedding_set(host, DiGraph(), induced) == {frozenset()}
+        assert _nx_embedding_set(host, DiGraph(), induced) == {frozenset()}
+
+    @pytest.mark.parametrize("induced", [False, True])
+    def test_pattern_larger_than_host_matches_never(self, induced):
+        host = self._host()
+        pattern = DiGraph("p")
+        for i in range(3):
+            pattern.add_node(f"p{i}", label="A")
+        assert _native_embedding_set(host, pattern, induced) == set()
+        assert _nx_embedding_set(host, pattern, induced) == set()

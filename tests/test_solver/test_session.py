@@ -1,0 +1,118 @@
+"""Tests for the persistent MILP session (incremental solve path).
+
+The contract under test: an :class:`IncrementalSession` bound to a
+growing model returns *exactly* what a stateless solve of the same
+model returns, at every step, while taking the cheap append path —
+and solving through a session leaves the model's mathematical content
+(hence its oracle-cache key) untouched.
+"""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.runtime.keys import model_key
+from repro.solver.feasibility import get_backend
+from repro.solver.model import Model
+from repro.solver.session import IncrementalSession
+from repro.solver.result import SolveStatus
+
+
+def _knapsack_model() -> Model:
+    """Small maximization MILP that stays feasible under the cuts below."""
+    model = Model("session-test")
+    x = [model.new_binary(f"x{i}") for i in range(5)]
+    values = [5.0, 4.0, 3.0, 2.0, 1.0]
+    weights = [2.0, 3.0, 1.0, 4.0, 2.0]
+    model.add_le(sum((w * v for w, v in zip(weights, x)), start=0 * x[0]), 7.0)
+    model.set_objective(
+        sum((c * v for c, v in zip(values, x)), start=0 * x[0]), minimize=False
+    )
+    return model
+
+
+def _grow(model: Model, step: int) -> None:
+    """Append one no-good cut excluding the current optimum's support."""
+    x = model.variables
+    model.add_le(sum((v for v in x[: 3 + (step % 2)]), start=0 * x[0]), 2.0)
+
+
+def _fingerprint(result):
+    assignment = {var.name: value for var, value in result.assignment.items()}
+    return result.status, result.objective, assignment
+
+
+@pytest.mark.parametrize("backend", ["scipy", "native"])
+class TestSessionEquality:
+    def test_matches_stateless_solve_across_appends(self, backend):
+        model = _knapsack_model()
+        session = IncrementalSession(model, backend=backend)
+        stateless = get_backend(backend)
+        for step in range(4):
+            incremental = session.solve()
+            scratch = stateless(model)
+            assert incremental.status is SolveStatus.OPTIMAL
+            assert _fingerprint(incremental) == _fingerprint(scratch)
+            _grow(model, step)
+
+    def test_append_path_taken(self, backend):
+        model = _knapsack_model()
+        session = IncrementalSession(model, backend=backend)
+        session.solve()
+        for step in range(3):
+            _grow(model, step)
+            session.solve()
+        assert session.appends == 3
+        assert session.rebuilds <= 1  # only the initial load
+
+    def test_model_key_unchanged_by_session_reuse(self, backend):
+        model = _knapsack_model()
+        before = model_key(model, backend=backend)
+        session = IncrementalSession(model, backend=backend)
+        session.solve()
+        session.solve()
+        assert model_key(model, backend=backend) == before
+
+
+class TestSessionAsSolver:
+    def test_routes_other_models_through_stateless_backend(self):
+        bound = _knapsack_model()
+        other = _knapsack_model()
+        solve = IncrementalSession(bound, backend="scipy").as_solver()
+        assert _fingerprint(solve(other)) == _fingerprint(
+            get_backend("scipy")(other)
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SolverError, match="unknown solver backend"):
+            IncrementalSession(_knapsack_model(), backend="gurobi")
+
+
+class TestObjectivePlateau:
+    @pytest.mark.parametrize("backend", ["scipy", "native"])
+    def test_non_binding_append_keeps_exact_optimum(self, backend):
+        """Appending a redundant row exercises the early-exit target path
+        (scipy sessions stop at the first plateau incumbent): the
+        returned optimum must still match the stateless solve."""
+        model = _knapsack_model()
+        session = IncrementalSession(model, backend=backend)
+        first = session.solve()
+        x = model.variables
+        model.add_le(sum((v for v in x), start=0 * x[0]), float(len(x)))
+        second = session.solve()
+        scratch = get_backend(backend)(model)
+        assert second.status is SolveStatus.OPTIMAL
+        assert second.objective == pytest.approx(first.objective, abs=1e-5)
+        assert second.objective == pytest.approx(scratch.objective, abs=1e-5)
+        assert session.appends == 1
+
+
+class TestInfeasibleAppend:
+    @pytest.mark.parametrize("backend", ["scipy", "native"])
+    def test_append_to_infeasibility(self, backend):
+        model = _knapsack_model()
+        session = IncrementalSession(model, backend=backend)
+        assert session.solve().status is SolveStatus.OPTIMAL
+        x = model.variables
+        model.add_ge(sum((v for v in x), start=0 * x[0]), 1.0)
+        model.add_le(sum((v for v in x), start=0 * x[0]), 0.0)
+        assert session.solve().status is SolveStatus.INFEASIBLE
