@@ -7,14 +7,20 @@ networkx's DiGraphMatcher on exactly that workload and asserts both
 enumerate the same number of embeddings.
 """
 
+import time
+
 import networkx as nx
 import pytest
 
 from repro.casestudies import epn, rpl
 from repro.graph.digraph import DiGraph
 from repro.graph.isomorphism import find_embeddings
+from repro.reporting.tables import format_seconds, render_table
+
+from benchmarks.conftest import report
 
 _COUNTS = {}
+_TIMES = {}
 
 
 def _epn_host():
@@ -62,7 +68,9 @@ def test_vf2_ours(benchmark, case):
     build_host, labels = CASES[case]
     host = build_host()
     pattern = _route_pattern(host, labels)
+    started = time.perf_counter()
     embeddings = benchmark(find_embeddings, host, pattern)
+    _TIMES.setdefault(case, {})["ours"] = time.perf_counter() - started
     _COUNTS.setdefault(case, {})["ours"] = len(embeddings)
     assert embeddings
 
@@ -88,13 +96,56 @@ def test_vf2_networkx(benchmark, case):
         )
         return sum(1 for _ in matcher.subgraph_monomorphisms_iter())
 
+    started = time.perf_counter()
     count = benchmark(enumerate_nx)
+    _TIMES.setdefault(case, {})["networkx"] = time.perf_counter() - started
     _COUNTS.setdefault(case, {})["networkx"] = count
 
 
 @pytest.fixture(scope="module", autouse=True)
-def _verify_counts():
+def _verify_counts(results_dir):
     yield
     for case, counts in _COUNTS.items():
         if "ours" in counts and "networkx" in counts:
             assert counts["ours"] == counts["networkx"], (case, counts)
+    _render_report(results_dir)
+
+
+def _render_report(results_dir):
+    """Table + BENCH JSON twin: per case, embeddings and matcher times.
+
+    Times are the full pytest-benchmark wall-clock (calibration rounds
+    included) — coarse but diffable; the precise distributions stay in
+    pytest-benchmark's own output.
+    """
+    if not _COUNTS:
+        return
+    rows = []
+    data = {}
+    for case in CASES:
+        counts = _COUNTS.get(case, {})
+        times = _TIMES.get(case, {})
+        if "ours" not in counts:
+            continue
+        ours_t = times.get("ours")
+        nx_t = times.get("networkx")
+        rows.append(
+            [
+                case,
+                counts["ours"],
+                format_seconds(ours_t) if ours_t is not None else "-",
+                format_seconds(nx_t) if nx_t is not None else "-",
+                f"{nx_t / ours_t:.1f}x" if ours_t and nx_t else "-",
+            ]
+        )
+        data[case] = {
+            "embeddings": counts["ours"],
+            "native_wall_clock": round(ours_t, 4) if ours_t else None,
+            "networkx_wall_clock": round(nx_t, 4) if nx_t else None,
+        }
+    text = render_table(
+        ["case", "embeddings", "native", "networkx", "ratio"],
+        rows,
+        title="Substrate - VF2 embedding enumeration vs networkx",
+    )
+    report(results_dir, "isomorphism.txt", text, data=data)

@@ -77,6 +77,14 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="collect and print a per-phase wall-clock breakdown",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="in-run verification pool size: refinement queries and "
+        "embedding enumeration fan out over N persistent worker "
+        "processes (results are bit-identical to --workers 1)",
+    )
+    parser.add_argument(
         "--no-incremental",
         action="store_true",
         help="disable the persistent solver session (stateless re-solves)",
@@ -108,6 +116,7 @@ def _make_explorer(mapping_template, specification, args) -> ContrArcExplorer:
         incremental=not getattr(args, "no_incremental", False),
         multicut=not getattr(args, "no_multicut", False),
         profile=getattr(args, "profile", False),
+        workers=getattr(args, "workers", 1),
     )
 
 
@@ -130,6 +139,8 @@ def _case_spec(case: str, args, sizes, problem) -> "JobSpec":
         engine["multicut"] = False
     if getattr(args, "profile", False):
         engine["profile"] = True
+    if getattr(args, "workers", 1) != 1:
+        engine["workers"] = args.workers
     return JobSpec(case, sizes=sizes, problem=problem, engine=engine)
 
 
@@ -145,12 +156,17 @@ def _emit_json(spec, result, duration: float) -> int:
 def _print_phase_profile(profile: dict) -> None:
     totals = profile.get("totals", {})
     counts = profile.get("counts", {})
-    if not totals:
-        return
-    print("phase breakdown:")
-    width = max(len(name) for name in totals)
-    for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
-        print(f"  {name:<{width}s}  {seconds:8.3f}s  ({counts.get(name, 0)}x)")
+    if totals:
+        print("phase breakdown:")
+        width = max(len(name) for name in totals)
+        for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:<{width}s}  {seconds:8.3f}s  ({counts.get(name, 0)}x)")
+    counters = profile.get("counters", {})
+    if counters:
+        print("event counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            print(f"  {name:<{width}s}  {counters[name]}")
 
 
 def _print_result(
@@ -299,15 +315,18 @@ def _cmd_table2(args) -> int:
     rows = []
     records = []
     for name in ("only-iso", "only-decomp", "complete"):
+        engine = {
+            "scenario": name,
+            "backend": args.backend,
+            "max_iterations": args.max_iterations,
+            "time_limit": args.time_limit,
+        }
+        if args.workers != 1:
+            engine["workers"] = args.workers
         spec = JobSpec(
             "epn",
             sizes={"left": args.left, "right": args.right, "apu": args.apu},
-            engine={
-                "scenario": name,
-                "backend": args.backend,
-                "max_iterations": args.max_iterations,
-                "time_limit": args.time_limit,
-            },
+            engine=engine,
         )
         started = time.perf_counter()
         result = spec.make_explorer().explore()
@@ -348,6 +367,17 @@ def _cmd_sweep(args) -> int:
         "max_iterations": args.max_iterations,
         "time_limit": args.time_limit,
     }
+    if args.run_workers != 1:
+        engine_flags["workers"] = args.run_workers
+        if not args.serial:
+            # The pooled scheduler clamps in-run workers to 1 (nested
+            # process pools oversubscribe the machine); honoring
+            # --run-workers requires --serial.
+            print(
+                "warning: --run-workers > 1 is clamped to 1 inside sweep "
+                "pool workers; use --serial to parallelize within runs",
+                file=sys.stderr,
+            )
     specs = GRIDS[args.grid](engine_flags)
     if args.limit is not None:
         specs = specs[: args.limit]
@@ -423,6 +453,12 @@ def build_parser() -> argparse.ArgumentParser:
     t2_cmd.add_argument("--max-iterations", type=int, default=5000)
     t2_cmd.add_argument("--time-limit", type=float, default=300.0)
     t2_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="in-run verification pool size for every scenario",
+    )
+    t2_cmd.add_argument(
         "--json",
         action="store_true",
         help="print the machine-readable per-scenario records",
@@ -443,6 +479,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument(
         "--serial", action="store_true", help="run in-process, no pool"
+    )
+    sweep_cmd.add_argument(
+        "--run-workers",
+        type=int,
+        default=1,
+        help="in-run verification pool size per job (clamped to 1 "
+        "inside sweep pool workers; effective with --serial)",
     )
     sweep_cmd.add_argument(
         "--cache", metavar="FILE", help="shared on-disk SQLite oracle cache"

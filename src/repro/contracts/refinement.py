@@ -21,10 +21,10 @@ DESIGN.md section 1).
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.contracts.contract import Contract
-from repro.expr.constraints import And
+from repro.expr.constraints import And, Formula
 from repro.expr.terms import Var
 from repro.expr.transform import negate
 from repro.solver.feasibility import DEFAULT_BACKEND, check_sat
@@ -61,6 +61,40 @@ class RefinementResult:
         return f"RefinementResult(fails: {self.failure.value})"
 
 
+def refinement_queries(
+    concrete: Contract,
+    abstract: Contract,
+    check_assumptions: bool = True,
+    saturate_concrete: bool = True,
+) -> List[Tuple[RefinementFailure, Formula]]:
+    """The ordered satisfiability queries deciding ``concrete <= abstract``.
+
+    Refinement holds iff *every* returned formula is UNSAT; the first
+    SAT one (in order) names the failing half and its witness.
+    :func:`check_refinement` evaluates this plan lazily (stopping at the
+    first SAT query); the parallel verification layer evaluates it
+    eagerly and recombines — both observe the same plan, so cache keys
+    and outcomes agree bit for bit.
+    """
+    concrete_sat = concrete if not saturate_concrete else concrete.saturate()
+    abstract_sat = abstract.saturate()
+    queries: List[Tuple[RefinementFailure, Formula]] = []
+    if check_assumptions:
+        queries.append(
+            (
+                RefinementFailure.ASSUMPTIONS,
+                And(abstract_sat.assumptions, negate(concrete_sat.assumptions)),
+            )
+        )
+    queries.append(
+        (
+            RefinementFailure.GUARANTEES,
+            And(concrete_sat.guarantees, negate(abstract_sat.guarantees)),
+        )
+    )
+    return queries
+
+
 def check_refinement(
     concrete: Contract,
     abstract: Contract,
@@ -89,23 +123,15 @@ def check_refinement(
     :func:`repro.solver.feasibility.check_sat`); repeated refinement
     checks over the same contract pair are served from cache.
     """
-    concrete_sat = concrete if not saturate_concrete else concrete.saturate()
-    abstract_sat = abstract.saturate()
-
-    if check_assumptions:
-        assumptions_query = And(
-            abstract_sat.assumptions, negate(concrete_sat.assumptions)
-        )
-        sat = check_sat(assumptions_query, backend=backend, oracle=oracle)
+    for failure, query in refinement_queries(
+        concrete,
+        abstract,
+        check_assumptions=check_assumptions,
+        saturate_concrete=saturate_concrete,
+    ):
+        sat = check_sat(query, backend=backend, oracle=oracle)
         if sat:
-            return RefinementResult(
-                False, RefinementFailure.ASSUMPTIONS, sat.assignment
-            )
-
-    guarantees_query = And(concrete_sat.guarantees, negate(abstract_sat.guarantees))
-    sat = check_sat(guarantees_query, backend=backend, oracle=oracle)
-    if sat:
-        return RefinementResult(False, RefinementFailure.GUARANTEES, sat.assignment)
+            return RefinementResult(False, failure, sat.assignment)
     return RefinementResult(True)
 
 

@@ -1,7 +1,12 @@
 """The ContrArc exploration engine and baselines."""
 
 from repro.explore.encoding import Cut, build_candidate_milp, cost_expression
-from repro.explore.refinement_check import RefinementChecker, Violation
+from repro.explore.parallel import ParallelRefinementChecker
+from repro.explore.refinement_check import (
+    RefinementCheck,
+    RefinementChecker,
+    Violation,
+)
 from repro.explore.certificates import generate_cuts, implementation_search
 from repro.explore.engine import (
     ContrArcExplorer,
@@ -42,6 +47,8 @@ __all__ = [
     "Cut",
     "build_candidate_milp",
     "cost_expression",
+    "ParallelRefinementChecker",
+    "RefinementCheck",
     "RefinementChecker",
     "Violation",
     "generate_cuts",

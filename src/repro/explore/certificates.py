@@ -112,6 +112,7 @@ def generate_cuts(
     matcher: str = "native",
     embedding_cache=None,
     profiler=None,
+    pool=None,
 ) -> List[Cut]:
     """Produce the certificate constraint set ``c`` for one violation.
 
@@ -120,9 +121,17 @@ def generate_cuts(
     exploration run; repeated fragments then skip re-enumeration.
     ``profiler`` is an optional
     :class:`repro.explore.profiling.PhaseProfiler`; enumeration time is
-    charged to its ``embedding`` phase.
+    charged to its ``embedding`` phase. ``pool`` is an optional
+    :class:`repro.runtime.pool.WorkerPool`: with the native matcher the
+    embedding enumeration is then root-partitioned across workers
+    (identical results and order; see
+    :func:`repro.graph.matchers.parallel_native_embeddings`).
     """
-    from repro.graph.matchers import EmbeddingCache, get_matcher
+    from repro.graph.matchers import (
+        EmbeddingCache,
+        get_matcher,
+        parallel_native_embeddings,
+    )
 
     fragment = violation.sub_architecture
     pattern = fragment.graph()
@@ -146,18 +155,26 @@ def generate_cuts(
             timer = (
                 profiler.phase("embedding") if profiler is not None else nullcontext()
             )
+            symmetry_classes = [
+                group for group in by_color.values() if len(group) > 1
+            ]
             with timer:
-                embeddings = deduplicate_embeddings(
-                    pattern,
-                    get_matcher(matcher)(
+                if pool is not None and matcher == "native":
+                    raw = parallel_native_embeddings(
+                        pool,
+                        template_graph,
+                        pattern,
+                        limit=max_embeddings,
+                        symmetry_classes=symmetry_classes,
+                    )
+                else:
+                    raw = get_matcher(matcher)(
                         template_graph,
                         pattern,
                         max_embeddings,
-                        symmetry_classes=[
-                            group for group in by_color.values() if len(group) > 1
-                        ],
-                    ),
-                )
+                        symmetry_classes=symmetry_classes,
+                    )
+                embeddings = deduplicate_embeddings(pattern, raw)
             if embedding_cache is not None:
                 embedding_cache.put(cache_key, embeddings)
     else:

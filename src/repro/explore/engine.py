@@ -28,6 +28,7 @@ from repro.arch.architecture import CandidateArchitecture
 from repro.arch.template import MappingTemplate
 from repro.explore.certificates import generate_cuts
 from repro.explore.encoding import Cut, build_candidate_milp
+from repro.explore.parallel import ParallelRefinementChecker
 from repro.explore.profiling import PhaseProfiler
 from repro.explore.refinement_check import RefinementChecker, Violation
 from repro.explore.stats import ExplorationStats, IterationRecord
@@ -103,6 +104,7 @@ class ContrArcExplorer:
         incremental: bool = True,
         multicut: bool = True,
         profile: bool = False,
+        workers: int = 1,
     ) -> None:
         #: Subgraph-isomorphism backend for certificate generation.
         self.matcher = matcher
@@ -122,6 +124,15 @@ class ContrArcExplorer:
         #: Collect a per-phase wall-clock breakdown into
         #: ``stats.phase_profile`` (see repro.explore.profiling).
         self.profile = profile
+        if workers < 1:
+            raise ExplorationError("workers must be at least 1")
+        #: Size of the in-run verification pool. With ``workers > 1`` a
+        #: persistent :class:`repro.runtime.pool.WorkerPool` lives for
+        #: the whole exploration run: refinement queries fan out per
+        #: candidate and embedding enumerations are root-partitioned.
+        #: Results are bit-identical to serial execution (pinned by
+        #: tests/test_explore/test_parallel_equivalence.py).
+        self.workers = workers
         if max_iterations < 1:
             raise ExplorationError("max_iterations must be at least 1")
         #: Wall-clock budget in seconds; exploration stops with
@@ -147,7 +158,10 @@ class ContrArcExplorer:
             checker_oracle = OracleCache()
         else:
             checker_oracle = oracle
-        self.checker = RefinementChecker(
+        checker_cls = (
+            ParallelRefinementChecker if workers > 1 else RefinementChecker
+        )
+        self.checker = checker_cls(
             mapping_template,
             specification,
             backend=backend,
@@ -192,6 +206,53 @@ class ContrArcExplorer:
                 stats.phase_profile = profiler.report()
             return ExplorationResult(status, architecture, stats, cuts, violation)
 
+        # The in-run verification pool persists across all iterations;
+        # refinement queries (and, on failures, embedding enumerations)
+        # fan out per candidate. Only the native matcher supports
+        # root-partitioned enumeration.
+        pool = None
+        if self.workers > 1:
+            from repro.runtime.pool import WorkerPool
+
+            pool = WorkerPool(self.workers, profiler=profiler)
+            self.checker.bind(pool, profiler)
+        embed_pool = pool if self.matcher == "native" else None
+        try:
+            return self._explore_loop(
+                model,
+                cut_encoder,
+                solve,
+                session,
+                profiler,
+                stats,
+                cuts,
+                seen_cut_keys,
+                embedding_cache,
+                embed_pool,
+                started,
+                finalize,
+            )
+        finally:
+            if pool is not None:
+                self.checker.bind(None)
+                pool.close()
+
+    def _explore_loop(
+        self,
+        model,
+        cut_encoder,
+        solve,
+        session,
+        profiler,
+        stats,
+        cuts,
+        seen_cut_keys,
+        embedding_cache,
+        embed_pool,
+        started,
+        finalize,
+    ) -> ExplorationResult:
+        last_violation: Optional[Violation] = None
         for index in range(1, self.max_iterations + 1):
             if (
                 self.time_limit is not None
@@ -243,6 +304,13 @@ class ContrArcExplorer:
 
             last_violation = violations[0]
             record.violated_viewpoint = violations[0].viewpoint.name
+            record.violations = [
+                {
+                    "viewpoint": violation.viewpoint.name,
+                    "path": list(violation.path) if violation.path else None,
+                }
+                for violation in violations
+            ]
             t0 = time.perf_counter()
             timer = (
                 profiler.phase("certificate_build")
@@ -262,6 +330,7 @@ class ContrArcExplorer:
                         matcher=self.matcher,
                         embedding_cache=embedding_cache,
                         profiler=profiler,
+                        pool=embed_pool,
                     ):
                         # Distinct (viewpoint, path) violations often
                         # certify overlapping fragments; keep one row

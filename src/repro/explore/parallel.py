@@ -1,0 +1,221 @@
+"""Parallel in-run verification (Algorithm 1 over a worker pool).
+
+The serial :class:`~repro.explore.refinement_check.RefinementChecker`
+walks a candidate's verification plan one satisfiability query at a
+time. Under decomposition the plan is a bag of *independent* per
+(viewpoint, path) queries — the very shape the paper's scalability
+argument produces — so :class:`ParallelRefinementChecker` evaluates the
+same plan eagerly:
+
+1. build every specialized (composed, system) contract pair in the
+   parent (cheap formula algebra; substitution is memoized per
+   candidate);
+2. expand the plan into satisfiability queries via
+   :func:`repro.contracts.refinement.refinement_queries` — the exact
+   formulas the serial path solves, hence the exact
+   :func:`~repro.runtime.keys.formula_key` cache keys;
+3. resolve the whole batch against the oracle in *one*
+   ``get_many`` round-trip, deduplicate the misses (single-flight:
+   duplicate in-batch keys are solved once), fan the distinct missing
+   payloads out over the persistent
+   :class:`~repro.runtime.pool.WorkerPool`, and write every computed
+   answer back in one ``put_many``;
+4. reassemble :class:`RefinementResult`s in plan order and yield
+   violations exactly where the serial checker would.
+
+Determinism: queries are solved by pure workers and gathered by plan
+index, so statuses, witnesses, violation order, and therefore cuts,
+costs and iteration counts are bit-identical to serial execution
+(pinned by ``tests/test_explore/test_parallel_equivalence.py``). The
+only observable difference is evaluation eagerness: a short-circuited
+serial walk (``check()`` without multicut, or an early SAT assumptions
+query) would have skipped some queries whose answers now land in the
+oracle — extra cache entries, never different ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.arch.architecture import CandidateArchitecture
+from repro.contracts.refinement import (
+    RefinementResult,
+    check_refinement,
+    refinement_queries,
+)
+from repro.explore.refinement_check import (
+    RefinementChecker,
+    RefinementCheck,
+    Violation,
+)
+from repro.expr.constraints import Formula
+from repro.runtime.keys import formula_key
+from repro.runtime.oracle import decode_sat_result
+from repro.solver.feasibility import SatResult, check_sat
+
+
+class _PlannedQuery:
+    """One satisfiability query of one plan entry, with cache identity."""
+
+    __slots__ = ("failure", "formula", "key")
+
+    def __init__(self, failure, formula: Formula, key: Optional[str]) -> None:
+        self.failure = failure
+        self.formula = formula
+        #: ``None`` when the formula cannot be keyed safely (duplicate
+        #: variable names) — solved in-parent exactly like serial.
+        self.key = key
+
+
+class ParallelRefinementChecker(RefinementChecker):
+    """Fans a candidate's refinement plan out over a worker pool.
+
+    Construct with the same arguments as :class:`RefinementChecker`;
+    attach the run-scoped pool (and optional profiler) with
+    :meth:`bind`. Without a bound pool the checker degrades to the
+    serial walk, so ``workers=1`` and ``workers=N`` share one code path
+    up to the dispatch decision.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.pool = None
+        self.profiler = None
+
+    def bind(self, pool, profiler=None) -> None:
+        """Attach the run-scoped worker pool (and profiler)."""
+        self.pool = pool
+        self.profiler = profiler
+
+    # -- overridden walk ---------------------------------------------------------
+
+    def _iter_violations(
+        self, candidate: CandidateArchitecture
+    ) -> Iterator[Violation]:
+        if self.pool is None:
+            yield from super()._iter_violations(candidate)
+            return
+        plan = self.candidate_plan(candidate)
+        results = self._solve_plan(plan)
+        for check, result in zip(plan, results):
+            if not result:
+                yield self.violation_for(candidate, check, result)
+
+    # -- batched evaluation ------------------------------------------------------
+
+    def _solve_plan(
+        self, plan: List[RefinementCheck]
+    ) -> List[RefinementResult]:
+        """Evaluate every plan entry; results in plan order."""
+        queries: List[List[_PlannedQuery]] = []
+        for check in plan:
+            planned: List[_PlannedQuery] = []
+            for failure, formula in refinement_queries(
+                check.composed,
+                check.system,
+                check_assumptions=self.check_assumptions,
+                saturate_concrete=False,
+            ):
+                planned.append(
+                    _PlannedQuery(failure, formula, self._query_key(formula))
+                )
+            queries.append(planned)
+
+        answers = self._resolve_queries(
+            [query for planned in queries for query in planned]
+        )
+
+        results: List[RefinementResult] = []
+        for planned in queries:
+            result = RefinementResult(True)
+            for query in planned:
+                sat = answers[id(query)]
+                if sat:
+                    result = RefinementResult(
+                        False, query.failure, sat.assignment
+                    )
+                    break
+            results.append(result)
+        return results
+
+    def _query_key(self, formula: Formula) -> Optional[str]:
+        by_name = {var.name: var for var in formula.variables()}
+        if len(by_name) != len(formula.variables()):
+            # Duplicate names would make a by-name witness ambiguous —
+            # mirror OracleCache.sat_query's uncacheable path.
+            return None
+        return formula_key(formula, backend=self.backend, default_big_m=None)
+
+    def _resolve_queries(
+        self, queries: List[_PlannedQuery]
+    ) -> Dict[int, SatResult]:
+        """Answer every query: oracle batch -> pool fan-out -> decode."""
+        profiler = self.profiler
+        if profiler is not None and queries:
+            profiler.count("refinement_queries", len(queries))
+            profiler.count("refinement_batches", 1)
+
+        answers: Dict[int, SatResult] = {}
+        keyed: Dict[str, List[_PlannedQuery]] = {}
+        for query in queries:
+            if query.key is None:
+                # Exactly the serial uncacheable path (counts included).
+                if self.oracle is not None:
+                    answers[id(query)] = self.oracle.sat_query(
+                        query.formula,
+                        self.backend,
+                        None,
+                        lambda q=query: check_sat(q.formula, backend=self.backend),
+                    )
+                else:
+                    answers[id(query)] = check_sat(
+                        query.formula, backend=self.backend
+                    )
+            else:
+                keyed.setdefault(query.key, []).append(query)
+
+        cached: Dict[str, Dict[str, Any]] = {}
+        if self.oracle is not None and keyed:
+            cached = self.oracle.get_many(list(keyed))
+
+        # Single-flight: one payload per *distinct* missing key, in
+        # first-appearance order so dispatch is deterministic.
+        missing = [key for key in keyed if key not in cached]
+        if missing:
+            computed = self._dispatch(
+                [keyed[key][0].formula for key in missing]
+            )
+            fresh = dict(zip(missing, computed))
+            if self.oracle is not None:
+                self.oracle.put_many(fresh)
+            cached.update(fresh)
+            if profiler is not None:
+                profiler.count("refinement_batch_dispatched", len(missing))
+
+        for key, sharers in keyed.items():
+            value = cached[key]
+            for query in sharers:
+                answers[id(query)] = decode_sat_result(query.formula, value)
+        return answers
+
+    def _dispatch(self, formulas: List[Formula]) -> List[Dict[str, Any]]:
+        """Solve the distinct missing formulas over the pool, in order.
+
+        Payloads are contiguous chunks (at most two per worker) so the
+        per-task IPC overhead amortizes over several small MILP solves.
+        """
+        chunks = max(1, min(len(formulas), self.pool.workers * 2))
+        size = -(-len(formulas) // chunks)
+        payloads = [
+            {
+                "queries": [
+                    (formula, self.backend, None)
+                    for formula in formulas[start : start + size]
+                ]
+            }
+            for start in range(0, len(formulas), size)
+        ]
+        encoded: List[Dict[str, Any]] = []
+        for chunk in self.pool.map("sat_batch", payloads):
+            encoded.extend(chunk)
+        return encoded

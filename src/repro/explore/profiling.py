@@ -23,6 +23,19 @@ Phases used by the engine:
     Subgraph-isomorphism enumeration inside ``generate_cuts``.
 ``certificate_build``
     The rest of Algorithm 2 (widening, cut assembly, encoding).
+
+Parallel runs (``workers > 1``) add:
+
+``parallel_dispatch``
+    Serializing and submitting payloads to the in-run worker pool.
+``worker_wait``
+    Parent-side blocking on pool results.
+
+Besides timed phases, the profiler keeps plain event *counters*
+(:meth:`PhaseProfiler.count`) — the parallel verification layer records
+``refinement_queries``, ``refinement_batches``,
+``refinement_batch_dispatched`` and per-kind ``pool_*_tasks`` so
+queries-per-batch and cache effectiveness are machine-readable.
 """
 
 from __future__ import annotations
@@ -35,11 +48,14 @@ from typing import Any, Dict, Iterator, List, Optional
 class PhaseProfiler:
     """Accumulates per-phase wall-clock across an exploration run."""
 
-    __slots__ = ("totals", "counts", "iterations", "_current")
+    __slots__ = ("totals", "counts", "counters", "iterations", "_current")
 
     def __init__(self) -> None:
         self.totals: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
+        #: Plain event counters (not wall-clock): queries per batch,
+        #: pool tasks, cache round-trips, ...
+        self.counters: Dict[str, int] = {}
         self.iterations: List[Dict[str, Any]] = []
         self._current: Optional[Dict[str, Any]] = None
 
@@ -57,6 +73,10 @@ class PhaseProfiler:
             if self._current is not None:
                 self._current[name] = self._current.get(name, 0.0) + elapsed
 
+    def count(self, name: str, increment: int = 1) -> None:
+        """Bump a plain event counter (no wall-clock attached)."""
+        self.counters[name] = self.counters.get(name, 0) + increment
+
     def begin_iteration(self, index: int) -> None:
         """Start a fresh per-iteration row; subsequent phases add to it."""
         self._current = {"index": index}
@@ -64,11 +84,14 @@ class PhaseProfiler:
 
     def report(self) -> Dict[str, Any]:
         """JSON-compatible summary (stored on ``ExplorationStats``)."""
-        return {
+        data = {
             "totals": dict(self.totals),
             "counts": dict(self.counts),
             "iterations": [dict(row) for row in self.iterations],
         }
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        return data
 
     def format_table(self) -> str:
         """Human-readable per-phase summary for CLI output."""

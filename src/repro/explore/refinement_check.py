@@ -12,11 +12,18 @@ decomposition disabled (Table II's "only subgraph isomorphism"
 scenario), every viewpoint is checked once against the whole candidate;
 path-specific system contracts are conjoined over all source-to-sink
 paths of the candidate.
+
+The verification of one candidate is organized as a *plan*: the ordered
+list of (viewpoint, path) refinement checks, each carrying its fully
+specialized (composed, system) contract pair. The serial checker walks
+the plan lazily; :class:`repro.explore.parallel.ParallelRefinementChecker`
+fans the same plan out over a worker pool and gathers results back in
+plan order, so both report identical violations in identical order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.arch.architecture import CandidateArchitecture, SubArchitecture
 from repro.arch.template import MappingTemplate
@@ -33,23 +40,48 @@ from repro.spec.base import Specification, ViewpointSpec
 class Violation:
     """A refinement failure: which fragment broke which viewpoint."""
 
-    __slots__ = ("sub_architecture", "viewpoint", "refinement")
+    __slots__ = ("sub_architecture", "viewpoint", "refinement", "path")
 
     def __init__(
         self,
         sub_architecture: SubArchitecture,
         viewpoint: Viewpoint,
         refinement: RefinementResult,
+        path: Optional[Tuple[str, ...]] = None,
     ) -> None:
         self.sub_architecture = sub_architecture
         self.viewpoint = viewpoint
         self.refinement = refinement
+        #: The source-to-sink path whose check failed, or ``None`` for a
+        #: whole-candidate (global or undecomposed) check.
+        self.path = path
 
     def __repr__(self) -> str:
         return (
             f"Violation(viewpoint={self.viewpoint.name!r}, "
             f"nodes={self.sub_architecture.nodes})"
         )
+
+
+class RefinementCheck:
+    """One (viewpoint, path) refinement query of one candidate's plan."""
+
+    __slots__ = ("spec", "path", "composed", "system")
+
+    def __init__(
+        self,
+        spec: ViewpointSpec,
+        path: Optional[Tuple[str, ...]],
+        composed: Contract,
+        system: Contract,
+    ) -> None:
+        self.spec = spec
+        #: ``None`` means a whole-candidate check.
+        self.path = path
+        #: Composition of the specialized component contracts.
+        self.composed = composed
+        #: Specialized system contract the composition must refine.
+        self.system = system
 
 
 class RefinementChecker:
@@ -101,26 +133,99 @@ class RefinementChecker:
     def _iter_violations(
         self, candidate: CandidateArchitecture
     ) -> "Iterator[Violation]":
+        for check in self.candidate_plan(candidate):
+            result = check_refinement(
+                check.composed,
+                check.system,
+                backend=self.backend,
+                check_assumptions=self.check_assumptions,
+                saturate_concrete=False,
+                oracle=self.oracle,
+            )
+            if not result:
+                yield self.violation_for(candidate, check, result)
+
+    # -- the verification plan ---------------------------------------------------
+
+    def candidate_plan(
+        self, candidate: CandidateArchitecture
+    ) -> List[RefinementCheck]:
+        """The candidate's refinement checks, in canonical order.
+
+        Canonical order is the serial evaluation order: path-specific
+        viewpoints (spec by spec, path by path) before global viewpoints
+        under decomposition; every viewpoint once, whole-candidate,
+        without. Component contracts are substituted at most once per
+        (viewpoint, component) — the assignment is fixed for the whole
+        candidate, so a component recurring on many paths reuses the
+        specialized contract.
+        """
         assignment = self._candidate_assignment(candidate)
         paths = self._candidate_paths(candidate)
+        substituted: Dict[tuple, Contract] = {}
+
+        def component(spec: ViewpointSpec, name: str) -> Contract:
+            key = (spec.name, name)
+            if key not in substituted:
+                substituted[key] = self._component_contract(spec, name).substitute(
+                    assignment
+                )
+            return substituted[key]
+
+        plan: List[RefinementCheck] = []
+
+        def add_whole(spec: ViewpointSpec) -> None:
+            instantiated = sorted(candidate.selected_impls)
+            if not instantiated:
+                return
+            composed = compose(
+                [component(spec, name) for name in instantiated],
+                name=f"C_c^{spec.name}",
+                saturate=False,
+            )
+            system = self._system_contract_whole(spec, paths).substitute(assignment)
+            plan.append(RefinementCheck(spec, None, composed, system))
 
         if self.decompose:
             for spec in self.specification.path_specific_specs:
                 for path in paths:
-                    violation = self._check_path(candidate, spec, path, assignment)
-                    if violation is not None:
-                        yield violation
+                    composed = compose(
+                        [component(spec, name) for name in path],
+                        name=f"C_p^{spec.name}",
+                        saturate=False,
+                    )
+                    system = self._system_contract_for_path(spec, path).substitute(
+                        assignment
+                    )
+                    plan.append(
+                        RefinementCheck(spec, tuple(path), composed, system)
+                    )
             for spec in self.specification.global_specs:
-                violation = self._check_whole(candidate, spec, paths, assignment)
-                if violation is not None:
-                    yield violation
-            return
+                add_whole(spec)
+            return plan
 
         # No decomposition: every viewpoint against the whole candidate.
         for spec in self.specification.viewpoint_specs:
-            violation = self._check_whole(candidate, spec, paths, assignment)
-            if violation is not None:
-                yield violation
+            add_whole(spec)
+        return plan
+
+    def violation_for(
+        self,
+        candidate: CandidateArchitecture,
+        check: RefinementCheck,
+        result: RefinementResult,
+    ) -> Violation:
+        """Materialize the Violation for one failed plan entry."""
+        if check.path is not None:
+            return Violation(
+                candidate.sub_architecture(list(check.path)),
+                check.spec.viewpoint,
+                result,
+                path=check.path,
+            )
+        return Violation(
+            candidate.whole_architecture(), check.spec.viewpoint, result
+        )
 
     # -- helpers -----------------------------------------------------------------
 
@@ -147,18 +252,16 @@ class RefinementChecker:
         return [list(p) for p in all_source_sink_paths(graph, sources, sinks)]
 
     def _component_contract(
-        self,
-        spec: ViewpointSpec,
-        component_name: str,
-        assignment: Dict[Var, float],
+        self, spec: ViewpointSpec, component_name: str
     ) -> Contract:
+        """The *unsubstituted* component contract (cached across runs)."""
         key = (spec.name, component_name)
         if key not in self._component_cache:
             component = self.mapping_template.template.component(component_name)
             self._component_cache[key] = spec.component_contract(
                 self.mapping_template, component
             )
-        return self._component_cache[key].substitute(assignment)
+        return self._component_cache[key]
 
     def _system_contract_for_path(
         self, spec: ViewpointSpec, path: Sequence[str]
@@ -169,64 +272,6 @@ class RefinementChecker:
                 self.mapping_template, path
             )
         return self._system_cache[key]
-
-    def _check_path(
-        self,
-        candidate: CandidateArchitecture,
-        spec: ViewpointSpec,
-        path: Sequence[str],
-        assignment: Dict[Var, float],
-    ) -> Optional[Violation]:
-        composed = compose(
-            [self._component_contract(spec, name, assignment) for name in path],
-            name=f"C_p^{spec.name}",
-            saturate=False,
-        )
-        system = self._system_contract_for_path(spec, path).substitute(assignment)
-        result = check_refinement(
-            composed,
-            system,
-            backend=self.backend,
-            check_assumptions=self.check_assumptions,
-            saturate_concrete=False,
-            oracle=self.oracle,
-        )
-        if result:
-            return None
-        return Violation(
-            candidate.sub_architecture(list(path)), spec.viewpoint, result
-        )
-
-    def _check_whole(
-        self,
-        candidate: CandidateArchitecture,
-        spec: ViewpointSpec,
-        paths: List[Sequence[str]],
-        assignment: Dict[Var, float],
-    ) -> Optional[Violation]:
-        instantiated = sorted(candidate.selected_impls)
-        if not instantiated:
-            return None
-        composed = compose(
-            [
-                self._component_contract(spec, name, assignment)
-                for name in instantiated
-            ],
-            name=f"C_c^{spec.name}",
-            saturate=False,
-        )
-        system = self._system_contract_whole(spec, paths).substitute(assignment)
-        result = check_refinement(
-            composed,
-            system,
-            backend=self.backend,
-            check_assumptions=self.check_assumptions,
-            saturate_concrete=False,
-            oracle=self.oracle,
-        )
-        if result:
-            return None
-        return Violation(candidate.whole_architecture(), spec.viewpoint, result)
 
     def _system_contract_whole(
         self, spec: ViewpointSpec, paths: List[Sequence[str]]

@@ -15,6 +15,7 @@ class IterationRecord:
         "certificate_time",
         "candidate_cost",
         "violated_viewpoint",
+        "violations",
         "cuts_added",
     )
 
@@ -26,6 +27,7 @@ class IterationRecord:
         certificate_time: float = 0.0,
         candidate_cost: Optional[float] = None,
         violated_viewpoint: Optional[str] = None,
+        violations: Optional[List[Dict[str, Any]]] = None,
         cuts_added: int = 0,
     ) -> None:
         self.index = index
@@ -33,7 +35,12 @@ class IterationRecord:
         self.refinement_time = refinement_time
         self.certificate_time = certificate_time
         self.candidate_cost = candidate_cost
+        #: Name of the first violated viewpoint (back-compat summary).
         self.violated_viewpoint = violated_viewpoint
+        #: Every violated (viewpoint, path) pair of the iteration, in
+        #: check order: ``[{"viewpoint": name, "path": [...] | None}]``.
+        #: ``path`` is ``None`` for whole-candidate checks.
+        self.violations = list(violations or [])
         self.cuts_added = cuts_added
 
     @property
@@ -50,6 +57,7 @@ class IterationRecord:
             "total_time": self.total_time,
             "candidate_cost": self.candidate_cost,
             "violated_viewpoint": self.violated_viewpoint,
+            "violations": [dict(v) for v in self.violations],
             "cuts_added": self.cuts_added,
         }
 
@@ -62,6 +70,7 @@ class IterationRecord:
             certificate_time=data.get("certificate_time", 0.0),
             candidate_cost=data.get("candidate_cost"),
             violated_viewpoint=data.get("violated_viewpoint"),
+            violations=data.get("violations"),
             cuts_added=data.get("cuts_added", 0),
         )
 

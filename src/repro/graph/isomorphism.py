@@ -87,10 +87,20 @@ class SubgraphMatcher:
 
     # -- public API ------------------------------------------------------------
 
-    def find_all(self, limit: int = 0) -> List[Embedding]:
-        """All embeddings (pattern node -> host node); optional cap."""
+    def find_all(
+        self, limit: int = 0, root_mask: Optional[int] = None
+    ) -> List[Embedding]:
+        """All embeddings (pattern node -> host node); optional cap.
+
+        ``root_mask`` restricts the *first* pattern node (in matching
+        order) to the host indices whose bits are set — the partitioning
+        hook of the parallel enumeration path. Because enumeration walks
+        root candidates in ascending host index, concatenating the
+        results of a partition of the root domain (in ascending-chunk
+        order) reproduces the unpartitioned enumeration order exactly.
+        """
         result: List[Embedding] = []
-        for embedding in self.iter_embeddings():
+        for embedding in self.iter_embeddings(root_mask=root_mask):
             result.append(embedding)
             if limit and len(result) >= limit:
                 break
@@ -100,9 +110,12 @@ class SubgraphMatcher:
         """True iff at least one embedding exists."""
         return next(self.iter_embeddings(), None) is not None
 
-    def iter_embeddings(self) -> Iterator[Embedding]:
+    def iter_embeddings(
+        self, root_mask: Optional[int] = None
+    ) -> Iterator[Embedding]:
         if self.pattern.num_nodes == 0:
-            yield {}
+            if root_mask is None:
+                yield {}
             return
         if self.pattern.num_nodes > self.host.num_nodes:
             return
@@ -110,7 +123,45 @@ class SubgraphMatcher:
         if not all(self._domains):
             return
         images = [0] * len(self._order)
-        yield from self._extend(0, images, 0)
+        if root_mask is None:
+            yield from self._extend(0, images, 0)
+            return
+        yield from self._extend(0, images, 0, root_mask)
+
+    def root_partitions(self, parts: int) -> List[int]:
+        """Split the first pattern node's candidate domain into at most
+        ``parts`` contiguous bitmasks (ascending host index, balanced).
+
+        The masks are disjoint, their union is the full root domain, and
+        enumerating each in order is equivalent to one serial pass —
+        the contract the parallel embedding search relies on. Returns an
+        empty list when the pattern is trivially empty, larger than the
+        host, or has an empty domain (no embeddings either way).
+        """
+        if parts < 1:
+            raise ValueError("parts must be at least 1")
+        if (
+            self.pattern.num_nodes == 0
+            or self.pattern.num_nodes > self.host.num_nodes
+        ):
+            return []
+        self._compile()
+        if not all(self._domains):
+            return []
+        bits: List[int] = []
+        domain = self._domains[0]
+        while domain:
+            low = domain & -domain
+            domain ^= low
+            bits.append(low)
+        masks: List[int] = []
+        chunk = max(1, -(-len(bits) // parts))
+        for start in range(0, len(bits), chunk):
+            mask = 0
+            for bit in bits[start : start + chunk]:
+                mask |= bit
+            masks.append(mask)
+        return masks
 
     # -- matching order -----------------------------------------------------------
 
@@ -244,7 +295,11 @@ class SubgraphMatcher:
     # -- recursion -------------------------------------------------------------------
 
     def _extend(
-        self, level: int, images: List[int], used: int
+        self,
+        level: int,
+        images: List[int],
+        used: int,
+        root_mask: Optional[int] = None,
     ) -> Iterator[Embedding]:
         if level == len(self._order):
             hosts = self._hosts
@@ -253,6 +308,8 @@ class SubgraphMatcher:
             }
             return
         cand = self._domains[level] & ~used
+        if root_mask is not None and level == 0:
+            cand &= root_mask
         succ, pred, full = self._succ, self._pred, self._full
         for earlier, kind in self._constraints[level]:
             img = images[earlier]
@@ -284,11 +341,12 @@ def find_embeddings(
     limit: int = 0,
     label_match: LabelMatcher = _default_label_match,
     symmetry_classes: Optional[Iterable[Iterable[NodeId]]] = None,
+    root_mask: Optional[int] = None,
 ) -> List[Embedding]:
     """All label-preserving embeddings of ``pattern`` into ``host``."""
     return SubgraphMatcher(
         host, pattern, induced, label_match, symmetry_classes
-    ).find_all(limit)
+    ).find_all(limit, root_mask=root_mask)
 
 
 def embedding_edge_image(

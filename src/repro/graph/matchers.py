@@ -18,7 +18,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.exceptions import ReproError
 from repro.graph.digraph import DiGraph, NodeId
-from repro.graph.isomorphism import Embedding, find_embeddings
+from repro.graph.isomorphism import Embedding, SubgraphMatcher, find_embeddings
 
 MatcherFn = Callable[..., List[Embedding]]
 
@@ -77,6 +77,51 @@ MATCHERS: Dict[str, MatcherFn] = {
     "native": native_matcher,
     "networkx": networkx_matcher,
 }
+
+
+def parallel_native_embeddings(
+    pool,
+    host: DiGraph,
+    pattern: DiGraph,
+    limit: int = 0,
+    symmetry_classes: SymmetryClasses = None,
+) -> List[Embedding]:
+    """Root-partitioned native enumeration over a
+    :class:`repro.runtime.pool.WorkerPool`.
+
+    The first pattern node's candidate domain is split into one
+    contiguous bitmask per pool worker; each worker enumerates its
+    partition independently and the parent concatenates the results in
+    partition order. Since the serial engine walks root candidates in
+    ascending host index, the concatenation equals the serial
+    enumeration *exactly* (order included), and a ``limit`` applied to
+    the concatenation keeps the serial prefix semantics.
+    """
+    matcher = SubgraphMatcher(host, pattern, symmetry_classes=symmetry_classes)
+    masks = matcher.root_partitions(pool.workers)
+    if len(masks) < 2:
+        return matcher.find_all(limit)
+    symmetry = (
+        [list(group) for group in symmetry_classes]
+        if symmetry_classes is not None
+        else None
+    )
+    payloads = [
+        {
+            "host": host,
+            "pattern": pattern,
+            "limit": limit,
+            "symmetry_classes": symmetry,
+            "root_mask": mask,
+        }
+        for mask in masks
+    ]
+    embeddings: List[Embedding] = []
+    for chunk in pool.map("embeddings", payloads):
+        embeddings.extend(chunk)
+        if limit and len(embeddings) >= limit:
+            break
+    return embeddings[:limit] if limit else embeddings
 
 
 class EmbeddingCache:

@@ -9,6 +9,8 @@ workload:
   retry-on-crash and graceful cancellation;
 * :mod:`repro.runtime.oracle`    — content-addressed memo for
   refinement/satisfiability queries and candidate MILP solves;
+* :mod:`repro.runtime.pool`      — persistent in-run worker pool for
+  parallel refinement/embedding verification (``--workers``);
 * :mod:`repro.runtime.store`     — SQLite persistence so repeated
   sweeps warm-start;
 * :mod:`repro.runtime.keys`      — canonical hashing of formulas,
@@ -27,6 +29,7 @@ from repro.runtime.keys import (
     model_key,
 )
 from repro.runtime.oracle import OracleCache, OracleStats
+from repro.runtime.pool import WorkerPool
 from repro.runtime.scheduler import Scheduler, default_workers
 from repro.runtime.store import SQLiteStore
 from repro.runtime.sweep import (
@@ -56,6 +59,7 @@ __all__ = [
     "model_key",
     "OracleCache",
     "OracleStats",
+    "WorkerPool",
     "Scheduler",
     "default_workers",
     "SQLiteStore",

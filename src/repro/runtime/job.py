@@ -159,13 +159,23 @@ class JobSpec:
             kwargs = flags
         return kwargs
 
-    def make_explorer(self, oracle=None):
-        """Build a ready-to-run explorer for this job."""
+    def make_explorer(self, oracle=None, engine_overrides=None):
+        """Build a ready-to-run explorer for this job.
+
+        ``engine_overrides`` are applied on top of the spec's engine
+        levers *without* entering the job id — the seam the scheduler
+        uses to clamp in-run ``workers`` inside its own pool workers
+        (nested process pools) while keeping the spec, and therefore
+        telemetry joins, untouched.
+        """
         from repro.explore.engine import ContrArcExplorer
 
         mapping_template, specification = self.build_problem()
+        kwargs = self.engine_kwargs()
+        if engine_overrides:
+            kwargs.update(engine_overrides)
         return ContrArcExplorer(
-            mapping_template, specification, oracle=oracle, **self.engine_kwargs()
+            mapping_template, specification, oracle=oracle, **kwargs
         )
 
 

@@ -19,13 +19,36 @@ identity-based variable semantics are preserved inside each process.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
 
 from repro.expr.constraints import Formula
 from repro.expr.terms import Var
 from repro.runtime.keys import formula_key, model_key
 from repro.solver.model import Model
 from repro.solver.result import SolveResult, SolveStatus
+
+
+def encode_sat_result(result: Any) -> Dict[str, Any]:
+    """JSON-compatible cache value for a SatResult (witness by name)."""
+    return {
+        "sat": bool(result.satisfiable),
+        "witness": {
+            var.name: float(value) for var, value in result.assignment.items()
+        },
+    }
+
+
+def decode_sat_result(formula: Formula, cached: Mapping[str, Any]) -> Any:
+    """Re-attach a cached by-name witness to ``formula``'s own Vars."""
+    from repro.solver.feasibility import SatResult
+
+    by_name = {var.name: var for var in formula.variables()}
+    witness = {
+        by_name[name]: value
+        for name, value in cached["witness"].items()
+        if name in by_name
+    }
+    return SatResult(bool(cached["sat"]), witness)
 
 
 class OracleStats:
@@ -117,6 +140,54 @@ class OracleCache:
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
 
+    # -- batched lookup/insert ---------------------------------------------
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        """Look up a batch of keys in one pass (absent keys omitted).
+
+        The memory layer is consulted per key; keys that fall through are
+        fetched from the store in a *single* round-trip. Each distinct
+        requested key counts as one hit or miss, exactly as if queried
+        through :meth:`_get` one by one.
+        """
+        found: Dict[str, Dict[str, Any]] = {}
+        missing: list = []
+        for key in dict.fromkeys(keys):
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                found[key] = self._memory[key]
+            else:
+                missing.append(key)
+        if missing and self.store is not None:
+            fetched = getattr(self.store, "get_many", None)
+            if fetched is not None:
+                stored = self.store.get_many(missing)
+            else:
+                stored = {}
+                for key in missing:
+                    value = self.store.get(key)
+                    if value is not None:
+                        stored[key] = value
+            for key, value in stored.items():
+                self._remember(key, value)
+                found[key] = value
+            missing = [key for key in missing if key not in stored]
+        self.stats.hits += len(found)
+        self.stats.misses += len(missing)
+        return found
+
+    def put_many(self, entries: Mapping[str, Dict[str, Any]]) -> None:
+        """Insert a batch of computed answers in one round-trip."""
+        for key, value in entries.items():
+            self._remember(key, value)
+        if self.store is not None:
+            if hasattr(self.store, "put_many"):
+                self.store.put_many(dict(entries))
+            else:
+                for key, value in entries.items():
+                    self.store.put(key, value)
+        self.stats.stores += len(entries)
+
     def __len__(self) -> int:
         return len(self._memory)
 
@@ -143,25 +214,9 @@ class OracleCache:
         key = formula_key(formula, backend=backend, default_big_m=default_big_m)
         cached = self._get(key)
         if cached is not None:
-            from repro.solver.feasibility import SatResult
-
-            witness = {
-                by_name[name]: value
-                for name, value in cached["witness"].items()
-                if name in by_name
-            }
-            return SatResult(bool(cached["sat"]), witness)
+            return decode_sat_result(formula, cached)
         result = compute()
-        self._put(
-            key,
-            {
-                "sat": bool(result.satisfiable),
-                "witness": {
-                    var.name: float(value)
-                    for var, value in result.assignment.items()
-                },
-            },
-        )
+        self._put(key, encode_sat_result(result))
         return result
 
     def milp_solve(

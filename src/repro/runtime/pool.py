@@ -1,0 +1,192 @@
+"""Persistent worker pool for *in-run* verification fan-out.
+
+The sweep :class:`~repro.runtime.scheduler.Scheduler` parallelizes
+*across* exploration jobs; this module parallelizes *inside* one run.
+A :class:`WorkerPool` lives for a whole exploration (created once per
+``ContrArcExplorer.explore`` call when ``workers > 1``) and executes
+small, pure task payloads:
+
+* ``sat_batch``   — a chunk of refinement satisfiability queries
+  (pickled formula trees), answered with JSON-compatible witness
+  records (see :func:`repro.runtime.oracle.encode_sat_result`);
+* ``embeddings``  — one root partition of a subgraph-isomorphism
+  enumeration (see the ``root_mask`` parameter of
+  :class:`repro.graph.isomorphism.SubgraphMatcher`).
+
+Tasks must be *pure* (fully determined by their payload): the pool's
+crash handling relies on being able to resubmit a payload to a rebuilt
+pool — or, as a last resort, to run it in the parent process — without
+changing the result. A worker process that dies (segfault, OOM kill)
+surfaces as ``BrokenProcessPool``; every payload that was in flight is
+resubmitted up to ``retries`` times before the parent computes it
+locally. Ordinary exceptions raised *by* a task are deterministic
+properties of the payload and propagate to the caller unchanged, as
+they would in serial execution.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+def _sat_batch(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Solve a chunk of satisfiability queries; encoded results out."""
+    from repro.runtime.oracle import encode_sat_result
+    from repro.solver.feasibility import check_sat
+
+    results = []
+    for formula, backend, default_big_m in payload["queries"]:
+        result = check_sat(formula, backend=backend, default_big_m=default_big_m)
+        results.append(encode_sat_result(result))
+    return results
+
+
+def _embeddings(payload: Dict[str, Any]) -> List[Dict[Any, Any]]:
+    """Enumerate one root partition of a subgraph-isomorphism search."""
+    from repro.graph.isomorphism import find_embeddings
+
+    return find_embeddings(
+        payload["host"],
+        payload["pattern"],
+        limit=payload.get("limit", 0),
+        symmetry_classes=payload.get("symmetry_classes"),
+        root_mask=payload["root_mask"],
+    )
+
+
+#: Registered task kinds. Tests may register extra kinds (e.g. crash
+#: injectors); entries must be module-level callables so payload dispatch
+#: survives the ``spawn`` start method.
+TASKS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+    "sat_batch": _sat_batch,
+    "embeddings": _embeddings,
+}
+
+
+def run_task(kind: str, payload: Dict[str, Any]) -> Any:
+    """Worker entry point: dispatch one payload through the registry."""
+    return TASKS[kind](payload)
+
+
+class WorkerPool:
+    """A process pool that persists for one exploration run.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; must be at least 2 (``workers <= 1`` means the caller
+        should not have built a pool at all).
+    retries:
+        How many times a payload whose worker *process* died is
+        resubmitted before the parent computes it locally.
+    profiler:
+        Optional :class:`repro.explore.profiling.PhaseProfiler`; submit
+        time is charged to ``parallel_dispatch``, result gathering to
+        ``worker_wait``, and per-call task counts to the profiler's
+        counters.
+    """
+
+    def __init__(self, workers: int, retries: int = 2, profiler=None) -> None:
+        if workers < 2:
+            raise ValueError("WorkerPool needs at least 2 workers")
+        self.workers = workers
+        self.retries = retries
+        self.profiler = profiler
+        #: How many worker processes had to be replaced after a crash.
+        self.rebuilds = 0
+        #: Payloads the parent ended up computing itself.
+        self.fallbacks = 0
+        self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self.rebuilds += 1
+
+    def close(self) -> None:
+        """Shut the pool down; the instance may not be reused after."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------------
+
+    def map(self, kind: str, payloads: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Run every payload through the pool; results in input order.
+
+        Deterministic by construction: results are gathered by payload
+        index, so scheduling order never leaks into the output.
+        """
+        if not payloads:
+            return []
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.count(f"pool_{kind}_tasks", len(payloads))
+        results: List[Any] = [None] * len(payloads)
+        attempts = [0] * len(payloads)
+        pending = list(range(len(payloads)))
+        while pending:
+            executor = self._ensure_executor()
+            dispatch = (
+                profiler.phase("parallel_dispatch")
+                if profiler is not None
+                else nullcontext()
+            )
+            with dispatch:
+                futures = {}
+                for index in pending:
+                    attempts[index] += 1
+                    futures[index] = executor.submit(
+                        run_task, kind, payloads[index]
+                    )
+            crashed: List[int] = []
+            wait = (
+                profiler.phase("worker_wait")
+                if profiler is not None
+                else nullcontext()
+            )
+            with wait:
+                for index in pending:
+                    try:
+                        results[index] = futures[index].result()
+                    except BrokenProcessPool:
+                        crashed.append(index)
+            if not crashed:
+                break
+            # The pool is unusable after a worker death: rebuild it and
+            # resubmit what was in flight; payloads out of retries are
+            # computed in-parent (tasks are pure, so the answer is the
+            # same — only the crash resilience differs).
+            self._discard_executor()
+            retry: List[int] = []
+            for index in crashed:
+                if attempts[index] <= self.retries:
+                    retry.append(index)
+                else:
+                    self.fallbacks += 1
+                    results[index] = run_task(kind, payloads[index])
+            pending = retry
+        return results
+
+    def __repr__(self) -> str:
+        state = "live" if self._executor is not None else "idle"
+        return f"WorkerPool(workers={self.workers}, {state})"

@@ -175,11 +175,15 @@ class Scheduler:
         return concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers)
 
     def _submit(self, executor, pending: _Pending) -> concurrent.futures.Future:
+        # Nested-parallelism guard: a pool worker is already one process
+        # of a full machine pool, so in-run verification workers are
+        # clamped to 1 there (the serial path leaves them alone).
         return executor.submit(
             run_job,
             pending.spec.to_dict(),
             cache_path=self.cache_path,
             use_cache=self.use_cache,
+            run_workers_cap=1,
         )
 
     def _collect(

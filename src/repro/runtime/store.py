@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import sqlite3
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS oracle_cache (
@@ -42,11 +42,48 @@ class SQLiteStore:
             return None
         return json.loads(row[0])
 
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        """Fetch every present key in one query (absent keys are omitted).
+
+        The batch form exists for the in-run verification path: one
+        candidate's worth of refinement queries becomes a single SQL
+        round-trip instead of one per query.
+        """
+        found: Dict[str, Dict[str, Any]] = {}
+        distinct = list(dict.fromkeys(keys))
+        # SQLite caps host parameters per statement; stay well below it.
+        for start in range(0, len(distinct), 500):
+            chunk = distinct[start : start + 500]
+            placeholders = ",".join("?" for _ in chunk)
+            rows = self._conn.execute(
+                f"SELECT key, value FROM oracle_cache "
+                f"WHERE key IN ({placeholders})",
+                chunk,
+            ).fetchall()
+            for key, value in rows:
+                found[key] = json.loads(value)
+        return found
+
     def put(self, key: str, value: Dict[str, Any]) -> None:
         self._conn.execute(
             "INSERT OR REPLACE INTO oracle_cache (key, value, created) "
             "VALUES (?, ?, ?)",
             (key, json.dumps(value, sort_keys=True), time.time()),
+        )
+        self._conn.commit()
+
+    def put_many(self, entries: Mapping[str, Dict[str, Any]]) -> None:
+        """Insert a batch of entries in one transaction."""
+        if not entries:
+            return
+        now = time.time()
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO oracle_cache (key, value, created) "
+            "VALUES (?, ?, ?)",
+            [
+                (key, json.dumps(value, sort_keys=True), now)
+                for key, value in entries.items()
+            ],
         )
         self._conn.commit()
 

@@ -41,6 +41,7 @@ def run_job(
     spec_dict: Dict[str, Any],
     cache_path: Optional[str] = None,
     use_cache: bool = True,
+    run_workers_cap: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Execute one job and return its ``JobResult.to_dict()`` record.
 
@@ -48,13 +49,27 @@ def run_job(
     propagated — a crashed *query* should fail one job, not poison the
     pool. (Hard crashes of the worker process itself are handled by the
     scheduler's retry logic.)
+
+    ``run_workers_cap`` bounds the job's *in-run* verification pool
+    (``ContrArcExplorer(workers=...)``). The pooled scheduler passes 1:
+    a sweep worker is already one process of a full pool, so nesting a
+    second pool inside it would oversubscribe the machine. The clamp is
+    an execution-time override — the spec (and hence its job id) is not
+    mutated.
     """
     spec = JobSpec.from_dict(spec_dict)
+    overrides = None
+    if run_workers_cap is not None:
+        requested = spec.engine.get("workers", 1)
+        if requested > run_workers_cap:
+            overrides = {"workers": run_workers_cap}
     oracle = _oracle_for(cache_path, use_cache)
     before = oracle.stats.to_dict() if oracle is not None else None
     started = time.perf_counter()
     try:
-        result = spec.make_explorer(oracle=oracle).explore()
+        result = spec.make_explorer(
+            oracle=oracle, engine_overrides=overrides
+        ).explore()
     except Exception:
         return JobResult(
             spec.job_id,

@@ -1,0 +1,156 @@
+"""Regression: parallel verification changes wall-clock, never answers.
+
+The ``workers > 1`` path fans refinement satisfiability queries and
+embedding enumerations out over a persistent process pool. Everything
+observable must stay bit-identical to serial execution: status, optimal
+cost, iteration count, the cut formulas (by content-addressed key) *in
+order*, and the per-iteration violation sequence. These tests pin that
+on the explore-mini fixture plus the RPL, EPN and WSN case studies, for
+``workers`` in {1, 2, 4}.
+"""
+
+import pytest
+
+from repro.casestudies import epn, rpl, wsn
+from repro.explore.engine import ContrArcExplorer, ExplorationStatus
+from repro.explore.parallel import ParallelRefinementChecker
+from repro.explore.refinement_check import RefinementChecker
+from repro.runtime.keys import formula_key
+
+WORKER_COUNTS = [2, 4]
+
+
+def _run(builder, workers, **engine):
+    mapping_template, specification = builder()
+    explorer = ContrArcExplorer(
+        mapping_template,
+        specification,
+        workers=workers,
+        max_iterations=2000,
+        **engine,
+    )
+    return explorer.explore()
+
+
+def _fingerprint(result):
+    """Everything that must match between serial and parallel runs."""
+    return {
+        "status": result.status,
+        "cost": result.cost,
+        "iterations": result.stats.num_iterations,
+        "cut_keys": [formula_key(cut.formula) for cut in result.cuts],
+        "violations": [
+            record.violations for record in result.stats.iterations
+        ],
+        "costs": [
+            record.candidate_cost for record in result.stats.iterations
+        ],
+    }
+
+
+def _assert_equivalent(builder, **engine):
+    serial = _fingerprint(_run(builder, 1, **engine))
+    for workers in WORKER_COUNTS:
+        parallel = _fingerprint(_run(builder, workers, **engine))
+        assert parallel == serial, f"workers={workers} diverged from serial"
+    return serial
+
+
+class TestParallelMatchesSerial:
+    def test_explore_mini(self, problem):
+        serial = _assert_equivalent(lambda: problem)
+        assert serial["status"] is ExplorationStatus.OPTIMAL
+
+    def test_rpl(self):
+        serial = _assert_equivalent(lambda: rpl.build_problem(1, 1))
+        assert serial["status"] is ExplorationStatus.OPTIMAL
+
+    def test_epn(self):
+        serial = _assert_equivalent(lambda: epn.build_problem(1, 0, 0))
+        assert serial["status"] is ExplorationStatus.OPTIMAL
+        assert serial["cost"] == pytest.approx(25.0)
+
+    def test_wsn(self):
+        # Third case study: reliability viewpoint, relay tiers.
+        serial = _assert_equivalent(
+            lambda: wsn.build_problem(1, 1, tiers=1)
+        )
+        assert serial["status"] is ExplorationStatus.OPTIMAL
+
+    def test_epn_no_decomposition(self):
+        # Whole-candidate checks exercise the global/undecomposed plan
+        # entries (path=None violations) through the pool as well.
+        _assert_equivalent(
+            lambda: epn.build_problem(1, 0, 0), use_decomposition=False
+        )
+
+    def test_infeasible(self, impossible_problem):
+        serial = _assert_equivalent(lambda: impossible_problem)
+        assert serial["status"] is ExplorationStatus.INFEASIBLE
+
+
+class TestCheckerSelection:
+    def test_serial_engine_uses_plain_checker(self, problem):
+        mt, spec = problem
+        explorer = ContrArcExplorer(mt, spec, workers=1)
+        assert type(explorer.checker) is RefinementChecker
+
+    def test_parallel_engine_uses_parallel_checker(self, problem):
+        mt, spec = problem
+        explorer = ContrArcExplorer(mt, spec, workers=2)
+        assert isinstance(explorer.checker, ParallelRefinementChecker)
+
+    def test_workers_validated(self, problem):
+        mt, spec = problem
+        from repro.exceptions import ExplorationError
+
+        with pytest.raises(ExplorationError):
+            ContrArcExplorer(mt, spec, workers=0)
+
+    def test_unbound_parallel_checker_degrades_to_serial(self, problem):
+        # Without a bound pool (e.g. outside explore()) the parallel
+        # checker walks the plan exactly like its parent class.
+        mt, spec = problem
+        parallel = ParallelRefinementChecker(mt, spec)
+        serial = RefinementChecker(mt, spec)
+        from repro.arch.architecture import CandidateArchitecture
+        from repro.explore.encoding import build_candidate_milp
+        from repro.solver.feasibility import get_backend
+
+        solved = get_backend("scipy")(build_candidate_milp(mt, spec))
+        candidate = CandidateArchitecture.from_assignment(mt, solved.assignment)
+        got = parallel.check_all(candidate)
+        expected = serial.check_all(candidate)
+        assert [(v.viewpoint.name, v.path) for v in got] == [
+            (v.viewpoint.name, v.path) for v in expected
+        ]
+
+
+class TestParallelOracleUse:
+    def test_warm_oracle_serves_parallel_run(self):
+        """Serial and parallel runs produce interchangeable cache entries."""
+        from repro.runtime.oracle import OracleCache
+
+        oracle = OracleCache()
+        serial = _fingerprint(
+            _run(lambda: epn.build_problem(1, 0, 0), 1, oracle=oracle)
+        )
+        warm_misses = oracle.stats.misses
+        parallel = _fingerprint(
+            _run(lambda: epn.build_problem(1, 0, 0), 2, oracle=oracle)
+        )
+        assert parallel == serial
+        # Every refinement query of the parallel run was served from the
+        # serial run's entries: no new misses.
+        assert oracle.stats.misses == warm_misses
+
+    def test_parallel_profile_counters(self):
+        mt, spec = epn.build_problem(1, 0, 0)
+        result = ContrArcExplorer(
+            mt, spec, workers=2, profile=True
+        ).explore()
+        counters = result.stats.phase_profile["counters"]
+        assert counters["refinement_queries"] > 0
+        assert counters["refinement_batches"] == result.stats.num_iterations
+        assert "parallel_dispatch" in result.stats.phase_profile["totals"]
+        assert "worker_wait" in result.stats.phase_profile["totals"]

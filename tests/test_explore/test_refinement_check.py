@@ -124,3 +124,60 @@ class TestGlobalViewpoint:
         cached = len(checker._component_cache)
         checker.check(_candidate(mt, "w1", "w_mid"))
         assert len(checker._component_cache) == cached
+
+
+class TestSubstitutionMemo:
+    def test_component_substituted_once_per_candidate(self, problem):
+        # src and sink lie on both source-to-sink paths of a two-worker
+        # candidate, so the timing viewpoint visits them twice; the plan
+        # must substitute each (viewpoint, component) contract once.
+        mt, spec = problem
+        lib = mt.library
+        checker = RefinementChecker(mt, spec)
+        candidate = CandidateArchitecture(
+            mt,
+            [("src", "w1"), ("w1", "sink"), ("src", "w2"), ("w2", "sink")],
+            {
+                "src": lib.get("src_std"),
+                "w1": lib.get("w_fast"),
+                "w2": lib.get("w_mid"),
+                "sink": lib.get("sink_std"),
+            },
+        )
+
+        from unittest.mock import patch
+
+        from repro.contracts.contract import Contract
+
+        calls = []
+        original = Contract.substitute
+
+        def counting(self, assignment):
+            calls.append(self.name)
+            return original(self, assignment)
+
+        with patch.object(Contract, "substitute", counting):
+            plan = checker.candidate_plan(candidate)
+        timing_paths = [c for c in plan if c.path is not None]
+        assert len(timing_paths) == 2
+        # Component contracts are named C^<viewpoint>[<node>]; each must
+        # appear exactly once despite src/sink lying on both paths.
+        component_calls = [name for name in calls if name.startswith("C^")]
+        assert sorted(component_calls) == sorted(set(component_calls))
+        assert "C^timing[src]" in component_calls
+
+    def test_plan_matches_lazy_walk(self, problem):
+        mt, spec = problem
+        checker = RefinementChecker(mt, spec)
+        candidate = _candidate(mt, "w1", "w_slow")
+        plan = checker.candidate_plan(candidate)
+        violations = checker.check_all(candidate)
+        # Every violation corresponds to a plan entry, in plan order.
+        plan_ids = [(c.spec.name, c.path) for c in plan]
+        violation_ids = [
+            (v.viewpoint.name, v.path) for v in violations
+        ]
+        positions = [
+            plan_ids.index((name, path)) for name, path in violation_ids
+        ]
+        assert positions == sorted(positions)

@@ -102,3 +102,44 @@ class TestSerialization:
         assert clone.num_iterations == 0
         assert clone.total_cuts == stats.total_cuts
         assert clone.total_time == stats.total_time
+
+
+class TestViolationRecords:
+    def test_violations_roundtrip(self):
+        record = IterationRecord(
+            3,
+            violated_viewpoint="power",
+            violations=[
+                {"viewpoint": "power", "path": ["gen", "bus", "load"]},
+                {"viewpoint": "timing", "path": None},
+            ],
+        )
+        clone = IterationRecord.from_dict(record.to_dict())
+        assert clone.violations == record.violations
+        assert clone.to_dict()["violations"] == record.to_dict()["violations"]
+
+    def test_violations_default_empty(self):
+        record = IterationRecord(1)
+        assert record.violations == []
+        assert record.to_dict()["violations"] == []
+        # Legacy rows without the field deserialize cleanly.
+        legacy = IterationRecord.from_dict({"index": 1})
+        assert legacy.violations == []
+
+    def test_engine_records_every_violated_pair(self):
+        from repro.casestudies import epn
+        from repro.explore.engine import ContrArcExplorer
+
+        result = ContrArcExplorer(*epn.build_problem(1, 0, 0)).explore()
+        rejected = [r for r in result.stats.iterations if r.violations]
+        assert rejected, "expected at least one rejected candidate"
+        for record in rejected:
+            # Back-compat: the scalar field is the first entry's viewpoint.
+            assert record.violated_viewpoint == record.violations[0]["viewpoint"]
+            for entry in record.violations:
+                assert set(entry) == {"viewpoint", "path"}
+        # The EPN first candidate violates both viewpoints on the same
+        # path; the old single-violation field under-reported this.
+        assert any(len(r.violations) > 1 for r in rejected)
+        # The accepted final iteration records none.
+        assert result.stats.iterations[-1].violations == []

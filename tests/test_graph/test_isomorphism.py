@@ -201,3 +201,103 @@ class TestHelpers:
 
     def test_are_isomorphic_size_mismatch(self):
         assert not are_isomorphic(_path("a", ["A"]), _path("b", ["A", "A"]))
+
+
+def _random_labeled(rng, nodes, labels, p):
+    g = DiGraph()
+    names = [f"n{i}" for i in range(nodes)]
+    for name in names:
+        g.add_node(name, label=rng.choice(labels))
+    for a in names:
+        for b in names:
+            if a != b and rng.random() < p:
+                g.add_edge(a, b)
+    return g
+
+
+class TestRootPartitions:
+    def test_masks_disjoint_and_cover_domain(self):
+        host = _path("h", ["A", "B", "A", "B", "A", "B"])
+        pattern = _path("p", ["A", "B"])
+        matcher = SubgraphMatcher(host, pattern)
+        masks = matcher.root_partitions(3)
+        assert masks
+        union = 0
+        for i, mask in enumerate(masks):
+            assert mask != 0
+            for other in masks[i + 1:]:
+                assert mask & other == 0
+            union |= mask
+        assert union == matcher._domains[0]
+
+    def test_concatenation_reproduces_serial_order(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(20):
+            host = _random_labeled(rng, 9, ["A", "B", "C"], 0.3)
+            pattern = _random_labeled(rng, 3, ["A", "B", "C"], 0.5)
+            matcher = SubgraphMatcher(host, pattern)
+            serial = matcher.find_all(0)
+            for parts in (2, 3, 5):
+                masks = SubgraphMatcher(host, pattern).root_partitions(parts)
+                combined = []
+                for mask in masks:
+                    combined.extend(
+                        find_embeddings(host, pattern, root_mask=mask)
+                    )
+                assert combined == serial
+
+    def test_limit_truncates_serial_prefix(self):
+        host = _path("h", ["A", "B"] * 4)
+        pattern = _path("p", ["A", "B"])
+        serial = find_embeddings(host, pattern)
+        assert len(serial) > 2
+        matcher = SubgraphMatcher(host, pattern)
+        masks = matcher.root_partitions(2)
+        combined = []
+        for mask in masks:
+            combined.extend(find_embeddings(host, pattern, root_mask=mask))
+        assert combined[:2] == serial[:2]
+
+    def test_trivial_patterns_yield_no_partitions(self):
+        host = _path("h", ["A", "B"])
+        empty = DiGraph()
+        assert SubgraphMatcher(host, empty).root_partitions(2) == []
+        too_big = _path("p", ["A", "B", "A"])
+        assert SubgraphMatcher(host, too_big).root_partitions(2) == []
+        unmatchable = _path("p", ["Z"])
+        assert SubgraphMatcher(host, unmatchable).root_partitions(2) == []
+
+    def test_parts_validated(self):
+        host = _path("h", ["A", "B"])
+        pattern = _path("p", ["A"])
+        with pytest.raises(ValueError):
+            SubgraphMatcher(host, pattern).root_partitions(0)
+
+    def test_root_mask_with_symmetry_classes(self):
+        # Symmetry breaking constrains levels > 0 only, so partitioned
+        # enumeration must agree with serial under symmetry classes too.
+        host = DiGraph()
+        for name in ("s", "w1", "w2", "w3", "t"):
+            host.add_node(name, label="W" if name.startswith("w") else name)
+        for w in ("w1", "w2", "w3"):
+            host.add_edge("s", w)
+            host.add_edge(w, "t")
+        pattern = DiGraph()
+        for name in ("ps", "pa", "pb", "pt"):
+            pattern.add_node(name, label="W" if name in ("pa", "pb") else name[1])
+        for w in ("pa", "pb"):
+            pattern.add_edge("ps", w)
+            pattern.add_edge(w, "pt")
+        classes = [["pa", "pb"]]
+        serial = find_embeddings(host, pattern, symmetry_classes=classes)
+        matcher = SubgraphMatcher(host, pattern, symmetry_classes=classes)
+        combined = []
+        for mask in matcher.root_partitions(2):
+            combined.extend(
+                find_embeddings(
+                    host, pattern, symmetry_classes=classes, root_mask=mask
+                )
+            )
+        assert combined == serial

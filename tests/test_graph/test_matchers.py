@@ -64,3 +64,49 @@ class TestEngineIntegration:
         assert (
             native.stats.num_iterations == via_nx.stats.num_iterations
         )
+
+
+class TestParallelNativeEmbeddings:
+    def _host_and_pattern(self):
+        host = DiGraph()
+        for name in ("a1", "a2", "a3", "b1", "b2"):
+            host.add_node(name, label=name[0])
+        for a in ("a1", "a2", "a3"):
+            for b in ("b1", "b2"):
+                host.add_edge(a, b)
+        pattern = DiGraph()
+        pattern.add_node("pa", label="a")
+        pattern.add_node("pb", label="b")
+        pattern.add_edge("pa", "pb")
+        return host, pattern
+
+    def test_matches_serial_enumeration(self):
+        from repro.graph.matchers import (
+            native_matcher,
+            parallel_native_embeddings,
+        )
+        from repro.runtime.pool import WorkerPool
+
+        host, pattern = self._host_and_pattern()
+        serial = native_matcher(host, pattern)
+        assert len(serial) == 6
+        with WorkerPool(2) as pool:
+            assert parallel_native_embeddings(pool, host, pattern) == serial
+            # Limits keep the serial prefix semantics.
+            assert (
+                parallel_native_embeddings(pool, host, pattern, limit=3)
+                == serial[:3]
+            )
+
+    def test_unpartitionable_pattern_stays_in_parent(self):
+        from repro.graph.matchers import parallel_native_embeddings
+        from repro.runtime.pool import WorkerPool
+
+        host, _ = self._host_and_pattern()
+        empty = DiGraph()
+        pool = WorkerPool(2)
+        # Trivial pattern: no partitions, answered without spinning up
+        # worker processes.
+        assert parallel_native_embeddings(pool, host, empty) == [{}]
+        assert pool._executor is None
+        pool.close()

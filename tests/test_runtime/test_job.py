@@ -78,3 +78,71 @@ class TestJobResult:
         result = JobResult(spec.job_id, spec, "error", error="boom", attempts=2)
         assert not result.ok
         assert JobResult.from_dict(result.to_dict()).error == "boom"
+
+
+class TestEngineOverrides:
+    def test_overrides_do_not_enter_job_id(self):
+        spec = JobSpec("epn", sizes={"left": 1}, engine={"workers": 4})
+        baseline = spec.job_id
+        explorer = spec.make_explorer(engine_overrides={"workers": 1})
+        assert explorer.workers == 1
+        assert spec.engine == {"workers": 4}  # spec untouched
+        assert spec.job_id == baseline
+
+    def test_workers_flow_through_by_default(self):
+        spec = JobSpec("epn", sizes={"left": 1}, engine={"workers": 2})
+        assert spec.make_explorer().workers == 2
+
+    def test_workers_distinguish_job_ids(self):
+        base = JobSpec("epn", sizes={"left": 1})
+        tuned = JobSpec("epn", sizes={"left": 1}, engine={"workers": 4})
+        assert base.job_id != tuned.job_id
+
+
+class TestRunWorkersCap:
+    def test_cap_clamps_in_run_workers(self):
+        from repro.runtime.worker import run_job
+
+        spec = JobSpec(
+            "epn",
+            sizes={"left": 1, "right": 0, "apu": 0},
+            engine={"workers": 4, "profile": True},
+        )
+        record = run_job(spec.to_dict(), run_workers_cap=1)
+        assert record["status"] == "optimal"
+        assert record["spec"]["engine"]["workers"] == 4  # spec preserved
+        # Clamped to serial: no pool phases were recorded.
+        profile = record["stats"]["phase_profile"]
+        assert "worker_wait" not in profile["totals"]
+
+    def test_no_cap_runs_parallel(self):
+        from repro.runtime.worker import run_job
+
+        spec = JobSpec(
+            "epn",
+            sizes={"left": 1, "right": 0, "apu": 0},
+            engine={"workers": 2, "profile": True},
+        )
+        record = run_job(spec.to_dict())
+        assert record["status"] == "optimal"
+        profile = record["stats"]["phase_profile"]
+        assert "worker_wait" in profile["totals"]
+
+    def test_pooled_scheduler_clamps_and_matches_serial(self, tmp_path):
+        # The sweep's pooled path caps in-run workers at 1; the answer
+        # must match a direct parallel run of the same spec.
+        from repro.runtime.scheduler import Scheduler
+        from repro.runtime.worker import run_job
+
+        spec = JobSpec(
+            "epn",
+            sizes={"left": 1, "right": 0, "apu": 0},
+            engine={"workers": 2},
+        )
+        pooled = Scheduler(max_workers=2, use_cache=False).run([spec])[0]
+        direct = JobResult.from_dict(run_job(spec.to_dict(), use_cache=False))
+        assert pooled.status == "optimal"
+        assert pooled.cost == direct.cost
+        assert (
+            pooled.stats["num_iterations"] == direct.stats["num_iterations"]
+        )

@@ -118,3 +118,73 @@ class TestEndToEnd:
         assert cached.status is plain.status
         assert cached.cost == plain.cost
         assert cached.stats.num_iterations == plain.stats.num_iterations
+
+
+class TestBatchedAccess:
+    """get_many/put_many: the one-round-trip path of parallel runs."""
+
+    def test_get_many_mixed_hits_and_misses(self):
+        oracle = OracleCache()
+        oracle.put_many({"a": {"sat": True}, "b": {"sat": False}})
+        found = oracle.get_many(["a", "b", "c"])
+        assert found == {"a": {"sat": True}, "b": {"sat": False}}
+        assert oracle.stats.hits == 2 and oracle.stats.misses == 1
+        assert oracle.stats.stores == 2
+
+    def test_get_many_counts_distinct_keys_once(self):
+        oracle = OracleCache()
+        oracle.put_many({"a": {"sat": True}})
+        oracle.get_many(["a", "a", "missing", "missing"])
+        assert oracle.stats.hits == 1 and oracle.stats.misses == 1
+
+    def test_put_many_respects_lru_capacity(self):
+        oracle = OracleCache(max_entries=2)
+        oracle.put_many({f"k{i}": {"i": i} for i in range(5)})
+        assert len(oracle) == 2
+
+    def test_batch_entries_interchangeable_with_sat_query(self):
+        # An entry written by the serial sat_query path is read back by
+        # get_many, and vice versa — one cache serves both modes.
+        from repro.runtime.keys import formula_key
+        from repro.runtime.oracle import decode_sat_result, encode_sat_result
+
+        oracle = OracleCache()
+        formula = continuous("x", 0, 10) >= 3
+        key = formula_key(formula, backend="scipy", default_big_m=None)
+        serial = check_sat(formula, backend="scipy", oracle=oracle)
+        via_batch = oracle.get_many([key])
+        assert key in via_batch
+        decoded = decode_sat_result(formula, via_batch[key])
+        assert decoded.satisfiable == serial.satisfiable
+        assert encode_sat_result(decoded) == encode_sat_result(serial)
+
+    def test_get_many_falls_through_to_store(self, tmp_path):
+        path = str(tmp_path / "cache.db")
+        with SQLiteStore(path) as store:
+            OracleCache(store=store).put_many({"a": {"sat": True}})
+        with SQLiteStore(path) as store:
+            fresh = OracleCache(store=store)
+            assert fresh.get_many(["a"]) == {"a": {"sat": True}}
+            assert fresh.stats.hits == 1
+
+
+class TestStoreBatchedAccess:
+    def test_get_many_and_put_many_roundtrip(self, tmp_path):
+        with SQLiteStore(str(tmp_path / "kv.db")) as store:
+            store.put_many({f"k{i}": {"i": i} for i in range(10)})
+            found = store.get_many([f"k{i}" for i in range(12)])
+            assert found == {f"k{i}": {"i": i} for i in range(10)}
+            assert len(store) == 10
+
+    def test_get_many_deduplicates_keys(self, tmp_path):
+        with SQLiteStore(str(tmp_path / "kv.db")) as store:
+            store.put("k", {"v": 1})
+            assert store.get_many(["k", "k", "k"]) == {"k": {"v": 1}}
+
+    def test_get_many_chunks_large_key_sets(self, tmp_path):
+        # More keys than one IN(...) statement carries (500): the reads
+        # must be chunked, not truncated.
+        with SQLiteStore(str(tmp_path / "kv.db")) as store:
+            entries = {f"k{i:04d}": {"i": i} for i in range(1203)}
+            store.put_many(entries)
+            assert store.get_many(list(entries)) == entries

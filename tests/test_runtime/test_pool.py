@@ -1,0 +1,157 @@
+"""The in-run WorkerPool: ordering, crash recovery, task registry.
+
+The crash tests register extra task kinds in :data:`repro.runtime.pool.
+TASKS`; with the fork start method (Linux) workers inherit the parent's
+registry, so module-level registration is enough. Crash injection is
+keyed off a sentinel file so exactly the intended attempt dies.
+"""
+
+import os
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.runtime.pool import TASKS, WorkerPool, run_task
+
+
+def _echo(payload):
+    return payload["value"] * 2
+
+
+def _crash_once(payload):
+    sentinel = payload["sentinel"]
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("crashed")
+        os._exit(1)  # hard worker death -> BrokenProcessPool in parent
+    return payload["value"]
+
+
+def _crash_in_worker(payload):
+    if os.getpid() != payload["parent_pid"]:
+        os._exit(1)
+    return payload["value"]
+
+
+TASKS["test_echo"] = _echo
+TASKS["test_crash_once"] = _crash_once
+TASKS["test_crash_in_worker"] = _crash_in_worker
+
+
+class TestWorkerPool:
+    def test_requires_at_least_two_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(1)
+
+    def test_map_empty(self):
+        with WorkerPool(2) as pool:
+            assert pool.map("test_echo", []) == []
+
+    def test_map_preserves_input_order(self):
+        with WorkerPool(2) as pool:
+            results = pool.map(
+                "test_echo", [{"value": i} for i in range(10)]
+            )
+        assert results == [i * 2 for i in range(10)]
+
+    def test_pool_survives_across_calls(self):
+        with WorkerPool(2) as pool:
+            first = pool.map("test_echo", [{"value": 1}])
+            second = pool.map("test_echo", [{"value": 2}])
+        assert (first, second) == ([2], [4])
+
+    def test_task_exception_propagates(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(KeyError):
+                pool.map("test_echo", [{"wrong_key": 1}])
+
+
+class TestCrashRecovery:
+    def test_dying_worker_is_retried(self, tmp_path):
+        sentinel = str(tmp_path / "crashed")
+        with WorkerPool(2) as pool:
+            results = pool.map(
+                "test_crash_once",
+                [{"value": 41, "sentinel": sentinel}],
+            )
+        assert results == [41]
+        assert pool.rebuilds >= 1
+        assert os.path.exists(sentinel)
+
+    def test_run_not_corrupted_by_crash(self, tmp_path):
+        # A batch where one payload kills its worker: every result still
+        # comes back correct and in order.
+        sentinel = str(tmp_path / "crashed")
+        payloads = [{"value": i, "sentinel": sentinel} for i in range(6)]
+        with WorkerPool(2) as pool:
+            results = pool.map("test_crash_once", payloads)
+        assert results == list(range(6))
+
+    def test_parent_fallback_after_retries_exhausted(self):
+        with WorkerPool(2, retries=0) as pool:
+            results = pool.map(
+                "test_crash_in_worker",
+                [{"value": 7, "parent_pid": os.getpid()}],
+            )
+        assert results == [7]
+        assert pool.fallbacks == 1
+
+
+class TestBuiltinTasks:
+    def test_sat_batch_matches_in_parent_solve(self):
+        from repro.expr.terms import Var
+        from repro.runtime.oracle import encode_sat_result
+        from repro.solver.feasibility import check_sat
+
+        x = Var("x", lb=0.0, ub=10.0)
+        sat_formula = (x >= 2.0) & (x <= 5.0)
+        unsat_formula = (x >= 6.0) & (x <= 5.0)
+        payload = {
+            "queries": [
+                (sat_formula, "scipy", None),
+                (unsat_formula, "scipy", None),
+            ]
+        }
+        expected = [
+            encode_sat_result(check_sat(sat_formula, backend="scipy")),
+            encode_sat_result(check_sat(unsat_formula, backend="scipy")),
+        ]
+        assert run_task("sat_batch", payload) == expected
+        with WorkerPool(2) as pool:
+            assert pool.map("sat_batch", [payload]) == [expected]
+
+    def test_embeddings_task_respects_root_mask(self):
+        from repro.graph.isomorphism import SubgraphMatcher
+
+        host = DiGraph()
+        for name in ("a1", "a2", "b1", "b2"):
+            host.add_node(name, label=name[0])
+        host.add_edge("a1", "b1")
+        host.add_edge("a2", "b2")
+        host.add_edge("a1", "b2")
+        # Every pattern node has a 2-candidate domain, so whichever node
+        # the matcher roots at can actually be partitioned.
+        pattern = DiGraph()
+        pattern.add_node("pa", label="a")
+        pattern.add_node("pb", label="b")
+        pattern.add_edge("pa", "pb")
+
+        matcher = SubgraphMatcher(host, pattern)
+        serial = matcher.find_all(0)
+        masks = matcher.root_partitions(2)
+        assert len(masks) == 2
+        combined = []
+        for mask in masks:
+            combined.extend(
+                run_task(
+                    "embeddings",
+                    {
+                        "host": host,
+                        "pattern": pattern,
+                        "limit": 0,
+                        "symmetry_classes": None,
+                        "root_mask": mask,
+                    },
+                )
+            )
+        assert combined == serial
