@@ -9,7 +9,14 @@ Commands:
 * ``topk``     — enumerate the K cheapest valid architectures of a case study;
 * ``diagnose`` — explain why an over-constrained design space is empty;
 * ``sweep``    — fan a job grid (Table II / Fig. 5) out over a process
-  pool, with an optional on-disk oracle cache and JSONL telemetry.
+  pool, with an optional on-disk oracle cache and JSONL telemetry;
+* ``obs``      — analyze a ``--trace`` artifact offline (top-k slowest
+  queries, per-iteration critical path, cache effectiveness, worker
+  utilization).
+
+The exploration commands (and ``table2``/``sweep``) accept ``--trace
+FILE [--trace-format {jsonl,chrome}]`` to record a hierarchical run
+trace through :mod:`repro.obs`.
 
 Each exploration command prints the summary, an audit of the selected
 architecture, and optionally writes it as Graphviz DOT; ``--json``
@@ -102,9 +109,49 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the machine-readable result record instead of the summary",
     )
+    _add_trace_flags(parser)
 
 
-def _make_explorer(mapping_template, specification, args) -> ContrArcExplorer:
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record the run's span tree and metrics to FILE "
+        "(inspect with `python -m repro obs FILE`)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        default="jsonl",
+        choices=["jsonl", "chrome"],
+        help="trace file format: jsonl (default; streamable) or chrome "
+        "(loads in chrome://tracing and ui.perfetto.dev)",
+    )
+
+
+def _make_tracer(args):
+    """Build the Tracer for --trace, or None when tracing is off."""
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    from repro.obs import ChromeTraceSink, JsonlSink, Tracer
+
+    if getattr(args, "trace_format", "jsonl") == "chrome":
+        return Tracer([ChromeTraceSink(path)])
+    return Tracer([JsonlSink(path)])
+
+
+def _finish_tracer(tracer, args) -> None:
+    """Flush and close the trace; note the artifact path on stderr."""
+    if tracer is None:
+        return
+    tracer.finish()
+    print(f"wrote trace {args.trace}", file=sys.stderr)
+
+
+def _make_explorer(
+    mapping_template, specification, args, tracer=None
+) -> ContrArcExplorer:
     return ContrArcExplorer(
         mapping_template,
         specification,
@@ -117,6 +164,7 @@ def _make_explorer(mapping_template, specification, args) -> ContrArcExplorer:
         multicut=not getattr(args, "no_multicut", False),
         profile=getattr(args, "profile", False),
         workers=getattr(args, "workers", 1),
+        tracer=tracer,
     )
 
 
@@ -209,8 +257,14 @@ def _cmd_rpl(args) -> int:
     mapping_template, specification = rpl.build_problem(
         args.n_a, args.n_b, deadline=args.deadline
     )
+    tracer = _make_tracer(args)
     started = time.perf_counter()
-    result = _make_explorer(mapping_template, specification, args).explore()
+    try:
+        result = _make_explorer(
+            mapping_template, specification, args, tracer=tracer
+        ).explore()
+    finally:
+        _finish_tracer(tracer, args)
     if args.json:
         spec = _case_spec(
             "rpl",
@@ -232,8 +286,14 @@ def _cmd_epn(args) -> int:
         deadline=args.deadline,
         loss_budget=args.loss_budget,
     )
+    tracer = _make_tracer(args)
     started = time.perf_counter()
-    result = _make_explorer(mapping_template, specification, args).explore()
+    try:
+        result = _make_explorer(
+            mapping_template, specification, args, tracer=tracer
+        ).explore()
+    finally:
+        _finish_tracer(tracer, args)
     if args.json:
         spec = _case_spec(
             "epn",
@@ -255,8 +315,14 @@ def _cmd_wsn(args) -> int:
         deadline=args.deadline,
         min_reliability=args.min_reliability,
     )
+    tracer = _make_tracer(args)
     started = time.perf_counter()
-    result = _make_explorer(mapping_template, specification, args).explore()
+    try:
+        result = _make_explorer(
+            mapping_template, specification, args, tracer=tracer
+        ).explore()
+    finally:
+        _finish_tracer(tracer, args)
     if args.json:
         spec = _case_spec(
             "wsn",
@@ -314,36 +380,40 @@ def _cmd_table2(args) -> int:
 
     rows = []
     records = []
-    for name in ("only-iso", "only-decomp", "complete"):
-        engine = {
-            "scenario": name,
-            "backend": args.backend,
-            "max_iterations": args.max_iterations,
-            "time_limit": args.time_limit,
-        }
-        if args.workers != 1:
-            engine["workers"] = args.workers
-        spec = JobSpec(
-            "epn",
-            sizes={"left": args.left, "right": args.right, "apu": args.apu},
-            engine=engine,
-        )
-        started = time.perf_counter()
-        result = spec.make_explorer().explore()
-        records.append(
-            JobResult.from_exploration(
-                spec, result, duration=time.perf_counter() - started
-            ).to_dict()
-        )
-        rows.append(
-            [
-                name,
-                result.status.value,
-                format_seconds(result.stats.total_time),
-                result.stats.num_iterations,
-                f"{result.cost:g}" if result.cost is not None else "-",
-            ]
-        )
+    tracer = _make_tracer(args)
+    try:
+        for name in ("only-iso", "only-decomp", "complete"):
+            engine = {
+                "scenario": name,
+                "backend": args.backend,
+                "max_iterations": args.max_iterations,
+                "time_limit": args.time_limit,
+            }
+            if args.workers != 1:
+                engine["workers"] = args.workers
+            spec = JobSpec(
+                "epn",
+                sizes={"left": args.left, "right": args.right, "apu": args.apu},
+                engine=engine,
+            )
+            started = time.perf_counter()
+            result = spec.make_explorer(tracer=tracer).explore()
+            records.append(
+                JobResult.from_exploration(
+                    spec, result, duration=time.perf_counter() - started
+                ).to_dict()
+            )
+            rows.append(
+                [
+                    name,
+                    result.status.value,
+                    format_seconds(result.stats.total_time),
+                    result.stats.num_iterations,
+                    f"{result.cost:g}" if result.cost is not None else "-",
+                ]
+            )
+    finally:
+        _finish_tracer(tracer, args)
     if args.json:
         print(json.dumps(records, sort_keys=True))
         return 0
@@ -384,6 +454,7 @@ def _cmd_sweep(args) -> int:
     telemetry = (
         TelemetryLogger(args.telemetry) if args.telemetry else NullTelemetry()
     )
+    tracer = _make_tracer(args)
     scheduler = Scheduler(
         max_workers=args.workers or default_workers(),
         timeout=args.timeout,
@@ -392,11 +463,13 @@ def _cmd_sweep(args) -> int:
         use_cache=not args.no_cache,
         telemetry=telemetry,
         serial=args.serial,
+        tracer=tracer,
     )
     try:
         report = run_sweep(specs, scheduler=scheduler)
     finally:
         telemetry.close()
+        _finish_tracer(tracer, args)
     if args.json:
         print(json.dumps(report.records, sort_keys=True))
     else:
@@ -405,6 +478,12 @@ def _cmd_sweep(args) -> int:
     # legitimate results; only runtime-level failures make the sweep fail.
     failures = {"error", "crashed", "timeout", "cancelled"}
     return 1 if any(r.status in failures for r in report.results) else 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.analyze import main as analyze_main
+
+    return analyze_main(args.trace_path, top=args.top)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -463,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the machine-readable per-scenario records",
     )
+    _add_trace_flags(t2_cmd)
     t2_cmd.set_defaults(func=_cmd_table2)
 
     sweep_cmd = commands.add_parser(
@@ -514,7 +594,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument(
         "--json", action="store_true", help="print the aggregated records as JSON"
     )
+    _add_trace_flags(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    obs_cmd = commands.add_parser(
+        "obs", help="analyze a --trace file: slow queries, critical path, caches"
+    )
+    obs_cmd.add_argument("trace_path", help="trace file written with --trace")
+    obs_cmd.add_argument(
+        "--top", type=int, default=10, help="how many slowest queries to list"
+    )
+    obs_cmd.set_defaults(func=_cmd_obs)
 
     def _add_case_flags(sub):
         sub.add_argument("case", choices=sorted(CASE_BUILDERS))

@@ -158,7 +158,7 @@ def generate_cuts(
             symmetry_classes = [
                 group for group in by_color.values() if len(group) > 1
             ]
-            with timer:
+            with timer as span:
                 if pool is not None and matcher == "native":
                     raw = parallel_native_embeddings(
                         pool,
@@ -175,6 +175,14 @@ def generate_cuts(
                         symmetry_classes=symmetry_classes,
                     )
                 embeddings = deduplicate_embeddings(pattern, raw)
+                if span is not None:
+                    span.attrs.update(
+                        viewpoint=violation.viewpoint.name,
+                        pattern_nodes=len(pattern.nodes()),
+                        pattern_edges=len(pattern.edges()),
+                        embeddings=len(embeddings),
+                        matcher=matcher,
+                    )
             if embedding_cache is not None:
                 embedding_cache.put(cache_key, embeddings)
     else:

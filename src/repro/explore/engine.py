@@ -105,6 +105,7 @@ class ContrArcExplorer:
         multicut: bool = True,
         profile: bool = False,
         workers: int = 1,
+        tracer=None,
     ) -> None:
         #: Subgraph-isomorphism backend for certificate generation.
         self.matcher = matcher
@@ -124,6 +125,12 @@ class ContrArcExplorer:
         #: Collect a per-phase wall-clock breakdown into
         #: ``stats.phase_profile`` (see repro.explore.profiling).
         self.profile = profile
+        #: Optional :class:`repro.obs.trace.Tracer`. When bound, every
+        #: explore() call emits a ``run -> iteration -> phase -> query``
+        #: span tree (worker-side spans included) plus a metrics
+        #: snapshot through the tracer's sinks. ``None`` (the default)
+        #: keeps the hot loop entirely span-free.
+        self.tracer = tracer
         if workers < 1:
             raise ExplorationError("workers must be at least 1")
         #: Size of the in-run verification pool. With ``workers > 1`` a
@@ -169,17 +176,44 @@ class ContrArcExplorer:
             check_assumptions=check_assumptions,
             oracle=checker_oracle,
         )
+        self.checker.tracer = tracer
 
     # -- main loop -------------------------------------------------------------
 
     def explore(self) -> ExplorationResult:
         """Run the select/verify/prune loop to the optimal architecture."""
-        profiler = PhaseProfiler() if self.profile else None
+        tracer = self.tracer
+        # The profiler exists whenever either consumer wants phase
+        # brackets: --profile for the report, the tracer for phase
+        # spans. The report is only *stored* when profile was requested.
+        profiler = (
+            PhaseProfiler(tracer=tracer)
+            if (self.profile or tracer is not None)
+            else None
+        )
         stats = ExplorationStats()
         cuts: List[Cut] = []
         seen_cut_keys: Set[str] = set()
         last_violation: Optional[Violation] = None
         embedding_cache = EmbeddingCache()
+        oracle_before = (
+            self.checker.oracle.stats.to_dict()
+            if self.checker.oracle is not None
+            else None
+        )
+        run_span = None
+        if tracer is not None:
+            run_span = tracer.start_span(
+                "run",
+                attrs={
+                    "backend": self.backend,
+                    "workers": self.workers,
+                    "use_isomorphism": self.use_isomorphism,
+                    "use_decomposition": self.use_decomposition,
+                    "incremental": self.incremental,
+                    "multicut": self.multicut,
+                },
+            )
         started = time.perf_counter()
 
         # The contract encoding never changes across iterations; build it
@@ -202,8 +236,31 @@ class ContrArcExplorer:
             stats.total_time = time.perf_counter() - started
             stats.final_milp_variables = model.num_variables
             stats.final_milp_constraints = model.num_constraints
+            if oracle_before is not None:
+                after = self.checker.oracle.stats.to_dict()
+                delta = {
+                    key: after.get(key, 0) - oracle_before.get(key, 0)
+                    for key in ("hits", "misses", "stores", "uncacheable")
+                }
+                lookups = delta["hits"] + delta["misses"]
+                delta["hit_rate"] = delta["hits"] / lookups if lookups else 0.0
+                stats.oracle_cache = delta
+                if profiler is not None:
+                    profiler.count("oracle_hits", delta["hits"])
+                    profiler.count("oracle_misses", delta["misses"])
+                    profiler.count("oracle_stores", delta["stores"])
             if profiler is not None:
-                stats.phase_profile = profiler.report()
+                profiler.count("embedding_cache_hits", embedding_cache.hits)
+                profiler.count("embedding_cache_misses", embedding_cache.misses)
+                if self.profile:
+                    stats.phase_profile = profiler.report()
+            if run_span is not None:
+                run_span.attrs.update(
+                    status=status.value,
+                    cost=architecture.cost if architecture is not None else None,
+                    iterations=stats.num_iterations,
+                    cuts=stats.total_cuts,
+                )
             return ExplorationResult(status, architecture, stats, cuts, violation)
 
         # The in-run verification pool persists across all iterations;
@@ -214,7 +271,7 @@ class ContrArcExplorer:
         if self.workers > 1:
             from repro.runtime.pool import WorkerPool
 
-            pool = WorkerPool(self.workers, profiler=profiler)
+            pool = WorkerPool(self.workers, profiler=profiler, tracer=tracer)
             self.checker.bind(pool, profiler)
         embed_pool = pool if self.matcher == "native" else None
         try:
@@ -236,6 +293,8 @@ class ContrArcExplorer:
             if pool is not None:
                 self.checker.bind(None)
                 pool.close()
+            if run_span is not None:
+                tracer.end_span(run_span)
 
     def _explore_loop(
         self,
@@ -253,6 +312,7 @@ class ContrArcExplorer:
         finalize,
     ) -> ExplorationResult:
         last_violation: Optional[Violation] = None
+        tracer = self.tracer
         for index in range(1, self.max_iterations + 1):
             if (
                 self.time_limit is not None
@@ -262,90 +322,112 @@ class ContrArcExplorer:
             record = IterationRecord(index)
             if profiler is not None:
                 profiler.begin_iteration(index)
-
-            t0 = time.perf_counter()
-            if profiler is not None and session is None:
-                # Sessions attribute their own matrix_build/milp_solve
-                # split; the stateless path is all solver time.
-                with profiler.phase("milp_solve"):
+            # The iteration span must close before finalize() runs (the
+            # run span is the innermost open span at run end), hence the
+            # try/finally around every exit path of the body.
+            iter_span = (
+                tracer.start_span("iteration", attrs={"index": index})
+                if tracer is not None
+                else None
+            )
+            try:
+                t0 = time.perf_counter()
+                if profiler is not None and session is None:
+                    # Sessions attribute their own matrix_build/milp_solve
+                    # split; the stateless path is all solver time.
+                    with profiler.phase("milp_solve"):
+                        solve_result = solve(model)
+                else:
                     solve_result = solve(model)
-            else:
-                solve_result = solve(model)
-            record.milp_time = time.perf_counter() - t0
-            if index == 1:
-                stats.milp_variables = model.num_variables
-                stats.milp_constraints = model.num_constraints
+                record.milp_time = time.perf_counter() - t0
+                if index == 1:
+                    stats.milp_variables = model.num_variables
+                    stats.milp_constraints = model.num_constraints
 
-            if solve_result.status is SolveStatus.INFEASIBLE:
-                stats.record(record)
-                return finalize(ExplorationStatus.INFEASIBLE, None, last_violation)
-            if solve_result.status is not SolveStatus.OPTIMAL:
-                raise ExplorationError(
-                    f"candidate MILP ended with status "
-                    f"{solve_result.status.value}: {solve_result.message}"
+                if solve_result.status is SolveStatus.INFEASIBLE:
+                    stats.record(record)
+                    return finalize(
+                        ExplorationStatus.INFEASIBLE, None, last_violation
+                    )
+                if solve_result.status is not SolveStatus.OPTIMAL:
+                    raise ExplorationError(
+                        f"candidate MILP ended with status "
+                        f"{solve_result.status.value}: {solve_result.message}"
+                    )
+
+                candidate = CandidateArchitecture.from_assignment(
+                    self.mapping_template, solve_result.assignment
                 )
+                record.candidate_cost = candidate.cost
+                if iter_span is not None:
+                    iter_span.attrs["candidate_cost"] = candidate.cost
 
-            candidate = CandidateArchitecture.from_assignment(
-                self.mapping_template, solve_result.assignment
-            )
-            record.candidate_cost = candidate.cost
-
-            t0 = time.perf_counter()
-            if profiler is not None:
-                with profiler.phase("refinement"):
+                t0 = time.perf_counter()
+                if profiler is not None:
+                    with profiler.phase("refinement"):
+                        violations = self._violations(candidate)
+                else:
                     violations = self._violations(candidate)
-            else:
-                violations = self._violations(candidate)
-            record.refinement_time = time.perf_counter() - t0
+                record.refinement_time = time.perf_counter() - t0
 
-            if not violations:
+                if not violations:
+                    stats.record(record)
+                    return finalize(ExplorationStatus.OPTIMAL, candidate)
+
+                last_violation = violations[0]
+                record.violated_viewpoint = violations[0].viewpoint.name
+                record.violations = [
+                    {
+                        "viewpoint": violation.viewpoint.name,
+                        "path": list(violation.path) if violation.path else None,
+                    }
+                    for violation in violations
+                ]
+                if iter_span is not None:
+                    iter_span.attrs["violated_viewpoint"] = (
+                        record.violated_viewpoint
+                    )
+                    iter_span.attrs["violations"] = len(violations)
+                t0 = time.perf_counter()
+                timer = (
+                    profiler.phase("certificate_build")
+                    if profiler is not None
+                    else nullcontext()
+                )
+                with timer:
+                    added: List[Cut] = []
+                    for violation in violations:
+                        for cut in generate_cuts(
+                            self.mapping_template,
+                            candidate,
+                            violation,
+                            use_isomorphism=self.use_isomorphism,
+                            widen=self.widen_implementations,
+                            max_embeddings=self.max_embeddings,
+                            matcher=self.matcher,
+                            embedding_cache=embedding_cache,
+                            profiler=profiler,
+                            pool=embed_pool,
+                        ):
+                            # Distinct (viewpoint, path) violations often
+                            # certify overlapping fragments; keep one row
+                            # per distinct cut constraint.
+                            key = formula_key(cut.formula)
+                            if key in seen_cut_keys:
+                                continue
+                            seen_cut_keys.add(key)
+                            added.append(cut)
+                record.certificate_time = time.perf_counter() - t0
+                record.cuts_added = len(added)
+                if iter_span is not None:
+                    iter_span.attrs["cuts_added"] = len(added)
+                cuts.extend(added)
+                for cut in added:
+                    cut_encoder.enforce(cut.formula)
                 stats.record(record)
-                return finalize(ExplorationStatus.OPTIMAL, candidate)
-
-            last_violation = violations[0]
-            record.violated_viewpoint = violations[0].viewpoint.name
-            record.violations = [
-                {
-                    "viewpoint": violation.viewpoint.name,
-                    "path": list(violation.path) if violation.path else None,
-                }
-                for violation in violations
-            ]
-            t0 = time.perf_counter()
-            timer = (
-                profiler.phase("certificate_build")
-                if profiler is not None
-                else nullcontext()
-            )
-            with timer:
-                added: List[Cut] = []
-                for violation in violations:
-                    for cut in generate_cuts(
-                        self.mapping_template,
-                        candidate,
-                        violation,
-                        use_isomorphism=self.use_isomorphism,
-                        widen=self.widen_implementations,
-                        max_embeddings=self.max_embeddings,
-                        matcher=self.matcher,
-                        embedding_cache=embedding_cache,
-                        profiler=profiler,
-                        pool=embed_pool,
-                    ):
-                        # Distinct (viewpoint, path) violations often
-                        # certify overlapping fragments; keep one row
-                        # per distinct cut constraint.
-                        key = formula_key(cut.formula)
-                        if key in seen_cut_keys:
-                            continue
-                        seen_cut_keys.add(key)
-                        added.append(cut)
-            record.certificate_time = time.perf_counter() - t0
-            record.cuts_added = len(added)
-            cuts.extend(added)
-            for cut in added:
-                cut_encoder.enforce(cut.formula)
-            stats.record(record)
+            finally:
+                if iter_span is not None:
+                    tracer.end_span(iter_span)
 
         return finalize(ExplorationStatus.ITERATION_LIMIT, None, last_violation)
 

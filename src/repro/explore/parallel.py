@@ -121,7 +121,7 @@ class ParallelRefinementChecker(RefinementChecker):
                 )
             queries.append(planned)
 
-        answers = self._resolve_queries(
+        answers, hit_keys = self._resolve_queries(
             [query for planned in queries for query in planned]
         )
 
@@ -136,6 +136,24 @@ class ParallelRefinementChecker(RefinementChecker):
                     )
                     break
             results.append(result)
+
+        # Structural parity with the serial walk: one refinement_check
+        # span per plan entry, same seq (plan index) hence same id. The
+        # wall-clock went into the batch (parallel_dispatch/worker_wait
+        # phases and worker-side sat_query spans); these spans record
+        # the per-entry verdict and cache outcome.
+        tracer = self.tracer
+        if tracer is not None:
+            for index, (check, result) in enumerate(zip(plan, results)):
+                planned = queries[index]
+                with tracer.span(
+                    "refinement_check", seq=index, **self._check_attrs(check)
+                ) as span:
+                    span.attrs["holds"] = bool(result)
+                    span.attrs["queries"] = len(planned)
+                    span.attrs["cache_hit"] = bool(planned) and all(
+                        query.key in hit_keys for query in planned
+                    )
         return results
 
     def _query_key(self, formula: Formula) -> Optional[str]:
@@ -148,8 +166,12 @@ class ParallelRefinementChecker(RefinementChecker):
 
     def _resolve_queries(
         self, queries: List[_PlannedQuery]
-    ) -> Dict[int, SatResult]:
-        """Answer every query: oracle batch -> pool fan-out -> decode."""
+    ) -> Tuple[Dict[int, SatResult], set]:
+        """Answer every query: oracle batch -> pool fan-out -> decode.
+
+        Returns the per-query answers plus the set of keys served from
+        the oracle without a dispatch (the trace's cache_hit attribute).
+        """
         profiler = self.profiler
         if profiler is not None and queries:
             profiler.count("refinement_queries", len(queries))
@@ -177,6 +199,7 @@ class ParallelRefinementChecker(RefinementChecker):
         cached: Dict[str, Dict[str, Any]] = {}
         if self.oracle is not None and keyed:
             cached = self.oracle.get_many(list(keyed))
+        hit_keys = set(cached)
 
         # Single-flight: one payload per *distinct* missing key, in
         # first-appearance order so dispatch is deterministic.
@@ -196,25 +219,33 @@ class ParallelRefinementChecker(RefinementChecker):
             value = cached[key]
             for query in sharers:
                 answers[id(query)] = decode_sat_result(query.formula, value)
-        return answers
+        return answers, hit_keys
 
     def _dispatch(self, formulas: List[Formula]) -> List[Dict[str, Any]]:
         """Solve the distinct missing formulas over the pool, in order.
 
         Payloads are contiguous chunks (at most two per worker) so the
         per-task IPC overhead amortizes over several small MILP solves.
+        When traced, each payload carries the *global* missing-list
+        indices of its queries as span seqs — the missing list's order
+        is chunking-independent, so worker sat_query span ids are stable
+        across worker counts.
         """
         chunks = max(1, min(len(formulas), self.pool.workers * 2))
         size = -(-len(formulas) // chunks)
-        payloads = [
-            {
+        payloads = []
+        for start in range(0, len(formulas), size):
+            chunk = formulas[start : start + size]
+            payload: Dict[str, Any] = {
                 "queries": [
-                    (formula, self.backend, None)
-                    for formula in formulas[start : start + size]
+                    (formula, self.backend, None) for formula in chunk
                 ]
             }
-            for start in range(0, len(formulas), size)
-        ]
+            if self.tracer is not None:
+                payload["_obs"] = {
+                    "seqs": list(range(start, start + len(chunk)))
+                }
+            payloads.append(payload)
         encoded: List[Dict[str, Any]] = []
         for chunk in self.pool.map("sat_batch", payloads):
             encoded.extend(chunk)

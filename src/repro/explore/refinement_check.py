@@ -109,6 +109,11 @@ class RefinementChecker:
         #: candidate MILP already enforces every component assumption, so
         #: only guarantee containment is informative here (see DESIGN.md).
         self.check_assumptions = check_assumptions
+        #: Optional :class:`repro.obs.trace.Tracer` (bound by the engine).
+        #: When set, every plan entry emits a ``refinement_check`` span
+        #: keyed by its plan index — the same ids the parallel checker
+        #: produces, so serial and parallel traces align structurally.
+        self.tracer = None
         # Contract generation is pure in (spec, component/path); cache the
         # unsubstituted contracts across iterations.
         self._component_cache: Dict[tuple, Contract] = {}
@@ -133,17 +138,44 @@ class RefinementChecker:
     def _iter_violations(
         self, candidate: CandidateArchitecture
     ) -> "Iterator[Violation]":
-        for check in self.candidate_plan(candidate):
-            result = check_refinement(
-                check.composed,
-                check.system,
-                backend=self.backend,
-                check_assumptions=self.check_assumptions,
-                saturate_concrete=False,
-                oracle=self.oracle,
-            )
+        tracer = self.tracer
+        for index, check in enumerate(self.candidate_plan(candidate)):
+            span = None
+            if tracer is not None:
+                span = tracer.start_span(
+                    "refinement_check",
+                    seq=index,
+                    attrs=self._check_attrs(check),
+                )
+                hits_before = self.oracle.stats.hits if self.oracle else 0
+            try:
+                result = check_refinement(
+                    check.composed,
+                    check.system,
+                    backend=self.backend,
+                    check_assumptions=self.check_assumptions,
+                    saturate_concrete=False,
+                    oracle=self.oracle,
+                )
+                if span is not None:
+                    span.attrs["holds"] = bool(result)
+            finally:
+                if span is not None:
+                    if self.oracle is not None:
+                        span.attrs["cache_hit"] = (
+                            self.oracle.stats.hits > hits_before
+                        )
+                    tracer.end_span(span)
             if not result:
                 yield self.violation_for(candidate, check, result)
+
+    @staticmethod
+    def _check_attrs(check: "RefinementCheck") -> Dict[str, object]:
+        """The span attributes identifying one plan entry."""
+        return {
+            "viewpoint": check.spec.name,
+            "path": "->".join(check.path) if check.path else None,
+        }
 
     # -- the verification plan ---------------------------------------------------
 

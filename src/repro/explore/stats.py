@@ -99,6 +99,12 @@ class ExplorationStats:
         #: Per-phase wall-clock breakdown when the run was profiled
         #: (see :class:`repro.explore.profiling.PhaseProfiler.report`).
         self.phase_profile: Optional[Dict[str, Any]] = None
+        #: Oracle cache hit/miss/store/uncacheable totals for this run
+        #: (the engine records the per-run delta of the checker's
+        #: oracle, so shared oracles report only this run's traffic).
+        #: Previously these figures were only visible via ``JobResult``
+        #: in sweeps; now every ``to_dict`` serialization carries them.
+        self.oracle_cache: Optional[Dict[str, Any]] = None
 
     @property
     def num_iterations(self) -> int:
@@ -141,6 +147,8 @@ class ExplorationStats:
         }
         if self.phase_profile is not None:
             data["phase_profile"] = self.phase_profile
+        if self.oracle_cache is not None:
+            data["oracle_cache"] = self.oracle_cache
         if include_iterations:
             data["iterations"] = [r.to_dict() for r in self.iterations]
         return data
@@ -156,6 +164,7 @@ class ExplorationStats:
         stats.final_milp_variables = data.get("final_milp_variables", 0)
         stats.final_milp_constraints = data.get("final_milp_constraints", 0)
         stats.phase_profile = data.get("phase_profile")
+        stats.oracle_cache = data.get("oracle_cache")
         # total_cuts was re-accumulated by record(); trust the explicit
         # figure when the iteration rows were elided.
         if "total_cuts" in data and not data.get("iterations"):

@@ -113,8 +113,12 @@ def parallel_native_embeddings(
             "limit": limit,
             "symmetry_classes": symmetry,
             "root_mask": mask,
+            # Partition index = stable span seq for the worker-side
+            # embedding_partition span (see repro.obs); the pool strips
+            # this key before task dispatch, traced or not.
+            "_obs": {"seq": index},
         }
-        for mask in masks
+        for index, mask in enumerate(masks)
     ]
     embeddings: List[Embedding] = []
     for chunk in pool.map("embeddings", payloads):

@@ -1,0 +1,50 @@
+"""Zero-dependency observability: run-scoped tracing and metrics.
+
+The exploration stack spans four layers (MILP candidate selection,
+refinement checking, certificate generation, an in-run worker pool);
+this package gives them **one** instrumentation substrate:
+
+* :class:`Tracer` — hierarchical spans (``run -> iteration -> phase ->
+  query/task``) with deterministic structural ids and pluggable sinks
+  (:class:`InMemorySink`, :class:`JsonlSink`, :class:`ChromeTraceSink`
+  — the latter loads in ``chrome://tracing`` / Perfetto);
+* :class:`Metrics` — counters, gauges and fixed-bucket latency
+  histograms behind one snapshot API, mergeable across processes;
+* :class:`WorkerRecorder` / :class:`SpanContext` — cross-process span
+  propagation for :class:`repro.runtime.pool.WorkerPool` tasks;
+* :mod:`repro.obs.analyze` — the ``python -m repro obs`` offline
+  report (top-k slowest queries, per-iteration critical path, cache
+  effectiveness, worker utilization).
+
+Enable with ``--trace PATH [--trace-format {jsonl,chrome}]`` on the
+``rpl``/``epn``/``wsn``/``table2``/``sweep`` commands, or
+programmatically via ``ContrArcExplorer(..., tracer=Tracer(...))``.
+Tracing is strictly opt-in: with no tracer bound, the exploration path
+does not construct a single span.
+"""
+
+from repro.obs.metrics import LATENCY_BUCKETS, Histogram, Metrics
+from repro.obs.trace import (
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    Span,
+    SpanContext,
+    Tracer,
+    WorkerRecorder,
+    span_id_for,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Histogram",
+    "Metrics",
+    "ChromeTraceSink",
+    "InMemorySink",
+    "JsonlSink",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "WorkerRecorder",
+    "span_id_for",
+]

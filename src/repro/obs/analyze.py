@@ -1,0 +1,335 @@
+"""Offline trace analysis: ``python -m repro obs TRACE``.
+
+Reads a trace produced with ``--trace`` (either sink format — JSONL or
+Chrome ``trace_event``) and prints the questions the ROADMAP's
+performance work keeps asking:
+
+* **per-phase totals** — where the run's wall-clock went, per phase
+  span name; agrees with the in-process ``PhaseProfiler`` totals
+  because both bracket the same code;
+* **per-iteration critical path** — the MILP / refinement /
+  certificate split per iteration, plus the share of the iteration not
+  covered by any phase span;
+* **top-k slowest queries** — individual SMT queries, refinement
+  checks and embedding enumerations, with their (iteration, viewpoint,
+  path) origin;
+* **cache effectiveness** — oracle and embedding-cache hit ratios from
+  the metrics snapshot;
+* **worker utilization** — busy time per worker process relative to
+  the traced parallel window.
+
+Everything renders through :mod:`repro.reporting.tables` so trace
+reports look like every other artifact of the repo.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.reporting.tables import format_seconds, render_table
+
+#: Span names whose intervals are phase brackets (mirrors
+#: repro.explore.profiling's phase vocabulary).
+PHASE_NAMES = (
+    "matrix_build",
+    "milp_solve",
+    "refinement",
+    "embedding",
+    "certificate_build",
+    "parallel_dispatch",
+    "worker_wait",
+)
+
+#: Span names counted as individual "queries" for the top-k table.
+QUERY_NAMES = ("sat_query", "refinement_check", "embedding", "embedding_partition")
+
+#: Phases whose sum defines an iteration's accounted critical path.
+_ITERATION_PHASES = ("milp_solve", "matrix_build", "refinement", "certificate_build")
+
+
+class Trace:
+    """A loaded trace: span records, metrics snapshot, meta header."""
+
+    def __init__(
+        self,
+        spans: List[Dict[str, Any]],
+        metrics: Optional[Dict[str, Any]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.spans = spans
+        self.metrics = metrics or {}
+        self.meta = meta or {}
+        self.by_id: Dict[str, Dict[str, Any]] = {s["id"]: s for s in spans}
+
+    # -- tree helpers -------------------------------------------------------
+
+    def children(self, span_id: Optional[str]) -> List[Dict[str, Any]]:
+        return [s for s in self.spans if s["parent"] == span_id]
+
+    def ancestor(self, span: Dict[str, Any], name: str) -> Optional[Dict[str, Any]]:
+        """The nearest ancestor span (self included) with ``name``."""
+        node: Optional[Dict[str, Any]] = span
+        while node is not None:
+            if node["name"] == name:
+                return node
+            parent = node["parent"]
+            node = self.by_id.get(parent) if parent else None
+        return None
+
+    def named(self, *names: str) -> List[Dict[str, Any]]:
+        wanted = set(names)
+        return [s for s in self.spans if s["name"] in wanted]
+
+
+def load_trace(path: str) -> Trace:
+    """Load either sink format, auto-detected from the file content."""
+    with open(path, "r", encoding="utf-8") as stream:
+        first = stream.read(4096)
+        stream.seek(0)
+        if '"traceEvents"' in first:
+            return _load_chrome(json.load(stream))
+        return _load_jsonl(stream)
+
+
+def _load_jsonl(stream: Any) -> Trace:
+    spans: List[Dict[str, Any]] = []
+    metrics: Optional[Dict[str, Any]] = None
+    meta: Optional[Dict[str, Any]] = None
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "span":
+            spans.append(record)
+        elif kind == "metrics":
+            metrics = record.get("metrics")
+        elif kind == "trace":
+            meta = record
+    return Trace(spans, metrics=metrics, meta=meta)
+
+
+def _load_chrome(document: Dict[str, Any]) -> Trace:
+    """Rebuild span records from Chrome complete events."""
+    spans: List[Dict[str, Any]] = []
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        span_id = args.pop("id", None)
+        parent = args.pop("parent", None)
+        start = float(event.get("ts", 0.0)) / 1e6
+        duration = float(event.get("dur", 0.0)) / 1e6
+        spans.append(
+            {
+                "name": event.get("name", ""),
+                "id": span_id,
+                "parent": parent,
+                "start": start,
+                "end": start + duration,
+                "duration": duration,
+                "attrs": args,
+                "pid": event.get("tid", 0),
+            }
+        )
+    other = document.get("otherData", {})
+    metrics = other.get("metrics")
+    meta = {k: v for k, v in other.items() if k != "metrics"}
+    return Trace(spans, metrics=metrics, meta=meta)
+
+
+# -- report sections -----------------------------------------------------------
+
+
+def phase_totals(trace: Trace) -> Dict[str, Tuple[float, int]]:
+    """Per-phase (total seconds, call count), like PhaseProfiler.totals."""
+    totals: Dict[str, Tuple[float, int]] = {}
+    for span in trace.spans:
+        if span["name"] in PHASE_NAMES:
+            seconds, calls = totals.get(span["name"], (0.0, 0))
+            totals[span["name"]] = (seconds + span["duration"], calls + 1)
+    return totals
+
+
+def _phase_table(trace: Trace) -> str:
+    totals = phase_totals(trace)
+    if not totals:
+        return "no phase spans recorded (run with --trace on an exploration)"
+    run_time = sum(s["duration"] for s in trace.named("run")) or sum(
+        seconds for seconds, _ in totals.values()
+    )
+    rows = [
+        [
+            name,
+            format_seconds(seconds),
+            calls,
+            f"{100.0 * seconds / run_time:.1f}%" if run_time else "-",
+        ]
+        for name, (seconds, calls) in sorted(
+            totals.items(), key=lambda kv: -kv[1][0]
+        )
+    ]
+    return render_table(
+        ["phase", "total(s)", "calls", "share"], rows, title="Per-phase totals"
+    )
+
+
+def _iteration_table(trace: Trace) -> str:
+    iterations = sorted(
+        trace.named("iteration"), key=lambda s: s["attrs"].get("index", 0)
+    )
+    if not iterations:
+        return "no iteration spans recorded"
+    rows: List[List[Any]] = []
+    for iteration in iterations:
+        phases: Dict[str, float] = {}
+        for child in trace.children(iteration["id"]):
+            if child["name"] in PHASE_NAMES:
+                phases[child["name"]] = (
+                    phases.get(child["name"], 0.0) + child["duration"]
+                )
+        accounted = sum(phases.get(name, 0.0) for name in _ITERATION_PHASES)
+        rows.append(
+            [
+                iteration["attrs"].get("index", "?"),
+                format_seconds(iteration["duration"]),
+                format_seconds(phases.get("milp_solve", 0.0)),
+                format_seconds(phases.get("refinement", 0.0)),
+                format_seconds(phases.get("certificate_build", 0.0)),
+                format_seconds(max(iteration["duration"] - accounted, 0.0)),
+                iteration["attrs"].get("cuts_added", "-"),
+            ]
+        )
+    return render_table(
+        ["iter", "wall(s)", "milp", "refinement", "certificates", "other", "cuts"],
+        rows,
+        title="Per-iteration critical path",
+    )
+
+
+def _slowest_table(trace: Trace, top: int) -> str:
+    queries = trace.named(*QUERY_NAMES)
+    if not queries:
+        return "no query spans recorded"
+    queries.sort(key=lambda s: -s["duration"])
+    rows: List[List[Any]] = []
+    for span in queries[:top]:
+        iteration = trace.ancestor(span, "iteration")
+        attrs = span["attrs"]
+        origin = attrs.get("viewpoint", "-")
+        if attrs.get("path"):
+            origin = f"{origin} [{attrs['path']}]"
+        rows.append(
+            [
+                span["name"],
+                iteration["attrs"].get("index", "-") if iteration else "-",
+                origin,
+                "yes" if attrs.get("remote") else "no",
+                format_seconds(span["duration"]),
+            ]
+        )
+    return render_table(
+        ["span", "iter", "origin (viewpoint [path])", "worker", "time(s)"],
+        rows,
+        title=f"Top {min(top, len(queries))} slowest queries",
+    )
+
+
+def _cache_table(trace: Trace) -> str:
+    counters = (trace.metrics or {}).get("counters", {})
+    pairs = [
+        ("oracle", "oracle_hits", "oracle_misses"),
+        ("embedding cache", "embedding_cache_hits", "embedding_cache_misses"),
+    ]
+    rows: List[List[Any]] = []
+    for label, hit_key, miss_key in pairs:
+        hits = counters.get(hit_key, 0)
+        misses = counters.get(miss_key, 0)
+        total = hits + misses
+        if not total:
+            continue
+        rows.append(
+            [label, hits, misses, f"{100.0 * hits / total:.1f}%"]
+        )
+    if not rows:
+        return "no cache counters recorded"
+    return render_table(
+        ["cache", "hits", "misses", "hit rate"], rows, title="Cache effectiveness"
+    )
+
+
+def _worker_table(trace: Trace) -> str:
+    remote = [s for s in trace.spans if s["attrs"].get("remote")]
+    if not remote:
+        return "serial run: no worker-side spans"
+    window_lo = min(s["start"] for s in remote)
+    window_hi = max(s["end"] for s in remote)
+    window = max(window_hi - window_lo, 1e-9)
+    by_pid: Dict[Any, Tuple[float, int]] = {}
+    for span in remote:
+        busy, tasks = by_pid.get(span["pid"], (0.0, 0))
+        by_pid[span["pid"]] = (busy + span["duration"], tasks + 1)
+    rows = [
+        [pid, tasks, format_seconds(busy), f"{100.0 * busy / window:.1f}%"]
+        for pid, (busy, tasks) in sorted(by_pid.items(), key=lambda kv: str(kv[0]))
+    ]
+    return render_table(
+        ["worker (pid)", "spans", "busy(s)", "of parallel window"],
+        rows,
+        title="Worker utilization",
+    )
+
+
+def render_report(trace: Trace, top: int = 10) -> str:
+    """The full offline report, section by section."""
+    header = []
+    if trace.meta.get("trace_id"):
+        header.append(f"trace:  {trace.meta['trace_id']}")
+    runs = trace.named("run")
+    header.append(f"spans:  {len(trace.spans)} ({len(runs)} run(s))")
+    if runs:
+        header.append(
+            "runs:   "
+            + "; ".join(
+                f"{r['attrs'].get('status', '?')} in "
+                f"{format_seconds(r['duration'])}s, "
+                f"{r['attrs'].get('iterations', '?')} iterations"
+                for r in runs
+            )
+        )
+    sections = [
+        "\n".join(header),
+        _phase_table(trace),
+        _iteration_table(trace),
+        _slowest_table(trace, top),
+        _cache_table(trace),
+        _worker_table(trace),
+    ]
+    return "\n\n".join(sections)
+
+
+def main(path: str, top: int = 10) -> int:
+    """CLI entry point for ``python -m repro obs``."""
+    import sys
+
+    try:
+        trace = load_trace(path)
+    except FileNotFoundError:
+        print(f"error: no trace file at {path}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError) as exc:
+        print(f"error: {path} is not a readable trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_report(trace, top=top))
+    except BrokenPipeError:
+        # Reports get piped to head/less; a closed pipe is not an error.
+        # Point stdout at devnull so interpreter shutdown does not trip
+        # over the dead pipe again.
+        import os
+        import sys
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0

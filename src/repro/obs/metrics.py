@@ -1,0 +1,176 @@
+"""Run-scoped metrics registry: counters, gauges, latency histograms.
+
+One :class:`Metrics` instance lives per traced run (usually owned by a
+:class:`repro.obs.trace.Tracer`) and subsumes the ad-hoc counters that
+used to be scattered over the exploration stack: the
+:class:`~repro.explore.profiling.PhaseProfiler` event counters, the
+:class:`~repro.runtime.oracle.OracleStats` hit/miss/store totals and
+the worker pool's task counts all land here behind one
+:meth:`Metrics.snapshot` API.
+
+Design constraints:
+
+* **zero dependencies** — plain dicts and lists, JSON-compatible
+  snapshots;
+* **mergeable** — pool workers record into their own registry and the
+  parent folds the returned snapshot in with :meth:`Metrics.merge`, so
+  parallel runs aggregate exactly like serial ones;
+* **fixed histogram buckets** — latency histograms share one boundary
+  vector (:data:`LATENCY_BUCKETS`), so merged histograms never need
+  re-bucketing and snapshots from different processes are positionally
+  compatible.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+#: Fixed bucket upper bounds (seconds) for solve/query latency
+#: histograms. Spans from 0.1ms to 1min; an implicit +inf overflow
+#: bucket catches the rest. Fixed boundaries keep cross-process merges
+#: positional.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count for mean derivation."""
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        #: One slot per bound plus the +inf overflow slot.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (value <= bound lands in that bucket)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper bound of the covering bucket."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, bucket in enumerate(self.counts):
+            seen += bucket
+            if seen >= target and bucket:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+    def merge(self, data: Mapping[str, Any]) -> None:
+        """Fold another histogram's snapshot in (bounds must agree)."""
+        if tuple(data["bounds"]) != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, c in enumerate(data["counts"]):
+            self.counts[i] += int(c)
+        self.total += float(data["sum"])
+        self.count += int(data["count"])
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, mean={self.mean:.4g}s)"
+
+
+class Metrics:
+    """Registry of named counters, gauges and histograms.
+
+    Names are free-form dotted/underscored strings; the conventions used
+    by the exploration stack are documented in ``docs/observability.md``
+    (``oracle_hits``, ``refinement_queries``, ``<phase>_seconds``, ...).
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, increment: int = 1) -> int:
+        """Bump a monotone counter; returns the new value."""
+        value = self.counters.get(name, 0) + increment
+        self.counters[name] = value
+        return value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a last-value-wins gauge."""
+        self.gauges[name] = float(value)
+
+    def observe(
+        self, name: str, value: float, bounds: Sequence[float] = LATENCY_BUCKETS
+    ) -> None:
+        """Record a value into the named histogram (created on first use)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(bounds)
+        histogram.observe(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-compatible snapshot of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot from another registry (e.g. a pool worker) in.
+
+        Counters and histogram slots add; gauges are last-write-wins
+        (the merged snapshot overwrites, mirroring a late ``gauge``
+        call).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name, int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram(data["bounds"])
+            histogram.merge(data)
+
+    def __repr__(self) -> str:
+        return (
+            f"Metrics(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)})"
+        )

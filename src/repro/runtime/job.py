@@ -159,14 +159,15 @@ class JobSpec:
             kwargs = flags
         return kwargs
 
-    def make_explorer(self, oracle=None, engine_overrides=None):
+    def make_explorer(self, oracle=None, engine_overrides=None, tracer=None):
         """Build a ready-to-run explorer for this job.
 
         ``engine_overrides`` are applied on top of the spec's engine
         levers *without* entering the job id — the seam the scheduler
         uses to clamp in-run ``workers`` inside its own pool workers
         (nested process pools) while keeping the spec, and therefore
-        telemetry joins, untouched.
+        telemetry joins, untouched. ``tracer`` likewise stays out of the
+        id: observability must never change which jobs are cached.
         """
         from repro.explore.engine import ContrArcExplorer
 
@@ -175,7 +176,7 @@ class JobSpec:
         if engine_overrides:
             kwargs.update(engine_overrides)
         return ContrArcExplorer(
-            mapping_template, specification, oracle=oracle, **kwargs
+            mapping_template, specification, oracle=oracle, tracer=tracer, **kwargs
         )
 
 

@@ -22,53 +22,123 @@ resubmitted up to ``retries`` times before the parent computes it
 locally. Ordinary exceptions raised *by* a task are deterministic
 properties of the payload and propagate to the caller unchanged, as
 they would in serial execution.
+
+**Tracing** (see :mod:`repro.obs`): when the pool is built with a
+tracer, :meth:`WorkerPool.map` injects the parent's span context into
+each payload under the ``_obs`` key (merging any seq hints the caller
+attached there), workers record their spans/metrics into a
+:class:`~repro.obs.trace.WorkerRecorder` and return them piggybacked as
+``{"__obs__": ..., "result": ...}``, and the parent adopts them into
+the run trace after the batch completes — so a parallel run's trace is
+one connected tree. Without a tracer, payloads travel untouched.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import inspect
+import time
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 
-def _sat_batch(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+def _sat_batch(payload: Dict[str, Any], recorder=None) -> List[Dict[str, Any]]:
     """Solve a chunk of satisfiability queries; encoded results out."""
     from repro.runtime.oracle import encode_sat_result
     from repro.solver.feasibility import check_sat
 
     results = []
-    for formula, backend, default_big_m in payload["queries"]:
-        result = check_sat(formula, backend=backend, default_big_m=default_big_m)
+    for index, (formula, backend, default_big_m) in enumerate(
+        payload["queries"]
+    ):
+        if recorder is not None:
+            started = time.perf_counter()
+            with recorder.span(
+                "sat_query", recorder.item_seq(index), backend=backend
+            ) as span:
+                result = check_sat(
+                    formula, backend=backend, default_big_m=default_big_m
+                )
+                span.attrs["sat"] = bool(result)
+            recorder.metrics.observe(
+                "sat_query_seconds", time.perf_counter() - started
+            )
+            recorder.metrics.counter("worker_sat_queries")
+        else:
+            result = check_sat(
+                formula, backend=backend, default_big_m=default_big_m
+            )
         results.append(encode_sat_result(result))
     return results
 
 
-def _embeddings(payload: Dict[str, Any]) -> List[Dict[Any, Any]]:
+def _embeddings(payload: Dict[str, Any], recorder=None) -> List[Dict[Any, Any]]:
     """Enumerate one root partition of a subgraph-isomorphism search."""
     from repro.graph.isomorphism import find_embeddings
 
-    return find_embeddings(
-        payload["host"],
-        payload["pattern"],
-        limit=payload.get("limit", 0),
-        symmetry_classes=payload.get("symmetry_classes"),
-        root_mask=payload["root_mask"],
-    )
+    if recorder is None:
+        span = nullcontext(None)
+    else:
+        span = recorder.span(
+            "embedding_partition",
+            recorder.seq if recorder.seq is not None else 0,
+            roots=bin(payload["root_mask"]).count("1"),
+        )
+    with span as record:
+        found = find_embeddings(
+            payload["host"],
+            payload["pattern"],
+            limit=payload.get("limit", 0),
+            symmetry_classes=payload.get("symmetry_classes"),
+            root_mask=payload["root_mask"],
+        )
+        if record is not None:
+            record.attrs["embeddings"] = len(found)
+    if recorder is not None:
+        recorder.metrics.counter("worker_embedding_partitions")
+    return found
 
 
 #: Registered task kinds. Tests may register extra kinds (e.g. crash
 #: injectors); entries must be module-level callables so payload dispatch
-#: survives the ``spawn`` start method.
-TASKS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+#: survives the ``spawn`` start method. A task that accepts a second
+#: ``recorder`` parameter receives the worker-side span recorder on
+#: traced runs (detected by signature, so single-argument tasks keep
+#: working unchanged).
+TASKS: Dict[str, Callable[..., Any]] = {
     "sat_batch": _sat_batch,
     "embeddings": _embeddings,
 }
 
 
+def _accepts_recorder(fn: Callable[..., Any]) -> bool:
+    try:
+        return "recorder" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins, C callables
+        return False
+
+
 def run_task(kind: str, payload: Dict[str, Any]) -> Any:
-    """Worker entry point: dispatch one payload through the registry."""
-    return TASKS[kind](payload)
+    """Worker entry point: dispatch one payload through the registry.
+
+    Pops the parent-injected ``_obs`` wire context (if any), records
+    the task under a :class:`~repro.obs.trace.WorkerRecorder`, and
+    piggybacks the recorded spans/metrics on the result so the parent
+    can adopt them. Untraced payloads pass straight through.
+    """
+    obs = payload.pop("_obs", None)
+    fn = TASKS[kind]
+    if not obs or "trace" not in obs:
+        return fn(payload)
+    from repro.obs.trace import WorkerRecorder
+
+    recorder = WorkerRecorder(obs)
+    if _accepts_recorder(fn):
+        result = fn(payload, recorder=recorder)
+    else:
+        result = fn(payload)
+    return {"__obs__": recorder.export(), "result": result}
 
 
 class WorkerPool:
@@ -87,14 +157,22 @@ class WorkerPool:
         time is charged to ``parallel_dispatch``, result gathering to
         ``worker_wait``, and per-call task counts to the profiler's
         counters.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`; when set, every
+        :meth:`map` call propagates the parent span context to the
+        workers and adopts their recorded spans/metrics back into the
+        run trace.
     """
 
-    def __init__(self, workers: int, retries: int = 2, profiler=None) -> None:
+    def __init__(
+        self, workers: int, retries: int = 2, profiler=None, tracer=None
+    ) -> None:
         if workers < 2:
             raise ValueError("WorkerPool needs at least 2 workers")
         self.workers = workers
         self.retries = retries
         self.profiler = profiler
+        self.tracer = tracer
         #: How many worker processes had to be replaced after a crash.
         self.rebuilds = 0
         #: Payloads the parent ended up computing itself.
@@ -141,6 +219,39 @@ class WorkerPool:
         profiler = self.profiler
         if profiler is not None:
             profiler.count(f"pool_{kind}_tasks", len(payloads))
+        tracer = self.tracer
+        adopted: List[Dict[str, Any]] = []
+        merged: List[Dict[str, Any]] = []
+        if tracer is not None:
+            # Capture the wire context *before* the dispatch phase span
+            # opens: worker spans must parent under the caller's span
+            # (refinement / embedding phase), not under the pool's own
+            # bookkeeping phases.
+            context = tracer.context()
+            wire = (
+                context.to_wire()
+                if context is not None
+                else {"trace": tracer.trace_id, "parent": None}
+            )
+            prepared: List[Dict[str, Any]] = []
+            for payload in payloads:
+                copy = dict(payload)
+                copy["_obs"] = dict(copy.get("_obs") or {}, **wire)
+                prepared.append(copy)
+            payloads = prepared
+
+        def unwrap(value: Any) -> Any:
+            if (
+                tracer is not None
+                and isinstance(value, dict)
+                and "__obs__" in value
+            ):
+                obs = value["__obs__"]
+                adopted.extend(obs.get("spans", ()))
+                merged.append(obs.get("metrics", {}))
+                return value["result"]
+            return value
+
         results: List[Any] = [None] * len(payloads)
         attempts = [0] * len(payloads)
         pending = list(range(len(payloads)))
@@ -167,7 +278,7 @@ class WorkerPool:
             with wait:
                 for index in pending:
                     try:
-                        results[index] = futures[index].result()
+                        results[index] = unwrap(futures[index].result())
                     except BrokenProcessPool:
                         crashed.append(index)
             if not crashed:
@@ -183,8 +294,17 @@ class WorkerPool:
                     retry.append(index)
                 else:
                     self.fallbacks += 1
-                    results[index] = run_task(kind, payloads[index])
+                    # Same entry point as the workers, so traced
+                    # payloads come back wrapped here too (the fallback
+                    # span records the parent pid — the trace shows
+                    # exactly which work did not run remotely).
+                    results[index] = unwrap(run_task(kind, payloads[index]))
             pending = retry
+        if tracer is not None:
+            if adopted:
+                tracer.adopt(adopted)
+            for snapshot in merged:
+                tracer.merge_metrics(snapshot)
         return results
 
     def __repr__(self) -> str:

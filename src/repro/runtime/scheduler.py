@@ -63,6 +63,7 @@ class Scheduler:
         telemetry=None,
         serial: bool = False,
         poll_interval: float = 0.2,
+        tracer=None,
     ) -> None:
         self.max_workers = max_workers or default_workers()
         self.timeout = timeout
@@ -72,6 +73,14 @@ class Scheduler:
         self.telemetry = telemetry if telemetry is not None else NullTelemetry()
         self.serial = serial
         self.poll_interval = poll_interval
+        #: Optional :class:`repro.obs.trace.Tracer`. Pooled jobs overlap
+        #: in time, so their spans are *detached* children of the sweep
+        #: span (explicit parent, no stack discipline), seq'd by spec
+        #: order — ids stay stable across pool sizes and retries.
+        self.tracer = tracer
+        self._sweep_span = None
+        self._job_spans: Dict[str, Any] = {}
+        self._job_seqs: Dict[str, int] = {}
 
     # -- public API ------------------------------------------------------------
 
@@ -84,21 +93,63 @@ class Scheduler:
             serial=self.serial,
             cache_path=self.cache_path,
         )
+        if self.tracer is not None:
+            self._sweep_span = self.tracer.start_span(
+                "sweep",
+                attrs={
+                    "jobs": len(specs),
+                    "workers": 1 if self.serial else self.max_workers,
+                    "serial": self.serial,
+                },
+            )
+            self._job_spans = {}
+            self._job_seqs = {
+                spec.job_id: index for index, spec in enumerate(specs)
+            }
         started = time.perf_counter()
-        if self.serial:
-            results = self._run_serial(specs)
-        else:
-            results = self._run_pooled(specs)
-        statuses: Dict[str, int] = {}
-        for result in results:
-            statuses[result.status] = statuses.get(result.status, 0) + 1
-        self.telemetry.emit(
-            "sweep_end",
-            jobs=len(specs),
-            wall_clock=time.perf_counter() - started,
-            statuses=statuses,
+        try:
+            if self.serial:
+                results = self._run_serial(specs)
+            else:
+                results = self._run_pooled(specs)
+            statuses: Dict[str, int] = {}
+            for result in results:
+                statuses[result.status] = statuses.get(result.status, 0) + 1
+                self._end_job_span(result)
+            self.telemetry.emit(
+                "sweep_end",
+                jobs=len(specs),
+                wall_clock=time.perf_counter() - started,
+                statuses=statuses,
+            )
+            if self._sweep_span is not None:
+                self._sweep_span.attrs["statuses"] = statuses
+            return results
+        finally:
+            if self._sweep_span is not None:
+                self.tracer.end_span(self._sweep_span)
+                self._sweep_span = None
+
+    # -- job spans ---------------------------------------------------------------
+
+    def _start_job_span(self, spec: JobSpec) -> None:
+        """Open the job's detached span on its first submission."""
+        if self.tracer is None or spec.job_id in self._job_spans:
+            return
+        self._job_spans[spec.job_id] = self.tracer.start_span(
+            "job",
+            seq=self._job_seqs.get(spec.job_id),
+            attrs={"job_id": spec.job_id, "label": spec.label},
+            detached=True,
+            parent=self._sweep_span,
         )
-        return results
+
+    def _end_job_span(self, result: JobResult) -> None:
+        span = self._job_spans.get(result.job_id)
+        if span is None or span.closed:
+            return
+        span.attrs.update(status=result.status, attempts=result.attempts)
+        self.tracer.end_span(span)
 
     # -- serial path ------------------------------------------------------------
 
@@ -106,6 +157,7 @@ class Scheduler:
         results: List[JobResult] = []
         for spec in specs:
             self.telemetry.emit("job_start", job_id=spec.job_id, label=spec.label)
+            self._start_job_span(spec)
             record = run_job(
                 spec.to_dict(), cache_path=self.cache_path, use_cache=self.use_cache
             )
@@ -132,6 +184,7 @@ class Scheduler:
                         label=pending.spec.label,
                         attempt=pending.attempts,
                     )
+                    self._start_job_span(pending.spec)
                     futures[self._submit(executor, pending)] = pending
                 done, _ = concurrent.futures.wait(
                     futures,
@@ -248,6 +301,8 @@ class Scheduler:
             self.telemetry.emit(
                 "job_timeout", job_id=result.job_id, after=self.timeout
             )
+            self._end_job_span(result)
 
     def _emit_end(self, result: JobResult) -> None:
         self.telemetry.emit("job_end", **result.to_dict())
+        self._end_job_span(result)

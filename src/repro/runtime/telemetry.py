@@ -23,6 +23,12 @@ class TelemetryLogger:
 
     Accepts a filesystem path (opened in append mode, so several
     sequential runs can share one journal) or any writable text stream.
+
+    Durability: every event is flushed as it is written — a crashed or
+    killed run's journal is complete up to the last emitted event — and
+    :meth:`close` is idempotent and exception-safe (a flush failure
+    still releases an owned stream; a closed logger ignores further
+    ``close`` calls, so ``with``-blocks and explicit teardown compose).
     """
 
     def __init__(self, sink: Union[str, IO[str]]) -> None:
@@ -35,9 +41,12 @@ class TelemetryLogger:
             self._owns_stream = False
             self.path = None
         self.events_emitted = 0
+        self._closed = False
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
-        """Write one event; returns the record for convenience."""
+        """Write one event (flushed immediately); returns the record."""
+        if self._closed:
+            raise ValueError("emit() on a closed TelemetryLogger")
         record = {"event": event, "ts": time.time()}
         record.update(fields)
         self._stream.write(json.dumps(record, sort_keys=True) + "\n")
@@ -46,8 +55,16 @@ class TelemetryLogger:
         return record
 
     def close(self) -> None:
-        if self._owns_stream:
-            self._stream.close()
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._stream.flush()
+        except ValueError:
+            pass  # underlying stream already closed by its owner
+        finally:
+            if self._owns_stream:
+                self._stream.close()
 
     def __enter__(self) -> "TelemetryLogger":
         return self

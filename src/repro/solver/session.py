@@ -105,14 +105,23 @@ class IncrementalSession:
             with self._phase("milp_solve"):
                 result = scipy_backend.solve_matrix(form, time_limit=self.time_limit)
         else:
-            with self._phase("matrix_build"):
+            with self._phase("matrix_build") as span:
                 self._impl.sync(self.model)
+                if span is not None:
+                    span.attrs["sync"] = (
+                        "append" if self._impl.last_was_append else "rebuild"
+                    )
             if self._impl.last_was_append:
                 self.appends += 1
             else:
                 self.rebuilds += 1
-            with self._phase("milp_solve"):
+            with self._phase("milp_solve") as span:
                 result = self._impl.solve(self.model)
+                if span is not None:
+                    span.attrs.update(
+                        variables=self.model.num_variables,
+                        constraints=self.model.num_constraints,
+                    )
         if (
             result.is_optimal
             and not self.model.minimize

@@ -164,3 +164,81 @@ class TestSweep:
         ends = read_events(journal, event="job_end")
         assert len(ends) == 2
         assert ends[0]["job_id"] == ends[1]["job_id"]
+
+
+class TestTracing:
+    def _phase_lines(self, out):
+        # "  <name>  x.xxxs  (Nx)" rows from the --profile table, reduced
+        # to (name, calls) so wall-clock jitter cannot break the test.
+        import re
+
+        rows = []
+        for line in out.splitlines():
+            match = re.match(r"\s{2,}(\w+)\s+[\d.]+s\s+\((\d+)x\)", line)
+            if match:
+                rows.append((match.group(1), int(match.group(2))))
+        return rows
+
+    def test_trace_writes_parseable_jsonl(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["epn", "--left", "1", "--right", "0", "--trace", trace]
+        )
+        assert code == 0
+        from repro.obs.analyze import load_trace
+
+        loaded = load_trace(trace)
+        assert [s["name"] for s in loaded.spans if s["parent"] is None] == ["run"]
+        assert loaded.metrics is not None
+        assert "wrote trace" in capsys.readouterr().err
+
+    def test_trace_chrome_format(self, tmp_path):
+        import json
+
+        trace = str(tmp_path / "trace.json")
+        code = main(
+            ["rpl", "--n-a", "1", "--deadline", "100",
+             "--trace", trace, "--trace-format", "chrome"]
+        )
+        assert code == 0
+        document = json.loads(open(trace).read())
+        assert document["traceEvents"]
+        assert all(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_obs_command_renders_report(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["epn", "--left", "1", "--right", "0",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["obs", trace]) == 0
+        out = capsys.readouterr().out
+        assert "Per-phase totals" in out
+        assert "Per-iteration critical path" in out
+        assert "Cache effectiveness" in out
+
+    def test_profile_output_is_stable_under_tracing(self, capsys, tmp_path):
+        # Golden check: --profile's phase table must list the same
+        # phases with the same call counts whether or not --trace rides
+        # along (the profiler is the bridge, not a casualty).
+        argv = ["epn", "--left", "1", "--right", "0", "--profile"]
+        assert main(argv) == 0
+        plain = self._phase_lines(capsys.readouterr().out)
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(argv + ["--trace", trace]) == 0
+        traced = self._phase_lines(capsys.readouterr().out)
+        assert plain
+        assert traced == plain
+
+    def test_sweep_accepts_trace(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["sweep", "--grid", "fig5-rpl", "--limit", "1", "--serial",
+             "--max-iterations", "200", "--trace", trace]
+        )
+        assert code == 0
+        from repro.obs.analyze import load_trace
+
+        loaded = load_trace(trace)
+        names = [s["name"] for s in loaded.spans]
+        assert "sweep" in names
+        assert "job" in names

@@ -1,0 +1,129 @@
+"""Offline analysis: format auto-detection, round-trips, report text."""
+
+import json
+
+from repro.obs import ChromeTraceSink, JsonlSink, Tracer
+from repro.obs.analyze import load_trace, phase_totals, render_report
+
+
+def _record_sample(sink):
+    """A tiny but representative trace: run > iteration > phases."""
+    with Tracer([sink]) as t:
+        with t.span("run", backend="z3") as run:
+            run.attrs["status"] = "optimal"
+            run.attrs["iterations"] = 1
+            with t.span("iteration", index=0) as it:
+                it.attrs["cuts_added"] = 2
+                with t.span("milp_solve"):
+                    pass
+                with t.span("refinement"):
+                    with t.span(
+                        "refinement_check",
+                        seq=0,
+                        viewpoint="timing",
+                        path="src->sink",
+                    ):
+                        pass
+        t.metrics.counter("oracle_hits", 3)
+        t.metrics.counter("oracle_misses", 1)
+        return t.trace_id
+
+
+class TestLoadTrace:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        trace_id = _record_sample(JsonlSink(path))
+        trace = load_trace(path)
+        assert trace.meta["trace_id"] == trace_id
+        assert sorted(s["name"] for s in trace.spans) == sorted(
+            ["run", "iteration", "milp_solve", "refinement", "refinement_check"]
+        )
+        assert trace.metrics["counters"]["oracle_hits"] == 3
+
+    def test_chrome_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        trace_id = _record_sample(ChromeTraceSink(path))
+        trace = load_trace(path)  # auto-detected from "traceEvents"
+        assert trace.meta["trace_id"] == trace_id
+        assert len(trace.spans) == 5
+        check = next(s for s in trace.spans if s["name"] == "refinement_check")
+        assert check["attrs"]["viewpoint"] == "timing"
+        assert trace.metrics["counters"]["oracle_misses"] == 1
+
+    def test_formats_agree_on_structure_and_durations(self, tmp_path):
+        jsonl_path = str(tmp_path / "t.jsonl")
+        chrome_path = str(tmp_path / "t.json")
+        sink_a, sink_b = JsonlSink(jsonl_path), ChromeTraceSink(chrome_path)
+        with Tracer([sink_a, sink_b]) as t:
+            with t.span("run"):
+                with t.span("milp_solve"):
+                    pass
+        a, b = load_trace(jsonl_path), load_trace(chrome_path)
+        ids_a = {s["id"]: s["parent"] for s in a.spans}
+        ids_b = {s["id"]: s["parent"] for s in b.spans}
+        assert ids_a == ids_b
+        for span_id in ids_a:
+            dur_a = a.by_id[span_id]["duration"]
+            dur_b = b.by_id[span_id]["duration"]
+            # chrome stores integer microseconds
+            assert abs(dur_a - dur_b) < 2e-6
+
+
+class TestPhaseTotals:
+    def test_sums_durations_and_counts(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer([JsonlSink(path)]) as t:
+            with t.span("run"):
+                for _ in range(3):
+                    with t.span("milp_solve"):
+                        pass
+        totals = phase_totals(load_trace(path))
+        assert set(totals) == {"milp_solve"}
+        seconds, calls = totals["milp_solve"]
+        assert calls == 3
+        assert seconds >= 0.0
+
+    def test_ignores_non_phase_spans(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with Tracer([JsonlSink(path)]) as t:
+            with t.span("run"):
+                with t.span("iteration", index=0):
+                    pass
+        assert phase_totals(load_trace(path)) == {}
+
+
+class TestRenderReport:
+    def test_all_sections_present(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        _record_sample(JsonlSink(path))
+        report = render_report(load_trace(path))
+        for needle in (
+            "Per-phase totals",
+            "Per-iteration critical path",
+            "slowest queries",
+            "Cache effectiveness",
+            "serial run: no worker-side spans",
+        ):
+            assert needle in report
+
+    def test_slowest_table_names_the_viewpoint_origin(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        _record_sample(JsonlSink(path))
+        report = render_report(load_trace(path))
+        assert "timing [src->sink]" in report
+
+    def test_empty_trace_degrades_gracefully(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        with Tracer([JsonlSink(path)]):
+            pass
+        report = render_report(load_trace(path))
+        assert "no phase spans recorded" in report
+        assert "no iteration spans recorded" in report
+
+    def test_report_is_valid_text_for_chrome_traces(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        _record_sample(ChromeTraceSink(path))
+        # sanity: the file really is a chrome document
+        assert "traceEvents" in json.loads(open(path).read())
+        report = render_report(load_trace(path), top=3)
+        assert "Per-phase totals" in report

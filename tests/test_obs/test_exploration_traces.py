@@ -1,0 +1,200 @@
+"""End-to-end trace guarantees on the explore-mini fixture.
+
+The acceptance bar for the observability layer:
+
+* **well-formedness** — every span closed, every child interval inside
+  its parent's, exactly one root (the run span);
+* **structural stability** — run/iteration/refinement_check span ids
+  are identical across ``workers`` in {1, 2, 4}, and worker-side
+  sat_query ids are identical across {2, 4} (chunking-independent);
+* **connectedness** — in parallel runs every worker-side span has an
+  iteration ancestor (one tree, not islands);
+* **agreement** — trace-derived per-phase totals match the
+  PhaseProfiler's within 5% (they bracket the same code);
+* **non-interference** — tracing changes no result and, when off,
+  builds no spans.
+"""
+
+import pytest
+
+from repro.explore.engine import ContrArcExplorer, ExplorationStatus
+from repro.obs import InMemorySink, Tracer
+from repro.obs.analyze import Trace, phase_totals
+
+from tests.test_explore.conftest import build_library, build_spec, build_template
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+def _problem():
+    from repro.arch.template import MappingTemplate
+
+    template = build_template()
+    return (
+        MappingTemplate(template, build_library(), time_bound=100.0),
+        build_spec(),
+    )
+
+
+def _traced_run(workers):
+    mapping_template, specification = _problem()
+    sink = InMemorySink()
+    tracer = Tracer([sink])
+    explorer = ContrArcExplorer(
+        mapping_template,
+        specification,
+        workers=workers,
+        profile=True,
+        tracer=tracer,
+    )
+    result = explorer.explore()
+    tracer.finish()
+    return result, Trace(sink.spans, metrics=sink.metrics, meta=sink.meta)
+
+
+@pytest.fixture(scope="module")
+def traced_runs():
+    return {workers: _traced_run(workers) for workers in WORKER_COUNTS}
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_every_span_closed(self, traced_runs, workers):
+        _, trace = traced_runs[workers]
+        assert trace.spans, "traced run produced no spans"
+        for span in trace.spans:
+            assert span["end"] is not None, f"unclosed span {span['name']}"
+            assert "unclosed" not in span["attrs"]
+            assert span["end"] >= span["start"]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_child_intervals_within_parent(self, traced_runs, workers):
+        _, trace = traced_runs[workers]
+        slack = 1e-6  # float rounding across time.time() reads
+        for span in trace.spans:
+            parent = trace.by_id.get(span["parent"])
+            if parent is None:
+                continue
+            assert span["start"] >= parent["start"] - slack, span["name"]
+            assert span["end"] <= parent["end"] + slack, span["name"]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_single_root_is_the_run_span(self, traced_runs, workers):
+        _, trace = traced_runs[workers]
+        roots = [s for s in trace.spans if s["parent"] is None]
+        assert [r["name"] for r in roots] == ["run"]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_span_ids_unique(self, traced_runs, workers):
+        _, trace = traced_runs[workers]
+        ids = [s["id"] for s in trace.spans]
+        assert len(ids) == len(set(ids))
+
+
+class TestStructuralStability:
+    def _ids(self, trace, name):
+        return {s["id"] for s in trace.named(name)}
+
+    @pytest.mark.parametrize(
+        "name", ["run", "iteration", "refinement_check"]
+    )
+    def test_ids_stable_across_worker_counts(self, traced_runs, name):
+        reference = self._ids(traced_runs[1][1], name)
+        assert reference, f"no {name} spans recorded"
+        for workers in WORKER_COUNTS[1:]:
+            assert self._ids(traced_runs[workers][1], name) == reference
+
+    def test_sat_query_ids_stable_across_pool_sizes(self, traced_runs):
+        two = self._ids(traced_runs[2][1], "sat_query")
+        four = self._ids(traced_runs[4][1], "sat_query")
+        assert two, "parallel run recorded no worker sat_query spans"
+        assert two == four
+
+    def test_results_identical_across_worker_counts(self, traced_runs):
+        costs = {traced_runs[w][0].cost for w in WORKER_COUNTS}
+        statuses = {traced_runs[w][0].status for w in WORKER_COUNTS}
+        assert len(costs) == 1
+        assert statuses == {ExplorationStatus.OPTIMAL}
+
+
+class TestConnectedness:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS[1:])
+    def test_worker_spans_have_iteration_ancestors(self, traced_runs, workers):
+        _, trace = traced_runs[workers]
+        remote = [s for s in trace.spans if s["attrs"].get("remote")]
+        assert remote, "parallel run adopted no worker spans"
+        for span in remote:
+            assert trace.ancestor(span, "iteration") is not None, span["name"]
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS[1:])
+    def test_worker_spans_carry_foreign_pids(self, traced_runs, workers):
+        import os
+
+        _, trace = traced_runs[workers]
+        remote_pids = {
+            s["pid"] for s in trace.spans if s["attrs"].get("remote")
+        }
+        assert remote_pids
+        assert os.getpid() not in remote_pids
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_phase_totals_match_profiler_within_5pct(
+        self, traced_runs, workers
+    ):
+        result, trace = traced_runs[workers]
+        profiler_totals = result.stats.phase_profile["totals"]
+        trace_totals = phase_totals(trace)
+        for name, (seconds, calls) in trace_totals.items():
+            expected = profiler_totals.get(name)
+            assert expected is not None, f"profiler missing phase {name}"
+            assert calls == result.stats.phase_profile["counts"][name]
+            assert seconds == pytest.approx(
+                expected, rel=0.05, abs=0.005
+            ), name
+
+    def test_metrics_snapshot_carries_oracle_counters(self, traced_runs):
+        _, trace = traced_runs[1]
+        counters = trace.metrics["counters"]
+        assert "oracle_misses" in counters
+        assert counters["oracle_misses"] > 0
+
+
+class TestNonInterference:
+    def test_tracing_off_records_nothing_and_matches(self):
+        mapping_template, specification = _problem()
+        plain = ContrArcExplorer(mapping_template, specification).explore()
+        traced_result, _ = _traced_run(1)
+        assert plain.cost == traced_result.cost
+        assert plain.stats.num_iterations == traced_result.stats.num_iterations
+
+    def test_trace_only_run_keeps_json_stats_shape(self):
+        # --trace without --profile must not grow the stats record with
+        # a phase_profile section.
+        mapping_template, specification = _problem()
+        tracer = Tracer([InMemorySink()])
+        result = ContrArcExplorer(
+            mapping_template, specification, tracer=tracer
+        ).explore()
+        tracer.finish()
+        assert result.stats.phase_profile is None
+        assert result.stats.oracle_cache is not None
+
+
+class TestStatsSurface:
+    def test_oracle_cache_in_stats_dict_roundtrip(self):
+        from repro.explore.stats import ExplorationStats
+
+        mapping_template, specification = _problem()
+        result = ContrArcExplorer(mapping_template, specification).explore()
+        data = result.stats.to_dict()
+        assert set(data["oracle_cache"]) == {
+            "hits",
+            "misses",
+            "stores",
+            "uncacheable",
+            "hit_rate",
+        }
+        restored = ExplorationStats.from_dict(data)
+        assert restored.oracle_cache == data["oracle_cache"]

@@ -1,0 +1,89 @@
+"""Metrics registry: buckets, merges, snapshots."""
+
+import pytest
+
+from repro.obs import LATENCY_BUCKETS, Histogram, Metrics
+
+
+class TestHistogram:
+    def test_bucketing_boundaries(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(0.5)  # <= 1.0
+        h.observe(1.0)  # <= 1.0 (boundary lands in its bucket)
+        h.observe(1.5)  # <= 2.0
+        h.observe(99.0)  # overflow
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(102.0)
+
+    def test_mean(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        h.observe(1.0)
+        h.observe(3.0)
+        assert h.mean == pytest.approx(2.0)
+
+    def test_quantile_upper_bound_semantics(self):
+        h = Histogram(bounds=(0.1, 1.0, 10.0))
+        for _ in range(9):
+            h.observe(0.05)
+        h.observe(5.0)
+        assert h.quantile(0.5) == 0.1
+        assert h.quantile(0.99) == 10.0
+
+    def test_merge_adds_positionally(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.01)
+        b.observe(0.01)
+        b.observe(100.0)
+        a.merge(b.to_dict())
+        assert a.count == 3
+        assert a.counts[-1] == 1  # overflow slot carried over
+
+    def test_merge_rejects_different_bounds(self):
+        a = Histogram(bounds=(1.0,))
+        b = Histogram(bounds=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b.to_dict())
+
+
+class TestMetrics:
+    def test_counters_and_gauges(self):
+        m = Metrics()
+        assert m.counter("x") == 1
+        assert m.counter("x", 4) == 5
+        m.gauge("g", 2)
+        m.gauge("g", 7.5)
+        snap = m.snapshot()
+        assert snap["counters"] == {"x": 5}
+        assert snap["gauges"] == {"g": 7.5}
+
+    def test_observe_creates_histogram_with_default_buckets(self):
+        m = Metrics()
+        m.observe("lat", 0.002)
+        snap = m.snapshot()
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert tuple(snap["histograms"]["lat"]["bounds"]) == LATENCY_BUCKETS
+
+    def test_merge_is_additive_for_counters_and_histograms(self):
+        parent, worker = Metrics(), Metrics()
+        parent.counter("queries", 2)
+        worker.counter("queries", 3)
+        worker.counter("only_worker")
+        parent.observe("lat", 0.01)
+        worker.observe("lat", 0.02)
+        worker.gauge("depth", 4)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"] == {"queries": 5, "only_worker": 1}
+        assert snap["histograms"]["lat"]["count"] == 2
+        assert snap["gauges"] == {"depth": 4.0}
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        m = Metrics()
+        m.counter("a")
+        m.gauge("b", 1.5)
+        m.observe("c", 0.1)
+        json.dumps(m.snapshot())  # must not raise

@@ -1,0 +1,163 @@
+"""Tracer mechanics: ids, sinks, stack discipline, adoption."""
+
+import io
+import json
+
+from repro.obs import (
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    Tracer,
+    WorkerRecorder,
+    span_id_for,
+)
+
+
+class TestSpanIds:
+    def test_structural_only(self):
+        # Ids depend on (parent, name, seq) — never on the trace id —
+        # so identical trajectories from different runs share ids.
+        a = Tracer(trace_id="aaaa")
+        b = Tracer(trace_id="bbbb")
+        sa = a.start_span("run")
+        sb = b.start_span("run")
+        assert sa.span_id == sb.span_id == span_id_for(None, "run", 0)
+
+    def test_sibling_seq_auto_increments(self):
+        t = Tracer()
+        run = t.start_span("run")
+        first = t.start_span("iteration")
+        t.end_span(first)
+        second = t.start_span("iteration")
+        t.end_span(second)
+        assert first.span_id == span_id_for(run.span_id, "iteration", 0)
+        assert second.span_id == span_id_for(run.span_id, "iteration", 1)
+        assert first.span_id != second.span_id
+
+    def test_explicit_seq_overrides(self):
+        t = Tracer()
+        run = t.start_span("run")
+        span = t.start_span("refinement_check", seq=7)
+        assert span.parent_id == run.span_id
+        assert span.span_id == span_id_for(run.span_id, "refinement_check", 7)
+
+
+class TestTracer:
+    def test_stack_parenting(self):
+        sink = InMemorySink()
+        with Tracer([sink]) as t:
+            with t.span("run") as run:
+                with t.span("iteration", index=1) as it:
+                    assert it.parent_id == run.span_id
+                assert t.current is run
+        names = [s["name"] for s in sink.spans]
+        assert names == ["iteration", "run"]  # children emitted first
+
+    def test_detached_spans_skip_the_stack(self):
+        t = Tracer([InMemorySink()])
+        sweep = t.start_span("sweep")
+        job = t.start_span("job", detached=True, parent=sweep)
+        assert t.current is sweep
+        assert job.parent_id == sweep.span_id
+        t.end_span(job)
+        t.end_span(sweep)
+
+    def test_finish_closes_stragglers_and_is_idempotent(self):
+        sink = InMemorySink()
+        t = Tracer([sink])
+        t.start_span("run")
+        t.finish()
+        t.finish()
+        assert len(sink.spans) == 1
+        assert sink.spans[0]["attrs"]["unclosed"] is True
+        assert sink.metrics is not None
+
+    def test_adopt_clamps_into_open_span_and_marks_remote(self):
+        sink = InMemorySink()
+        t = Tracer([sink])
+        run = t.start_span("run")
+        t.adopt(
+            [
+                {
+                    "name": "sat_query",
+                    "id": "abc",
+                    "parent": run.span_id,
+                    "start": run.start - 100.0,  # clock skew backwards
+                    "end": run.start + 1e9,  # and forwards
+                    "attrs": {},
+                    "pid": 999,
+                }
+            ]
+        )
+        t.end_span(run)
+        t.finish()
+        adopted = [s for s in sink.spans if s["name"] == "sat_query"][0]
+        assert adopted["attrs"]["remote"] is True
+        assert adopted["start"] >= run.start
+        assert adopted["end"] <= run.end
+        assert t.spans_adopted == 1
+
+
+class TestJsonlSink:
+    def test_record_stream(self):
+        buffer = io.StringIO()
+        with Tracer([JsonlSink(buffer)]) as t:
+            with t.span("run"):
+                t.metrics.counter("hits", 3)
+        records = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        kinds = [r["type"] for r in records]
+        assert kinds == ["trace", "span", "metrics"]
+        assert records[0]["trace_id"] == t.trace_id
+        assert records[1]["name"] == "run"
+        assert records[2]["metrics"]["counters"] == {"hits": 3}
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()  # must not raise
+
+
+class TestChromeTraceSink:
+    def test_document_schema(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        with Tracer([ChromeTraceSink(path)]) as t:
+            with t.span("run"):
+                with t.span("iteration", index=1):
+                    pass
+            t.metrics.counter("hits")
+        document = json.loads(open(path).read())
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert "id" in event["args"]
+        child = next(e for e in events if e["name"] == "iteration")
+        parent = next(e for e in events if e["name"] == "run")
+        assert child["args"]["parent"] == parent["args"]["id"]
+        assert document["otherData"]["trace_id"] == t.trace_id
+        assert document["otherData"]["metrics"]["counters"] == {"hits": 1}
+
+
+class TestWorkerRecorder:
+    def test_round_trip_ids_match_parent_scheme(self):
+        obs = {"trace": "t1", "parent": "p1", "seqs": [5, 9]}
+        rec = WorkerRecorder(obs)
+        with rec.span("sat_query", rec.item_seq(0)):
+            pass
+        with rec.span("sat_query", rec.item_seq(1)):
+            pass
+        exported = rec.export()
+        ids = [s["id"] for s in exported["spans"]]
+        assert ids == [
+            span_id_for("p1", "sat_query", 5),
+            span_id_for("p1", "sat_query", 9),
+        ]
+        assert all(s["parent"] == "p1" for s in exported["spans"])
+
+    def test_item_seq_fallback_namespaces_by_task_seq(self):
+        rec = WorkerRecorder({"trace": "t1", "parent": "p1", "seq": 2})
+        assert rec.item_seq(3) == 2 * 1_000_000 + 3

@@ -22,6 +22,7 @@ PUBLIC_MODULES = [
     "repro.casestudies",
     "repro.reporting",
     "repro.runtime",
+    "repro.obs",
 ]
 
 

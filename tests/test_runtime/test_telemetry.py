@@ -54,3 +54,36 @@ class TestNullTelemetry:
         with NullTelemetry() as telemetry:
             assert telemetry.emit("anything", a=1) == {}
         assert telemetry.events_emitted == 0
+
+
+class TestDurability:
+    def test_events_flushed_per_emit(self, tmp_path):
+        # Readable by a tailer *before* close — each emit must flush.
+        path = str(tmp_path / "events.jsonl")
+        logger = TelemetryLogger(path)
+        try:
+            logger.emit("job_start", job_id="a")
+            assert [e["event"] for e in read_events(path)] == ["job_start"]
+        finally:
+            logger.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        logger = TelemetryLogger(str(tmp_path / "events.jsonl"))
+        logger.emit("sweep_start")
+        logger.close()
+        logger.close()  # second close must not raise
+
+    def test_emit_after_close_raises(self, tmp_path):
+        import pytest
+
+        logger = TelemetryLogger(str(tmp_path / "events.jsonl"))
+        logger.close()
+        with pytest.raises(ValueError):
+            logger.emit("job_start")
+
+    def test_close_survives_externally_closed_stream(self):
+        stream = io.StringIO()
+        logger = TelemetryLogger(stream)
+        logger.emit("job_start")
+        stream.close()
+        logger.close()  # flush on a dead stream must not propagate
