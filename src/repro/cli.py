@@ -451,8 +451,12 @@ def _cmd_sweep(args) -> int:
     specs = GRIDS[args.grid](engine_flags)
     if args.limit is not None:
         specs = specs[: args.limit]
+    # --resume replays the named journal as a run ledger; new events
+    # append to that same journal by default, so the ledger stays the
+    # single durable artifact across kill/resume cycles.
+    telemetry_path = args.telemetry or args.resume
     telemetry = (
-        TelemetryLogger(args.telemetry) if args.telemetry else NullTelemetry()
+        TelemetryLogger(telemetry_path) if telemetry_path else NullTelemetry()
     )
     tracer = _make_tracer(args)
     scheduler = Scheduler(
@@ -464,9 +468,10 @@ def _cmd_sweep(args) -> int:
         telemetry=telemetry,
         serial=args.serial,
         tracer=tracer,
+        max_rebuilds=args.max_rebuilds,
     )
     try:
-        report = run_sweep(specs, scheduler=scheduler)
+        report = run_sweep(specs, scheduler=scheduler, resume=args.resume)
     finally:
         telemetry.close()
         _finish_tracer(tracer, args)
@@ -577,13 +582,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", metavar="FILE", help="append JSONL run events here"
     )
     sweep_cmd.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        default=None,
+        help="resume from a previous run's telemetry journal: jobs with "
+        "a successful job_end record are replayed, only unfinished "
+        "jobs re-run (new events append to JOURNAL unless "
+        "--telemetry names another file)",
+    )
+    sweep_cmd.add_argument(
         "--timeout",
         type=float,
         default=None,
-        help="per-job scheduler wall-clock bound (s)",
+        help="per-job wall-clock bound (s), enforced inside the worker "
+        "(cooperative check + hard alarm); timed-out jobs return "
+        "status 'timeout' and free their pool slot",
     )
     sweep_cmd.add_argument(
         "--retries", type=int, default=1, help="resubmissions after a crash"
+    )
+    sweep_cmd.add_argument(
+        "--max-rebuilds",
+        type=int,
+        default=3,
+        help="pool rebuilds tolerated before degrading to serial "
+        "in-parent execution",
     )
     sweep_cmd.add_argument(
         "--limit", type=int, default=None, help="run only the first N jobs"

@@ -16,11 +16,21 @@ workload:
 * :mod:`repro.runtime.keys`      — canonical hashing of formulas,
   contracts and MILP matrices;
 * :mod:`repro.runtime.telemetry` — structured JSONL run events;
+* :mod:`repro.runtime.ledger`    — durable run ledger over the journal
+  (``sweep --resume``);
+* :mod:`repro.runtime.faults`    — deterministic fault injection for
+  chaos tests;
 * :mod:`repro.runtime.sweep`     — Table II / Fig. 5 grids and result
   aggregation.
 """
 
 from repro.runtime.job import JobResult, JobSpec, SCENARIOS
+from repro.runtime.ledger import (
+    canonical_record,
+    completed_records,
+    load_ledger,
+    plan_resume,
+)
 from repro.runtime.keys import (
     canonical_formula,
     contract_key,
@@ -52,6 +62,10 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "SCENARIOS",
+    "canonical_record",
+    "completed_records",
+    "load_ledger",
+    "plan_resume",
     "canonical_formula",
     "contract_key",
     "contract_pair_key",

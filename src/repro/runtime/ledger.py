@@ -1,0 +1,122 @@
+"""Durable run ledger: resume a killed sweep from its telemetry journal.
+
+The scheduler journals one ``job_end`` event per terminal outcome, each
+embedding the full :class:`~repro.runtime.job.JobResult` record keyed by
+the spec's content-addressed ``job_id``. That journal *is* the ledger:
+no second artifact, no extra write path — durability falls out of the
+telemetry layer's flush-per-event contract.
+
+``python -m repro sweep --resume JOURNAL`` replays the ledger and
+re-runs only jobs without a successful terminal record, so a SIGKILLed
+grid run (the minutes-to-hours Table II / Fig. 5 workloads) resumes
+instead of restarting. Because job ids are content hashes of the spec,
+replay is join-stable across processes, machines and code paths — the
+grid builder regenerating the same specs finds the same ids.
+
+Semantics:
+
+* engine outcomes (``optimal``, ``infeasible``, ``iteration_limit``,
+  ``time_limit``) are *results* — replayed verbatim, never re-run;
+* runtime failures (``error``, ``crashed``, ``timeout``, ``cancelled``)
+  are *incidents* — the job is re-run on resume;
+* the last record per job id wins (a retry's eventual success
+  supersedes an earlier failure appended by the same journal).
+
+:func:`canonical_record` is the equivalence the resume tests (and the
+CI chaos job) pin: a resumed sweep's records must equal an
+uninterrupted sweep's records modulo wall-clock-dependent fields.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.runtime.job import JobSpec
+from repro.runtime.telemetry import iter_events
+
+#: Statuses that mean "the runtime failed the job", not "the job
+#: produced an answer" — resuming re-runs these.
+RUNTIME_FAILURES = frozenset({"error", "crashed", "timeout", "cancelled"})
+
+#: Result fields whose values depend on wall clock, scheduling or cache
+#: temperature rather than the exploration trajectory.
+_VOLATILE_FIELDS = ("duration", "attempts", "cache", "error")
+_VOLATILE_STATS = ("phase_profile", "oracle_cache")
+_TIMING_SUFFIX = "_time"
+
+
+def load_ledger(path: str, strict: bool = False) -> Dict[str, Dict[str, Any]]:
+    """Read a journal into ``{job_id: last job_end record}``.
+
+    Tolerates the truncated final line a killed run leaves behind
+    (see :func:`repro.runtime.telemetry.iter_events`).
+    """
+    ledger: Dict[str, Dict[str, Any]] = {}
+    for event in iter_events(path, strict=strict):
+        if event.get("event") != "job_end":
+            continue
+        job_id = event.get("job_id")
+        if job_id:
+            ledger[job_id] = {
+                key: value
+                for key, value in event.items()
+                if key not in ("event", "ts")
+            }
+    return ledger
+
+
+def completed_records(path: str, strict: bool = False) -> Dict[str, Dict[str, Any]]:
+    """The replayable subset of a ledger: successful terminal records."""
+    return {
+        job_id: record
+        for job_id, record in load_ledger(path, strict=strict).items()
+        if record.get("status") not in RUNTIME_FAILURES
+    }
+
+
+def plan_resume(
+    specs: Sequence[JobSpec], completed: Dict[str, Dict[str, Any]]
+) -> Tuple[List[JobSpec], Dict[str, Dict[str, Any]]]:
+    """Split a grid into (jobs to run, records to replay).
+
+    Ledger entries for jobs outside the grid are ignored — a journal
+    may accumulate several different sweeps.
+    """
+    todo = [spec for spec in specs if spec.job_id not in completed]
+    replay = {
+        spec.job_id: completed[spec.job_id]
+        for spec in specs
+        if spec.job_id in completed
+    }
+    return todo, replay
+
+
+def canonical_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """A ``JobResult.to_dict()`` record minus volatile fields.
+
+    Strips wall-clock durations (top-level and per-iteration), retry
+    counts, cache-temperature counters and error text; what remains —
+    spec, status, cost, selected implementations, iteration/cut
+    trajectory — is deterministic for a given spec, so a resumed sweep
+    must reproduce it byte-for-byte.
+    """
+    def scrub(value: Any, drop: Iterable[str]) -> Any:
+        if isinstance(value, dict):
+            return {
+                key: scrub(inner, ())
+                for key, inner in value.items()
+                if key not in drop and not key.endswith(_TIMING_SUFFIX)
+            }
+        if isinstance(value, list):
+            return [scrub(item, ()) for item in value]
+        return value
+
+    canonical = {
+        key: value
+        for key, value in record.items()
+        if key not in _VOLATILE_FIELDS
+    }
+    canonical["stats"] = scrub(
+        record.get("stats") or {}, _VOLATILE_STATS
+    )
+    return canonical

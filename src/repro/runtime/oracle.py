@@ -191,6 +191,17 @@ class OracleCache:
     def __len__(self) -> int:
         return len(self._memory)
 
+    def close(self) -> None:
+        """Release the persistent layer (idempotent).
+
+        The in-memory layer needs no teardown; the store's SQLite
+        connection does — WAL/SHM sidecar files persist until the last
+        connection closes.
+        """
+        store, self.store = self.store, None
+        if store is not None and hasattr(store, "close"):
+            store.close()
+
     # -- the oracle protocol ------------------------------------------------
 
     def sat_query(

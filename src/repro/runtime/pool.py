@@ -42,6 +42,8 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.runtime import faults
+
 
 def _sat_batch(payload: Dict[str, Any], recorder=None) -> List[Dict[str, Any]]:
     """Solve a chunk of satisfiability queries; encoded results out."""
@@ -127,6 +129,7 @@ def run_task(kind: str, payload: Dict[str, Any]) -> Any:
     piggybacks the recorded spans/metrics on the result so the parent
     can adopt them. Untraced payloads pass straight through.
     """
+    faults.maybe_inject("task", kind)
     obs = payload.pop("_obs", None)
     fn = TASKS[kind]
     if not obs or "trace" not in obs:
@@ -184,7 +187,8 @@ class WorkerPool:
     def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._executor is None:
             self._executor = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers
+                max_workers=self.workers,
+                initializer=faults.mark_worker_process,
             )
         return self._executor
 

@@ -9,29 +9,41 @@ The :class:`Scheduler` turns a list of :class:`JobSpec` into a list of
 * otherwise jobs are submitted to a ``ProcessPoolExecutor``. A worker
   that *returns* an error record consumed its own exception; a worker
   process that dies (segfault, OOM kill) surfaces as
-  ``BrokenProcessPool`` — the pool is rebuilt and the affected job is
-  resubmitted up to ``retries`` times before being reported as
-  ``crashed``.
-* ``timeout`` bounds each job's wall clock from the parent's side. A
-  pending job past its deadline is cancelled; a *running* one cannot be
-  interrupted cooperatively, so the scheduler records ``timeout`` and
-  abandons the future — pass the engine-level ``time_limit`` in the
-  spec as well to bound the worker itself.
+  ``BrokenProcessPool`` — every future that completed in the same poll
+  batch is harvested first, then the pool is rebuilt and the affected
+  jobs are resubmitted (exponential backoff, jitter seeded from the job
+  id so retry trajectories are reproducible) up to ``retries`` times
+  before being reported as ``crashed``. After ``max_rebuilds`` pool
+  rebuilds the scheduler stops thrashing and degrades to serial
+  in-parent execution of whatever remains.
+* ``timeout`` bounds each job's wall clock. Enforcement is primarily
+  *worker-side* (see :func:`repro.runtime.worker.run_job`): the worker
+  returns a ``timeout`` record and its pool slot is immediately
+  reusable. The parent keeps a lenient backstop for workers that stop
+  responding entirely; its clock starts when the job is observed
+  *running* — a job queued behind busy workers is never expired without
+  having executed.
 * ``KeyboardInterrupt`` cancels everything pending and returns the
   results gathered so far (each un-run job reported as ``cancelled``).
+
+Every terminal outcome is journaled as a ``job_end`` telemetry event —
+the journal doubles as the durable run ledger that ``sweep --resume``
+replays (see :mod:`repro.runtime.ledger`).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import os
 import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.runtime import faults
 from repro.runtime.job import JobResult, JobSpec
 from repro.runtime.telemetry import NullTelemetry
-from repro.runtime.worker import run_job
+from repro.runtime.worker import hard_deadline_grace, run_job
 
 
 def default_workers() -> int:
@@ -39,15 +51,40 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+def backoff_delay(
+    job_id: str, attempt: int, base: float = 0.25, cap: float = 5.0
+) -> float:
+    """Crash-resubmission delay: exponential backoff, deterministic jitter.
+
+    The jitter factor (0.5–1.0x) is derived from ``(job_id, attempt)``,
+    not from a PRNG — the same sweep crashing the same way waits the
+    same amount, so retry trajectories (and their telemetry) are
+    reproducible.
+    """
+    raw = min(cap, base * (2.0 ** max(0, attempt - 1)))
+    digest = hashlib.sha256(f"{job_id}:{attempt}".encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:4], "big") / 2**32
+    return raw * (0.5 + 0.5 * unit)
+
+
 class _Pending:
-    """Book-keeping for one in-flight job."""
+    """Book-keeping for one in-flight (or backing-off) job."""
 
-    __slots__ = ("spec", "attempts", "submitted")
+    __slots__ = ("spec", "attempts", "submitted", "started_at", "not_before")
 
-    def __init__(self, spec: JobSpec, attempts: int, submitted: float) -> None:
+    def __init__(
+        self, spec: JobSpec, attempts: int, not_before: float = 0.0
+    ) -> None:
         self.spec = spec
         self.attempts = attempts
-        self.submitted = submitted
+        #: When the job was last handed to the executor.
+        self.submitted = 0.0
+        #: When the job was first *observed running* — the parent-side
+        #: timeout clock starts here, never at submission (a queued job
+        #: must not be expired without having executed).
+        self.started_at: Optional[float] = None
+        #: Earliest submission time (crash backoff).
+        self.not_before = not_before
 
 
 class Scheduler:
@@ -64,6 +101,10 @@ class Scheduler:
         serial: bool = False,
         poll_interval: float = 0.2,
         tracer=None,
+        max_rebuilds: int = 3,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 5.0,
+        timeout_grace: Optional[float] = None,
     ) -> None:
         self.max_workers = max_workers or default_workers()
         self.timeout = timeout
@@ -78,6 +119,22 @@ class Scheduler:
         #: span (explicit parent, no stack discipline), seq'd by spec
         #: order — ids stay stable across pool sizes and retries.
         self.tracer = tracer
+        #: Pool rebuilds tolerated before degrading to serial in-parent
+        #: execution (a machine-level fault — bad RAM, cgroup OOM loops —
+        #: makes every rebuild die the same way; thrashing helps nobody).
+        self.max_rebuilds = max_rebuilds
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: Extra slack the parent-side timeout backstop grants on top of
+        #: the worker-side deadline (which fires first in any live
+        #: worker); ``None`` picks a lenient default.
+        if timeout_grace is None and timeout is not None:
+            timeout_grace = hard_deadline_grace(timeout) + max(2.0, 0.5 * timeout)
+        self.timeout_grace = timeout_grace or 0.0
+        #: Pool rebuilds performed during the current :meth:`run`.
+        self.rebuilds = 0
+        #: True once this run degraded to serial in-parent execution.
+        self.degraded = False
         self._sweep_span = None
         self._job_spans: Dict[str, Any] = {}
         self._job_seqs: Dict[str, int] = {}
@@ -86,6 +143,8 @@ class Scheduler:
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         """Execute all jobs; results come back in input order."""
+        self.rebuilds = 0
+        self.degraded = False
         self.telemetry.emit(
             "sweep_start",
             jobs=len(specs),
@@ -159,7 +218,10 @@ class Scheduler:
             self.telemetry.emit("job_start", job_id=spec.job_id, label=spec.label)
             self._start_job_span(spec)
             record = run_job(
-                spec.to_dict(), cache_path=self.cache_path, use_cache=self.use_cache
+                spec.to_dict(),
+                cache_path=self.cache_path,
+                use_cache=self.use_cache,
+                deadline=self.timeout,
             )
             result = JobResult.from_dict(record)
             self._emit_end(result)
@@ -170,42 +232,63 @@ class Scheduler:
 
     def _run_pooled(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         by_id: Dict[str, JobResult] = {}
-        queue: List[_Pending] = [_Pending(s, 1, 0.0) for s in specs]
+        queue: List[_Pending] = [_Pending(s, 1) for s in specs]
         executor = self._new_executor()
         futures: Dict[concurrent.futures.Future, _Pending] = {}
         try:
             while queue or futures:
-                while queue and len(futures) < self.max_workers * 2:
-                    pending = queue.pop(0)
-                    pending.submitted = time.perf_counter()
-                    self.telemetry.emit(
-                        "job_start",
-                        job_id=pending.spec.job_id,
-                        label=pending.spec.label,
-                        attempt=pending.attempts,
+                if self.degraded:
+                    self._drain_inline(queue, by_id)
+                    break
+                now = time.perf_counter()
+                self._submit_eligible(executor, queue, futures, now)
+                if futures:
+                    done, _ = concurrent.futures.wait(
+                        futures,
+                        timeout=self.poll_interval,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
                     )
-                    self._start_job_span(pending.spec)
-                    futures[self._submit(executor, pending)] = pending
-                done, _ = concurrent.futures.wait(
-                    futures,
-                    timeout=self.poll_interval,
-                    return_when=concurrent.futures.FIRST_COMPLETED,
-                )
+                else:
+                    # Everything runnable is backing off; sleep until
+                    # the earliest becomes eligible (bounded by the poll
+                    # interval so cancellation stays responsive).
+                    wake = min(p.not_before for p in queue)
+                    time.sleep(
+                        min(self.poll_interval, max(0.0, wake - now)) or 0.01
+                    )
+                    done = set()
+                # Harvest *every* completed future in this batch before
+                # reacting to a pool break: futures that finished
+                # alongside the fatal one carry real results, and
+                # re-running them would double-emit their lifecycle.
+                broken = False
                 for future in done:
                     pending = futures.pop(future)
-                    broken = isinstance(future.exception(), BrokenProcessPool)
-                    outcome = self._collect(future, pending, queue)
-                    if outcome is not None:
-                        by_id[outcome.job_id] = outcome
-                    if broken:
-                        # The pool is unusable after a worker death;
-                        # rebuild it and resubmit everything in flight.
-                        executor.shutdown(wait=False, cancel_futures=True)
-                        executor = self._new_executor()
-                        queue.extend(futures.values())
-                        futures.clear()
-                        break
-                self._expire_timeouts(futures, queue, by_id)
+                    if isinstance(future.exception(), BrokenProcessPool):
+                        broken = True
+                        self._requeue_or_fail(pending, future, queue, by_id)
+                    else:
+                        outcome = self._collect(future, pending, queue, by_id)
+                        if outcome is not None:
+                            by_id[outcome.job_id] = outcome
+                if broken:
+                    # The pool is unusable after a worker death; rebuild
+                    # it and resubmit only what is genuinely in flight.
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    self.rebuilds += 1
+                    queue.extend(futures.values())
+                    futures.clear()
+                    if self.rebuilds > self.max_rebuilds:
+                        self.degraded = True
+                        self.telemetry.emit(
+                            "scheduler_degraded",
+                            rebuilds=self.rebuilds,
+                            remaining=len(queue),
+                        )
+                        continue
+                    executor = self._new_executor()
+                self._note_running(futures)
+                self._expire_timeouts(futures, by_id)
         except KeyboardInterrupt:
             executor.shutdown(wait=False, cancel_futures=True)
             for pending in list(futures.values()) + queue:
@@ -225,7 +308,37 @@ class Scheduler:
         ]
 
     def _new_executor(self) -> concurrent.futures.ProcessPoolExecutor:
-        return concurrent.futures.ProcessPoolExecutor(max_workers=self.max_workers)
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=faults.mark_worker_process,
+        )
+
+    def _submit_eligible(
+        self,
+        executor,
+        queue: List[_Pending],
+        futures: Dict[concurrent.futures.Future, _Pending],
+        now: float,
+    ) -> None:
+        """Move runnable queue entries into the executor (keeps a 2x
+        submission buffer so workers never idle between polls; jobs
+        still backing off are skipped, not reordered)."""
+        index = 0
+        while index < len(queue) and len(futures) < self.max_workers * 2:
+            if queue[index].not_before > now:
+                index += 1
+                continue
+            pending = queue.pop(index)
+            pending.submitted = now
+            pending.started_at = None
+            self.telemetry.emit(
+                "job_start",
+                job_id=pending.spec.job_id,
+                label=pending.spec.label,
+                attempt=pending.attempts,
+            )
+            self._start_job_span(pending.spec)
+            futures[self._submit(executor, pending)] = pending
 
     def _submit(self, executor, pending: _Pending) -> concurrent.futures.Future:
         # Nested-parallelism guard: a pool worker is already one process
@@ -237,35 +350,40 @@ class Scheduler:
             cache_path=self.cache_path,
             use_cache=self.use_cache,
             run_workers_cap=1,
+            deadline=self.timeout,
         )
 
-    def _collect(
+    def _requeue_or_fail(
         self,
-        future: concurrent.futures.Future,
         pending: _Pending,
+        future: concurrent.futures.Future,
         queue: List[_Pending],
-    ) -> Optional[JobResult]:
-        """Turn a completed future into a result, or requeue on crash.
-
-        Returns None when the job was requeued (or the pool broke and
-        the caller must rebuild it).
-        """
+        by_id: Dict[str, JobResult],
+    ) -> None:
+        """Retry (with backoff) or fail a job whose worker died."""
         error = future.exception()
-        if error is None:
-            record = future.result()
-            record["attempts"] = pending.attempts
-            result = JobResult.from_dict(record)
-            self._emit_end(result)
-            return result
         if pending.attempts <= self.retries:
+            delay = backoff_delay(
+                pending.spec.job_id,
+                pending.attempts,
+                base=self.backoff_base,
+                cap=self.backoff_cap,
+            )
             self.telemetry.emit(
                 "job_retry",
                 job_id=pending.spec.job_id,
                 attempt=pending.attempts,
                 error=repr(error),
+                backoff=delay,
             )
-            queue.append(_Pending(pending.spec, pending.attempts + 1, 0.0))
-            return None
+            queue.append(
+                _Pending(
+                    pending.spec,
+                    pending.attempts + 1,
+                    not_before=time.perf_counter() + delay,
+                )
+            )
+            return
         result = JobResult(
             pending.spec.job_id,
             pending.spec,
@@ -274,19 +392,91 @@ class Scheduler:
             attempts=pending.attempts,
         )
         self._emit_end(result)
-        return result
+        by_id[result.job_id] = result
+
+    def _collect(
+        self,
+        future: concurrent.futures.Future,
+        pending: _Pending,
+        queue: List[_Pending],
+        by_id: Dict[str, JobResult],
+    ) -> Optional[JobResult]:
+        """Turn a completed future into a result, or requeue on failure.
+
+        Returns None when the job was requeued.
+        """
+        error = future.exception()
+        if error is None:
+            record = future.result()
+            record["attempts"] = pending.attempts
+            result = JobResult.from_dict(record)
+            self._emit_end(result)
+            return result
+        # A submit-level exception (not a worker death): retry with the
+        # same backoff policy, then report crashed.
+        self._requeue_or_fail(pending, future, queue, by_id)
+        return None
+
+    def _drain_inline(
+        self, queue: List[_Pending], by_id: Dict[str, JobResult]
+    ) -> None:
+        """Degraded mode: run everything left serially in-parent.
+
+        Last-resort forward progress when the pool keeps dying: slower,
+        but it cannot crash-loop, and worker-side deadlines still apply
+        (in-parent execution is exactly the serial path).
+        """
+        for pending in queue:
+            self.telemetry.emit(
+                "job_start",
+                job_id=pending.spec.job_id,
+                label=pending.spec.label,
+                attempt=pending.attempts,
+                inline=True,
+            )
+            self._start_job_span(pending.spec)
+            record = run_job(
+                pending.spec.to_dict(),
+                cache_path=self.cache_path,
+                use_cache=self.use_cache,
+                deadline=self.timeout,
+            )
+            record["attempts"] = pending.attempts
+            result = JobResult.from_dict(record)
+            self._emit_end(result)
+            by_id[result.job_id] = result
+        queue.clear()
+
+    def _note_running(
+        self, futures: Dict[concurrent.futures.Future, _Pending]
+    ) -> None:
+        """Stamp the parent-side clock of jobs observed executing."""
+        for future, pending in futures.items():
+            if pending.started_at is None and future.running():
+                pending.started_at = time.perf_counter()
 
     def _expire_timeouts(
         self,
         futures: Dict[concurrent.futures.Future, _Pending],
-        queue: List[_Pending],
         by_id: Dict[str, JobResult],
     ) -> None:
+        """Parent-side backstop for workers that stopped responding.
+
+        Worker-side deadlines (cooperative clamp + hard alarm) handle
+        every job that is actually executing Python; this path only
+        fires — after generous extra grace — when a worker is wedged
+        beyond even SIGALRM (e.g. stuck in a C call with signals
+        blocked). The future cannot be interrupted; it is abandoned and
+        journaled as ``timeout``.
+        """
         if self.timeout is None:
             return
+        limit = self.timeout + self.timeout_grace
         now = time.perf_counter()
         for future, pending in list(futures.items()):
-            if now - pending.submitted <= self.timeout:
+            if pending.started_at is None:
+                continue  # never started executing: not its fault
+            if now - pending.started_at <= limit:
                 continue
             future.cancel()
             del futures[future]
@@ -294,12 +484,19 @@ class Scheduler:
                 pending.spec.job_id,
                 pending.spec,
                 "timeout",
+                error=(
+                    f"parent-side backstop: no response "
+                    f"{limit:g}s after start"
+                ),
                 attempts=pending.attempts,
-                duration=now - pending.submitted,
+                duration=now - pending.started_at,
             )
             by_id[result.job_id] = result
             self.telemetry.emit(
-                "job_timeout", job_id=result.job_id, after=self.timeout
+                "job_timeout",
+                job_id=result.job_id,
+                after=self.timeout,
+                stage="parent-backstop",
             )
             self._end_job_span(result)
 

@@ -29,10 +29,17 @@ class SQLiteStore:
     def __init__(self, path: str, busy_timeout: float = 30.0) -> None:
         self.path = str(path)
         self._conn = sqlite3.connect(self.path, timeout=busy_timeout)
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute(_SCHEMA)
-        self._conn.commit()
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(_SCHEMA)
+            self._conn.commit()
+        except sqlite3.DatabaseError:
+            # A corrupt/garbage file fails here, not in connect();
+            # release the handle before surfacing it so the caller's
+            # degradation path does not leak a connection.
+            self._conn.close()
+            raise
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         row = self._conn.execute(

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.job import JobResult, JobSpec, SCENARIOS
+from repro.runtime.ledger import completed_records, plan_resume
 from repro.runtime.scheduler import Scheduler
 from repro.reporting.tables import format_seconds, render_table
 
@@ -105,10 +106,16 @@ class SweepReport:
     """Aggregated outcome of one sweep run."""
 
     def __init__(
-        self, results: Sequence[JobResult], wall_clock: float
+        self,
+        results: Sequence[JobResult],
+        wall_clock: float,
+        replayed: int = 0,
     ) -> None:
         self.results = list(results)
         self.wall_clock = wall_clock
+        #: How many rows came from a ``--resume`` ledger instead of
+        #: being executed in this run.
+        self.replayed = replayed
 
     @property
     def records(self) -> List[Dict[str, Any]]:
@@ -154,8 +161,12 @@ class SweepReport:
             title=title,
         )
         totals = self.cache_totals
+        resumed = (
+            f" ({self.replayed} replayed from ledger)" if self.replayed else ""
+        )
         footer = (
-            f"wall-clock {self.wall_clock:.2f}s over {len(self.results)} jobs "
+            f"wall-clock {self.wall_clock:.2f}s over {len(self.results)} jobs"
+            f"{resumed} "
             f"(sum of job times {self.total_job_time:.2f}s); "
             f"oracle cache: {totals['hits']} hits / "
             f"{totals['misses']} misses ({totals['hit_rate']:.0%})"
@@ -166,12 +177,40 @@ class SweepReport:
 def run_sweep(
     specs: Sequence[JobSpec],
     scheduler: Optional[Scheduler] = None,
+    resume: Optional[str] = None,
     **scheduler_kwargs: Any,
 ) -> SweepReport:
-    """Run a grid and aggregate it. Extra kwargs configure the scheduler."""
+    """Run a grid and aggregate it. Extra kwargs configure the scheduler.
+
+    ``resume`` names a telemetry journal from a previous (possibly
+    killed) run of the same grid: jobs with a successful terminal
+    ``job_end`` record are replayed from the ledger, everything else is
+    executed, and the report interleaves both in grid order — so an
+    interrupted sweep plus its resume yields the same report as one
+    uninterrupted run (modulo wall-clock fields; see
+    :func:`repro.runtime.ledger.canonical_record`).
+    """
     import time
 
     scheduler = scheduler or Scheduler(**scheduler_kwargs)
+    replay: Dict[str, Dict[str, Any]] = {}
+    todo: Sequence[JobSpec] = specs
+    if resume is not None:
+        todo, replay = plan_resume(specs, completed_records(resume))
+        scheduler.telemetry.emit(
+            "sweep_resume",
+            journal=resume,
+            replayed=len(replay),
+            pending=len(todo),
+        )
     started = time.perf_counter()
-    results = scheduler.run(specs)
-    return SweepReport(results, time.perf_counter() - started)
+    fresh = {result.job_id: result for result in scheduler.run(todo)}
+    results = [
+        fresh[spec.job_id]
+        if spec.job_id in fresh
+        else JobResult.from_dict(replay[spec.job_id])
+        for spec in specs
+    ]
+    return SweepReport(
+        results, time.perf_counter() - started, replayed=len(replay)
+    )

@@ -15,7 +15,29 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from typing import Any, Dict, IO, Iterator, List, Optional, Union
+
+
+def _torn_tail(path: str) -> bool:
+    """True if ``path`` exists, is non-empty and lacks a final newline."""
+    import os
+
+    try:
+        with open(path, "rb") as probe:
+            probe.seek(-1, os.SEEK_END)
+            return probe.read(1) != b"\n"
+    except (OSError, ValueError):
+        return False  # missing or empty file: nothing to repair
+
+
+class TruncatedJournalWarning(UserWarning):
+    """A journal line could not be decoded and was skipped.
+
+    A SIGKILLed run can leave a half-written final line in its journal;
+    readers skip it (with this warning) so crashed-run ledgers stay
+    loadable — pass ``strict=True`` to get the raising behavior back.
+    """
 
 
 class TelemetryLogger:
@@ -36,6 +58,11 @@ class TelemetryLogger:
             self._stream: IO[str] = open(sink, "a", encoding="utf-8")
             self._owns_stream = True
             self.path: Optional[str] = sink
+            if _torn_tail(sink):
+                # The previous writer was killed mid-write: start a
+                # fresh line so the first appended event is not fused
+                # into (and lost with) the truncated one.
+                self._stream.write("\n")
         else:
             self._stream = sink
             self._owns_stream = False
@@ -92,19 +119,40 @@ class NullTelemetry:
         pass
 
 
-def read_events(path: str, event: Optional[str] = None) -> List[Dict[str, Any]]:
+def read_events(
+    path: str, event: Optional[str] = None, strict: bool = False
+) -> List[Dict[str, Any]]:
     """Load a JSONL journal, optionally filtered to one event type."""
     return [
         record
-        for record in iter_events(path)
+        for record in iter_events(path, strict=strict)
         if event is None or record.get("event") == event
     ]
 
 
-def iter_events(path: str) -> Iterator[Dict[str, Any]]:
-    """Stream a JSONL journal one decoded record at a time."""
+def iter_events(path: str, strict: bool = False) -> Iterator[Dict[str, Any]]:
+    """Stream a JSONL journal one decoded record at a time.
+
+    A journal left behind by a killed run typically ends in a truncated
+    line (the writer died mid-``write``). By default undecodable lines
+    are skipped with a :class:`TruncatedJournalWarning` so such journals
+    remain readable — the ``--resume`` ledger reader depends on this.
+    ``strict=True`` restores the raising behavior for consumers that
+    require a well-formed journal.
+    """
     with open(path, "r", encoding="utf-8") as stream:
-        for line in stream:
+        for number, line in enumerate(stream, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 yield json.loads(line)
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                warnings.warn(
+                    f"{path}:{number}: skipping undecodable journal line "
+                    f"(truncated by a crashed run?)",
+                    TruncatedJournalWarning,
+                    stacklevel=2,
+                )

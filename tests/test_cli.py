@@ -165,6 +165,34 @@ class TestSweep:
         assert len(ends) == 2
         assert ends[0]["job_id"] == ends[1]["job_id"]
 
+    def test_resume_replays_ledger_without_rerunning(self, capsys, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        base = [
+            "sweep", "--grid", "fig5-rpl", "--limit", "1", "--serial",
+            "--max-iterations", "200",
+        ]
+        assert main(base + ["--telemetry", journal]) == 0
+        capsys.readouterr()
+        # --resume doubles as the telemetry sink: the second run appends
+        # a sweep_resume marker, replays the finished job, runs nothing.
+        assert main(base + ["--resume", journal]) == 0
+        out = capsys.readouterr().out
+        assert "1 replayed from ledger" in out
+        from repro.runtime.telemetry import read_events
+
+        events = read_events(journal)
+        marker = max(
+            i for i, e in enumerate(events) if e["event"] == "sweep_resume"
+        )
+        assert not [e for e in events[marker:] if e["event"] == "job_start"]
+
+    def test_resume_flag_parses(self):
+        args = build_parser().parse_args(
+            ["sweep", "--grid", "fig5-rpl", "--resume", "ledger.jsonl"]
+        )
+        assert args.resume == "ledger.jsonl"
+        assert args.max_rebuilds == 3
+
 
 class TestTracing:
     def _phase_lines(self, out):

@@ -3,16 +3,26 @@
 Serial schedulers execute jobs in-process, sharing the module-level
 per-process oracle registry. That reuse is a feature for real sweeps
 (warm cache across runs) but couples tests to execution order, so each
-test starts from an empty registry.
+test starts from an empty registry (stores closed, not leaked) and with
+no fault plan armed.
 """
 
 import pytest
 
-from repro.runtime import worker
+from repro.runtime import faults, worker
 
 
 @pytest.fixture(autouse=True)
 def _fresh_process_oracles():
-    worker._PROCESS_ORACLES.clear()
+    worker.close_process_oracles()
+    worker._DEGRADED_STORES.clear()
     yield
-    worker._PROCESS_ORACLES.clear()
+    worker.close_process_oracles()
+    worker._DEGRADED_STORES.clear()
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan():
+    faults.uninstall_plan()
+    yield
+    faults.uninstall_plan()

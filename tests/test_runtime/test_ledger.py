@@ -1,0 +1,225 @@
+"""Run-ledger tests: resume semantics, replay equivalence, canonical records.
+
+The acceptance bar: a sweep killed after K jobs and resumed via the
+ledger re-runs only the unfinished jobs and produces records identical
+to an uninterrupted run modulo wall-clock fields.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.job import JobResult, JobSpec
+from repro.runtime.ledger import (
+    RUNTIME_FAILURES,
+    canonical_record,
+    completed_records,
+    load_ledger,
+    plan_resume,
+)
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.sweep import run_sweep
+from repro.runtime.telemetry import (
+    TelemetryLogger,
+    TruncatedJournalWarning,
+    read_events,
+)
+
+
+def _grid(n=3):
+    scenarios = ["complete", "only-iso", "only-decomp"]
+    return [
+        JobSpec(
+            "rpl",
+            sizes={"n_a": 1, "n_b": 0},
+            engine={"scenario": scenario, "max_iterations": 200},
+            label=f"ledger {scenario}",
+        )
+        for scenario in scenarios[:n]
+    ]
+
+
+def _run_clean(path):
+    """One uninterrupted serial sweep, journaled to ``path``."""
+    with TelemetryLogger(path) as telemetry:
+        scheduler = Scheduler(serial=True, use_cache=False, telemetry=telemetry)
+        return run_sweep(_grid(), scheduler=scheduler)
+
+
+def _truncate_after_jobs(journal, kept, out):
+    """Simulate a SIGKILL after ``kept`` jobs: keep events up to the
+    kept-th job_end, then a half-written line (died mid-``write``)."""
+    lines = []
+    ends = 0
+    for line in open(journal, encoding="utf-8"):
+        if ends >= kept:
+            break
+        lines.append(line)
+        if json.loads(line).get("event") == "job_end":
+            ends += 1
+    with open(out, "w", encoding="utf-8") as stream:
+        stream.writelines(lines)
+        stream.write('{"event": "job_end", "job_id": "c3a9, ')
+    return out
+
+
+class TestLoadLedger:
+    def test_last_record_per_job_wins(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with TelemetryLogger(path) as log:
+            log.emit("job_end", job_id="a", status="crashed")
+            log.emit("job_start", job_id="a")
+            log.emit("job_end", job_id="a", status="optimal", cost=5.0)
+        ledger = load_ledger(path)
+        assert ledger["a"]["status"] == "optimal"
+        assert "ts" not in ledger["a"] and "event" not in ledger["a"]
+
+    def test_completed_excludes_runtime_failures(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with TelemetryLogger(path) as log:
+            for job_id, status in [
+                ("ok", "optimal"),
+                ("inf", "infeasible"),
+                ("cap", "iteration_limit"),
+                ("tl", "time_limit"),
+                ("err", "error"),
+                ("dead", "crashed"),
+                ("slow", "timeout"),
+                ("halt", "cancelled"),
+            ]:
+                log.emit("job_end", job_id=job_id, status=status)
+        done = completed_records(path)
+        assert set(done) == {"ok", "inf", "cap", "tl"}
+        assert not set(done) & {s for s in RUNTIME_FAILURES}
+
+    def test_tolerates_truncated_tail(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write('{"event": "job_end", "job_id": "a", "status": "optimal"}\n')
+            stream.write('{"event": "job_end", "job_id":')
+        with pytest.warns(TruncatedJournalWarning):
+            assert set(load_ledger(path)) == {"a"}
+
+
+class TestPlanResume:
+    def test_splits_grid_and_ignores_foreign_entries(self):
+        specs = _grid()
+        completed = {
+            specs[0].job_id: {"job_id": specs[0].job_id, "status": "optimal"},
+            "not-in-this-grid": {"job_id": "not-in-this-grid", "status": "optimal"},
+        }
+        todo, replay = plan_resume(specs, completed)
+        assert [s.job_id for s in todo] == [s.job_id for s in specs[1:]]
+        assert set(replay) == {specs[0].job_id}
+
+
+class TestResumeEquivalence:
+    """The pinned acceptance criterion for the durable ledger."""
+
+    def test_killed_sweep_resumes_only_unfinished_jobs(self, tmp_path):
+        clean_journal = str(tmp_path / "clean.jsonl")
+        golden = _run_clean(clean_journal)
+        assert all(r.status == "optimal" for r in golden.results)
+
+        # Kill after 1 of 3 jobs (with a torn final line), then resume.
+        ledger = _truncate_after_jobs(
+            clean_journal, kept=1, out=str(tmp_path / "killed.jsonl")
+        )
+        with pytest.warns(TruncatedJournalWarning):
+            with TelemetryLogger(ledger) as telemetry:
+                scheduler = Scheduler(
+                    serial=True, use_cache=False, telemetry=telemetry
+                )
+                resumed = run_sweep(_grid(), scheduler=scheduler, resume=ledger)
+
+        assert resumed.replayed == 1
+        # Only the 2 unfinished jobs executed in the resumed run. (The
+        # torn line is still in the journal, hence the warning.)
+        with pytest.warns(TruncatedJournalWarning):
+            events = read_events(ledger)
+        marker = [i for i, e in enumerate(events) if e["event"] == "sweep_resume"]
+        assert len(marker) == 1
+        after = events[marker[0]:]
+        started = [e["job_id"] for e in after if e["event"] == "job_start"]
+        expected = [s.job_id for s in _grid()[1:]]
+        assert started == expected
+
+        # Replayed + fresh records == uninterrupted records, modulo
+        # wall-clock fields, in grid order.
+        resumed_rows = [canonical_record(r) for r in resumed.records]
+        golden_rows = [canonical_record(r) for r in golden.records]
+        assert resumed_rows == golden_rows
+
+    def test_fully_complete_ledger_runs_nothing(self, tmp_path):
+        journal = str(tmp_path / "done.jsonl")
+        golden = _run_clean(journal)
+        with TelemetryLogger(journal) as telemetry:
+            scheduler = Scheduler(serial=True, use_cache=False, telemetry=telemetry)
+            resumed = run_sweep(_grid(), scheduler=scheduler, resume=journal)
+        assert resumed.replayed == len(_grid())
+        events = read_events(journal)
+        marker = max(
+            i for i, e in enumerate(events) if e["event"] == "sweep_resume"
+        )
+        assert not [
+            e for e in events[marker:] if e["event"] == "job_start"
+        ]
+        assert [canonical_record(r) for r in resumed.records] == [
+            canonical_record(r) for r in golden.records
+        ]
+
+    def test_failed_jobs_are_rerun_on_resume(self, tmp_path):
+        journal = str(tmp_path / "failed.jsonl")
+        specs = _grid(2)
+        with TelemetryLogger(journal) as log:
+            log.emit(
+                "job_end",
+                **JobResult(
+                    specs[0].job_id, specs[0], "timeout", attempts=2
+                ).to_dict(),
+            )
+        with TelemetryLogger(journal) as telemetry:
+            scheduler = Scheduler(serial=True, use_cache=False, telemetry=telemetry)
+            resumed = run_sweep(specs, scheduler=scheduler, resume=journal)
+        assert resumed.replayed == 0  # a timeout is an incident, not a result
+        assert all(r.status == "optimal" for r in resumed.results)
+
+    def test_job_ids_stable_across_grid_rebuilds(self):
+        # The whole ledger scheme rests on content-addressed ids: the
+        # same grid built twice must produce the same join keys.
+        assert [s.job_id for s in _grid()] == [s.job_id for s in _grid()]
+
+
+class TestCanonicalRecord:
+    def test_strips_volatile_keeps_trajectory(self):
+        spec = _grid(1)[0]
+        record = JobResult(
+            spec.job_id,
+            spec,
+            "optimal",
+            cost=42.0,
+            selected={"x": "impl_a"},
+            stats={
+                "num_iterations": 3,
+                "total_time": 1.23,
+                "milp_time": 0.5,
+                "oracle_cache": {"hits": 7},
+                "iterations": [
+                    {"index": 1, "milp_time": 0.1, "cuts_added": 2},
+                ],
+            },
+            cache={"hits": 9},
+            attempts=2,
+            duration=9.9,
+        ).to_dict()
+        canonical = canonical_record(record)
+        assert canonical["cost"] == 42.0
+        assert canonical["selected"] == {"x": "impl_a"}
+        assert canonical["stats"]["num_iterations"] == 3
+        assert canonical["stats"]["iterations"] == [
+            {"index": 1, "cuts_added": 2}
+        ]
+        for gone in ("duration", "attempts", "cache"):
+            assert gone not in canonical
+        for gone in ("total_time", "milp_time", "oracle_cache"):
+            assert gone not in canonical["stats"]

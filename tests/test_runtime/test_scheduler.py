@@ -2,13 +2,15 @@
 
 import concurrent.futures
 import io
+import json
+import time
 
 import pytest
 
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.runtime.job import JobSpec
-from repro.runtime.scheduler import Scheduler, default_workers
+from repro.runtime.scheduler import Scheduler, _Pending, default_workers
 from repro.runtime.telemetry import TelemetryLogger
 
 
@@ -115,6 +117,79 @@ class TestRetry:
         assert results[0].status == "crashed"
         assert results[0].attempts == 2
         assert "worker died" in results[0].error
+
+
+class TestBrokenBatchHarvest:
+    """A pool break must not discard results that completed alongside it."""
+
+    def test_completed_future_in_broken_batch_is_not_rerun(self, monkeypatch):
+        # Submission 1 dies like a crashed worker, submission 2 (same
+        # poll batch, one-worker buffer) completes. The finished job
+        # must be harvested — not re-enqueued by the rebuild — so it
+        # runs exactly once.
+        specs = _tiny_specs(2)
+        stream = io.StringIO()
+        scheduler = Scheduler(
+            max_workers=1,
+            retries=1,
+            use_cache=False,
+            telemetry=TelemetryLogger(stream),
+            backoff_base=0.01,
+            poll_interval=0.05,
+        )
+        executor = _FakeExecutor(crashes=1)
+        monkeypatch.setattr(scheduler, "_new_executor", lambda: executor)
+        results = scheduler.run(specs)
+        assert [r.status for r in results] == ["optimal", "optimal"]
+        # 3 submissions: crash, batch-mate, retry of the crash. The old
+        # break-on-first-broken loop re-ran the batch-mate (4th).
+        assert executor.submitted == 3
+        events = [
+            json.loads(line) for line in stream.getvalue().splitlines() if line
+        ]
+        starts = [e["job_id"] for e in events if e["event"] == "job_start"]
+        ends = [e["job_id"] for e in events if e["event"] == "job_end"]
+        assert starts.count(specs[1].job_id) == 1  # never re-submitted
+        assert ends.count(specs[1].job_id) == 1  # job_end not double-emitted
+        assert starts.count(specs[0].job_id) == 2  # crash + retry
+
+
+class TestTimeoutClock:
+    """The deadline clock starts when a job runs, not when it queues."""
+
+    def _scheduler(self):
+        return Scheduler(
+            max_workers=1, timeout=0.05, timeout_grace=0.05, use_cache=False
+        )
+
+    def test_queued_never_started_job_is_not_expired(self):
+        # Regression: with 2x-buffered submissions a job can sit queued
+        # behind busy workers long past the deadline without ever
+        # executing — it must not be reported 'timeout'.
+        scheduler = self._scheduler()
+        future = concurrent.futures.Future()  # pending: running() is False
+        pending = _Pending(_tiny_specs(1)[0], 1)
+        pending.submitted = time.perf_counter() - 10.0  # queued "forever"
+        futures, by_id = {future: pending}, {}
+        scheduler._note_running(futures)
+        assert pending.started_at is None
+        scheduler._expire_timeouts(futures, by_id)
+        assert not by_id and future in futures
+
+    def test_running_job_past_deadline_is_expired(self):
+        scheduler = self._scheduler()
+        future = concurrent.futures.Future()
+        assert future.set_running_or_notify_cancel()
+        pending = _Pending(_tiny_specs(1)[0], 1)
+        futures, by_id = {future: pending}, {}
+        scheduler._note_running(futures)
+        assert pending.started_at is not None
+        pending.started_at -= 10.0  # ran past timeout + grace long ago
+        scheduler._expire_timeouts(futures, by_id)
+        assert not futures
+        (result,) = by_id.values()
+        assert result.status == "timeout"
+        assert "backstop" in result.error
 
 
 class TestTimeout:

@@ -3,9 +3,12 @@
 import io
 import json
 
+import pytest
+
 from repro.runtime.telemetry import (
     NullTelemetry,
     TelemetryLogger,
+    TruncatedJournalWarning,
     iter_events,
     read_events,
 )
@@ -47,6 +50,49 @@ class TestLogger:
         path = tmp_path / "events.jsonl"
         path.write_text('{"event": "x", "ts": 1}\n\n\n{"event": "y", "ts": 2}\n')
         assert [e["event"] for e in read_events(str(path))] == ["x", "y"]
+
+
+class TestTruncatedJournal:
+    """A killed run's half-written final line must not break readers."""
+
+    def _truncated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"event": "job_end", "job_id": "a", "status": "optimal"}\n'
+            '{"event": "job_end", "job_id": "b", "sta'  # killed mid-write
+        )
+        return str(path)
+
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path):
+        path = self._truncated(tmp_path)
+        with pytest.warns(TruncatedJournalWarning):
+            events = read_events(path)
+        assert [e["job_id"] for e in events] == ["a"]
+
+    def test_strict_mode_raises(self, tmp_path):
+        path = self._truncated(tmp_path)
+        with pytest.raises(json.JSONDecodeError):
+            list(iter_events(path, strict=True))
+
+    def test_append_after_torn_tail_starts_fresh_line(self, tmp_path):
+        # Appending to a killed run's journal must not fuse the first
+        # new event into the truncated line (that would lose both).
+        path = self._truncated(tmp_path)
+        with TelemetryLogger(path) as logger:
+            logger.emit("sweep_resume", journal=path)
+        with pytest.warns(TruncatedJournalWarning):
+            events = read_events(path)
+        assert [e["event"] for e in events] == ["job_end", "sweep_resume"]
+
+    def test_well_formed_journal_emits_no_warning(self, tmp_path, recwarn):
+        path = str(tmp_path / "events.jsonl")
+        with TelemetryLogger(path) as logger:
+            logger.emit("sweep_start", jobs=1)
+        assert read_events(path)
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, TruncatedJournalWarning)
+        ]
 
 
 class TestNullTelemetry:
