@@ -92,9 +92,28 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "processes (results are bit-identical to --workers 1)",
     )
     parser.add_argument(
+        "--incremental",
+        dest="no_incremental",
+        action="store_false",
+        default=False,
+        help="enable incremental re-use across iterations (persistent "
+        "solver session + dependency-sliced verification carrying); "
+        "this is the default",
+    )
+    parser.add_argument(
         "--no-incremental",
+        dest="no_incremental",
         action="store_true",
-        help="disable the persistent solver session (stateless re-solves)",
+        default=False,
+        help="disable incremental re-use: stateless solver re-solves and "
+        "from-scratch verification of every (viewpoint, path) pair",
+    )
+    parser.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race/route refinement queries across MILP backends per "
+        "query class (first sound answer wins; results are "
+        "bit-identical to a single backend)",
     )
     parser.add_argument(
         "--no-multicut",
@@ -161,6 +180,7 @@ def _make_explorer(
         max_iterations=args.max_iterations,
         time_limit=args.time_limit,
         incremental=not getattr(args, "no_incremental", False),
+        portfolio=getattr(args, "portfolio", False),
         multicut=not getattr(args, "no_multicut", False),
         profile=getattr(args, "profile", False),
         workers=getattr(args, "workers", 1),
@@ -381,6 +401,12 @@ def _cmd_table2(args) -> int:
     rows = []
     records = []
     tracer = _make_tracer(args)
+    # The portfolio rides as an engine override: it changes only how
+    # fast queries are answered, never the answers, so the per-scenario
+    # job ids (and hence telemetry joins) stay stable with or without it.
+    overrides = (
+        {"portfolio": True} if getattr(args, "portfolio", False) else None
+    )
     try:
         for name in ("only-iso", "only-decomp", "complete"):
             engine = {
@@ -391,13 +417,20 @@ def _cmd_table2(args) -> int:
             }
             if args.workers != 1:
                 engine["workers"] = args.workers
+            if getattr(args, "no_incremental", False):
+                # A non-default lever that may legitimately change the
+                # cut trajectory (solver-state tie-breaking), so it is
+                # part of the spec — mirroring the case-study commands.
+                engine["incremental"] = False
             spec = JobSpec(
                 "epn",
                 sizes={"left": args.left, "right": args.right, "apu": args.apu},
                 engine=engine,
             )
             started = time.perf_counter()
-            result = spec.make_explorer(tracer=tracer).explore()
+            result = spec.make_explorer(
+                tracer=tracer, engine_overrides=overrides
+            ).explore()
             records.append(
                 JobResult.from_exploration(
                     spec, result, duration=time.perf_counter() - started
@@ -469,6 +502,7 @@ def _cmd_sweep(args) -> int:
         serial=args.serial,
         tracer=tracer,
         max_rebuilds=args.max_rebuilds,
+        portfolio=args.portfolio,
     )
     try:
         report = run_sweep(specs, scheduler=scheduler, resume=args.resume)
@@ -543,6 +577,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-run verification pool size for every scenario",
     )
     t2_cmd.add_argument(
+        "--incremental",
+        dest="no_incremental",
+        action="store_false",
+        default=False,
+        help="enable incremental re-use across iterations (the default)",
+    )
+    t2_cmd.add_argument(
+        "--no-incremental",
+        dest="no_incremental",
+        action="store_true",
+        default=False,
+        help="disable the solver session and verification carrying",
+    )
+    t2_cmd.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race/route refinement queries across MILP backends",
+    )
+    t2_cmd.add_argument(
         "--json",
         action="store_true",
         help="print the machine-readable per-scenario records",
@@ -574,6 +627,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.add_argument(
         "--cache", metavar="FILE", help="shared on-disk SQLite oracle cache"
+    )
+    sweep_cmd.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race/route refinement queries across MILP backends in "
+        "every job (results unchanged; with --cache the per-class "
+        "win statistics persist beside the oracle cache)",
     )
     sweep_cmd.add_argument(
         "--no-cache", action="store_true", help="disable the oracle cache"

@@ -102,6 +102,9 @@ class ContrArcExplorer:
         matcher: str = "native",
         oracle=None,
         incremental: bool = True,
+        incremental_verify: Optional[bool] = None,
+        portfolio: bool = False,
+        portfolio_state: Optional[str] = None,
         multicut: bool = True,
         profile: bool = False,
         workers: int = 1,
@@ -118,6 +121,13 @@ class ContrArcExplorer:
         #: instance / warm-started native branch-and-bound). Results are
         #: identical either way; see repro.solver.session.
         self.incremental = incremental
+        #: Dependency-sliced verification carrying (see
+        #: :mod:`repro.explore.incremental`). Defaults to following
+        #: ``incremental`` — the two reuse levers ship as one flag at
+        #: the CLI — but is independently overridable for A/B runs.
+        self.incremental_verify = (
+            incremental if incremental_verify is None else incremental_verify
+        )
         #: Turn *every* violated (viewpoint, path) of a candidate into
         #: certificates at once instead of only the first — fewer MILP
         #: re-solves for the same final cut set.
@@ -165,6 +175,19 @@ class ContrArcExplorer:
             checker_oracle = OracleCache()
         else:
             checker_oracle = oracle
+        #: Optional :class:`repro.solver.portfolio.SolverPortfolio`. It
+        #: wraps the checker oracle behind the same ``sat_query`` seam:
+        #: refinement answers move to the portfolio's own cache
+        #: namespace and missing queries are routed to each class's
+        #: historically faster backend or raced native-vs-scipy.
+        self.portfolio = None
+        if portfolio:
+            from repro.solver.portfolio import SolverPortfolio
+
+            self.portfolio = SolverPortfolio(
+                inner=checker_oracle, state_path=portfolio_state
+            )
+            checker_oracle = self.portfolio
         checker_cls = (
             ParallelRefinementChecker if workers > 1 else RefinementChecker
         )
@@ -175,8 +198,10 @@ class ContrArcExplorer:
             decompose=use_decomposition,
             check_assumptions=check_assumptions,
             oracle=checker_oracle,
+            incremental=self.incremental_verify,
         )
         self.checker.tracer = tracer
+        self.checker.portfolio = self.portfolio
 
     # -- main loop -------------------------------------------------------------
 
@@ -252,6 +277,10 @@ class ContrArcExplorer:
             if profiler is not None:
                 profiler.count("embedding_cache_hits", embedding_cache.hits)
                 profiler.count("embedding_cache_misses", embedding_cache.misses)
+            if self.portfolio is not None:
+                stats.portfolio = self.portfolio.summary()
+                self.portfolio.save()
+            if profiler is not None:
                 if self.profile:
                     stats.phase_profile = profiler.report()
             if run_span is not None:
@@ -268,11 +297,21 @@ class ContrArcExplorer:
         # fan out per candidate. Only the native matcher supports
         # root-partitioned enumeration.
         pool = None
+        race_pool = None
         if self.workers > 1:
             from repro.runtime.pool import WorkerPool
 
             pool = WorkerPool(self.workers, profiler=profiler, tracer=tracer)
             self.checker.bind(pool, profiler)
+        if self.portfolio is not None:
+            if pool is None:
+                # Serial run with a portfolio: racing still needs two
+                # processes. The pool is lazy (no executor until the
+                # first race), so a fully-routed run never pays for it.
+                from repro.runtime.pool import WorkerPool
+
+                race_pool = WorkerPool(2, profiler=profiler)
+            self.portfolio.bind(pool if pool is not None else race_pool, profiler)
         embed_pool = pool if self.matcher == "native" else None
         try:
             return self._explore_loop(
@@ -293,6 +332,10 @@ class ContrArcExplorer:
             if pool is not None:
                 self.checker.bind(None)
                 pool.close()
+            if race_pool is not None:
+                race_pool.close()
+            if self.portfolio is not None:
+                self.portfolio.bind(None)
             if run_span is not None:
                 tracer.end_span(run_span)
 
@@ -369,6 +412,18 @@ class ContrArcExplorer:
                 else:
                     violations = self._violations(candidate)
                 record.refinement_time = time.perf_counter() - t0
+                provenance = self.checker.last_provenance
+                if provenance is not None:
+                    record.verification = dict(provenance)
+                    if iter_span is not None:
+                        iter_span.attrs["carried"] = provenance["carried"]
+                    if profiler is not None:
+                        profiler.count("verify_checks", provenance["checks"])
+                        profiler.count("verify_verified", provenance["verified"])
+                        profiler.count(
+                            "verify_cache_hit", provenance["cache_hit"]
+                        )
+                        profiler.count("verify_carried", provenance["carried"])
 
                 if not violations:
                     stats.record(record)

@@ -23,6 +23,18 @@ same plan eagerly:
 4. reassemble :class:`RefinementResult`s in plan order and yield
    violations exactly where the serial checker would.
 
+With dependency-sliced carrying enabled (``incremental=True``, see
+:mod:`repro.explore.incremental`) only the entries whose dependency
+slice changed since the previous candidate are materialized and
+batched; carried entries skip substitution, hashing and the oracle
+round-trip entirely, and the per-entry ``refinement_check`` spans keep
+their global plan index so serial and parallel traces stay aligned.
+
+With a :class:`repro.solver.portfolio.SolverPortfolio` attached (the
+engine sets ``self.portfolio``), cache keys move to the portfolio's
+backend namespace and the missing queries are routed or raced per
+query class instead of being chunk-dispatched on one backend.
+
 Determinism: queries are solved by pure workers and gathered by plan
 index, so statuses, witnesses, violation order, and therefore cuts,
 costs and iteration counts are bit-identical to serial execution
@@ -38,10 +50,18 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.arch.architecture import CandidateArchitecture
+from repro.contracts.contract import Contract
 from repro.contracts.refinement import (
     RefinementResult,
     check_refinement,
     refinement_queries,
+)
+from repro.explore.incremental import (
+    CACHE_HIT,
+    CARRIED,
+    VERIFIED,
+    index_by_name,
+    new_counts,
 )
 from repro.explore.refinement_check import (
     RefinementChecker,
@@ -57,14 +77,22 @@ from repro.solver.feasibility import SatResult, check_sat
 class _PlannedQuery:
     """One satisfiability query of one plan entry, with cache identity."""
 
-    __slots__ = ("failure", "formula", "key")
+    __slots__ = ("failure", "formula", "key", "viewpoint")
 
-    def __init__(self, failure, formula: Formula, key: Optional[str]) -> None:
+    def __init__(
+        self,
+        failure,
+        formula: Formula,
+        key: Optional[str],
+        viewpoint: str = "",
+    ) -> None:
         self.failure = failure
         self.formula = formula
         #: ``None`` when the formula cannot be keyed safely (duplicate
         #: variable names) — solved in-parent exactly like serial.
         self.key = key
+        #: Originating viewpoint name (portfolio classification).
+        self.viewpoint = viewpoint
 
 
 class ParallelRefinementChecker(RefinementChecker):
@@ -81,6 +109,10 @@ class ParallelRefinementChecker(RefinementChecker):
         super().__init__(*args, **kwargs)
         self.pool = None
         self.profiler = None
+        #: Optional :class:`repro.solver.portfolio.SolverPortfolio`
+        #: (set by the engine alongside ``oracle``); changes the cache
+        #: namespace and how missing queries are dispatched.
+        self.portfolio = None
 
     def bind(self, pool, profiler=None) -> None:
         """Attach the run-scoped worker pool (and profiler)."""
@@ -95,18 +127,82 @@ class ParallelRefinementChecker(RefinementChecker):
         if self.pool is None:
             yield from super()._iter_violations(candidate)
             return
-        plan = self.candidate_plan(candidate)
-        results = self._solve_plan(plan)
-        for check, result in zip(plan, results):
-            if not result:
-                yield self.violation_for(candidate, check, result)
+        if self.delta is None:
+            self.last_provenance = None
+            plan = self.candidate_plan(candidate)
+            results = self._solve_plan(plan)
+            for check, result in zip(plan, results):
+                if not result:
+                    yield self.violation_for(candidate, check, result)
+            return
+        yield from self._iter_violations_incremental_pooled(candidate)
+
+    def _iter_violations_incremental_pooled(
+        self, candidate: CandidateArchitecture
+    ) -> Iterator[Violation]:
+        """Dependency-sliced batch walk: only fresh entries hit the pool."""
+        assignment, paths, entries = self.plan_outline(candidate)
+        values = index_by_name(assignment)
+        counts = new_counts(len(entries))
+        results: List[Optional[RefinementResult]] = [None] * len(entries)
+        provenance: List[str] = [""] * len(entries)
+        committed: Dict[tuple, tuple] = {}
+        fingerprints = [
+            self.slicer.fingerprint(entry, values, paths) for entry in entries
+        ]
+
+        fresh: List[int] = []
+        for index, entry in enumerate(entries):
+            prior = self.delta.match(entry.pair_id, fingerprints[index])
+            if prior is not None:
+                results[index] = prior
+                provenance[index] = CARRIED
+            else:
+                fresh.append(index)
+
+        memo: Dict[tuple, Contract] = {}
+        checks = [
+            self.materialize(entries[index], assignment, paths, memo)
+            for index in fresh
+        ]
+        queries = self._expand_plan(checks)
+        fresh_results, hit_keys = self._resolve_queries(
+            [query for planned in queries for query in planned], queries
+        )
+        for position, index in enumerate(fresh):
+            results[index] = fresh_results[position]
+            planned = queries[position]
+            provenance[index] = (
+                CACHE_HIT
+                if planned and all(query.key in hit_keys for query in planned)
+                else VERIFIED
+            )
+
+        tracer = self.tracer
+        for index, entry in enumerate(entries):
+            counts[provenance[index]] += 1
+            committed[entry.pair_id] = (fingerprints[index], results[index])
+            if tracer is not None:
+                with tracer.span(
+                    "refinement_check",
+                    seq=index,
+                    **self._entry_attrs(entry),
+                ) as span:
+                    span.attrs["holds"] = bool(results[index])
+                    span.attrs["provenance"] = provenance[index]
+                    span.attrs["cache_hit"] = provenance[index] == CACHE_HIT
+        self.delta.commit(committed)
+        self.last_provenance = counts
+        for index, entry in enumerate(entries):
+            if not results[index]:
+                yield self.violation_for_entry(candidate, entry, results[index])
 
     # -- batched evaluation ------------------------------------------------------
 
-    def _solve_plan(
+    def _expand_plan(
         self, plan: List[RefinementCheck]
-    ) -> List[RefinementResult]:
-        """Evaluate every plan entry; results in plan order."""
+    ) -> List[List[_PlannedQuery]]:
+        """Expand checks into keyed satisfiability queries, per entry."""
         queries: List[List[_PlannedQuery]] = []
         for check in plan:
             planned: List[_PlannedQuery] = []
@@ -117,25 +213,24 @@ class ParallelRefinementChecker(RefinementChecker):
                 saturate_concrete=False,
             ):
                 planned.append(
-                    _PlannedQuery(failure, formula, self._query_key(formula))
+                    _PlannedQuery(
+                        failure,
+                        formula,
+                        self._query_key(formula),
+                        viewpoint=check.spec.name,
+                    )
                 )
             queries.append(planned)
+        return queries
 
-        answers, hit_keys = self._resolve_queries(
-            [query for planned in queries for query in planned]
+    def _solve_plan(
+        self, plan: List[RefinementCheck]
+    ) -> List[RefinementResult]:
+        """Evaluate every plan entry; results in plan order."""
+        queries = self._expand_plan(plan)
+        results, hit_keys = self._resolve_queries(
+            [query for planned in queries for query in planned], queries
         )
-
-        results: List[RefinementResult] = []
-        for planned in queries:
-            result = RefinementResult(True)
-            for query in planned:
-                sat = answers[id(query)]
-                if sat:
-                    result = RefinementResult(
-                        False, query.failure, sat.assignment
-                    )
-                    break
-            results.append(result)
 
         # Structural parity with the serial walk: one refinement_check
         # span per plan entry, same seq (plan index) hence same id. The
@@ -162,16 +257,42 @@ class ParallelRefinementChecker(RefinementChecker):
             # Duplicate names would make a by-name witness ambiguous —
             # mirror OracleCache.sat_query's uncacheable path.
             return None
-        return formula_key(formula, backend=self.backend, default_big_m=None)
+        backend = (
+            self.portfolio.cache_backend
+            if self.portfolio is not None
+            else self.backend
+        )
+        return formula_key(formula, backend=backend, default_big_m=None)
 
     def _resolve_queries(
+        self,
+        queries: List[_PlannedQuery],
+        per_entry: List[List[_PlannedQuery]],
+    ) -> Tuple[List[RefinementResult], set]:
+        """Answer every query and fold answers back into entry results.
+
+        Returns per-entry :class:`RefinementResult`s (in ``per_entry``
+        order) plus the set of keys served from the oracle without a
+        dispatch (the trace's cache_hit attribute).
+        """
+        answers, hit_keys = self._answer_queries(queries)
+        results: List[RefinementResult] = []
+        for planned in per_entry:
+            result = RefinementResult(True)
+            for query in planned:
+                sat = answers[id(query)]
+                if sat:
+                    result = RefinementResult(
+                        False, query.failure, sat.assignment
+                    )
+                    break
+            results.append(result)
+        return results, hit_keys
+
+    def _answer_queries(
         self, queries: List[_PlannedQuery]
     ) -> Tuple[Dict[int, SatResult], set]:
-        """Answer every query: oracle batch -> pool fan-out -> decode.
-
-        Returns the per-query answers plus the set of keys served from
-        the oracle without a dispatch (the trace's cache_hit attribute).
-        """
+        """Answer every query: oracle batch -> pool fan-out -> decode."""
         profiler = self.profiler
         if profiler is not None and queries:
             profiler.count("refinement_queries", len(queries))
@@ -205,9 +326,7 @@ class ParallelRefinementChecker(RefinementChecker):
         # first-appearance order so dispatch is deterministic.
         missing = [key for key in keyed if key not in cached]
         if missing:
-            computed = self._dispatch(
-                [keyed[key][0].formula for key in missing]
-            )
+            computed = self._dispatch([keyed[key][0] for key in missing])
             fresh = dict(zip(missing, computed))
             if self.oracle is not None:
                 self.oracle.put_many(fresh)
@@ -221,16 +340,27 @@ class ParallelRefinementChecker(RefinementChecker):
                 answers[id(query)] = decode_sat_result(query.formula, value)
         return answers, hit_keys
 
-    def _dispatch(self, formulas: List[Formula]) -> List[Dict[str, Any]]:
-        """Solve the distinct missing formulas over the pool, in order.
+    def _dispatch(
+        self, queries: List[_PlannedQuery]
+    ) -> List[Dict[str, Any]]:
+        """Solve the distinct missing queries over the pool, in order.
 
-        Payloads are contiguous chunks (at most two per worker) so the
-        per-task IPC overhead amortizes over several small MILP solves.
-        When traced, each payload carries the *global* missing-list
-        indices of its queries as span seqs — the missing list's order
-        is chunking-independent, so worker sat_query span ids are stable
-        across worker counts.
+        With a portfolio attached, each query is routed to its class's
+        historically faster backend (batched per backend) or raced
+        native-vs-scipy through the pool; otherwise payloads are
+        contiguous chunks (at most two per worker) on the configured
+        backend so the per-task IPC overhead amortizes over several
+        small MILP solves. When traced, each payload carries the
+        *global* missing-list indices of its queries as span seqs — the
+        missing list's order is chunking-independent, so worker
+        sat_query span ids are stable across worker counts.
         """
+        if self.portfolio is not None:
+            return self.portfolio.solve_encoded_batch(
+                [(query.formula, query.viewpoint) for query in queries],
+                pool=self.pool,
+            )
+        formulas = [query.formula for query in queries]
         chunks = max(1, min(len(formulas), self.pool.workers * 2))
         size = -(-len(formulas) // chunks)
         payloads = []

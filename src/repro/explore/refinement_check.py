@@ -23,6 +23,7 @@ plan order, so both report identical violations in identical order.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.arch.architecture import CandidateArchitecture, SubArchitecture
@@ -33,6 +34,16 @@ from repro.contracts.refinement import RefinementResult, check_refinement
 from repro.contracts.viewpoints import Viewpoint
 from repro.expr.constraints import conjunction
 from repro.expr.terms import Var
+from repro.explore.incremental import (
+    CACHE_HIT,
+    CARRIED,
+    VERIFIED,
+    DependencySlicer,
+    IterationDelta,
+    PlanEntry,
+    index_by_name,
+    new_counts,
+)
 from repro.graph.paths import all_source_sink_paths
 from repro.spec.base import Specification, ViewpointSpec
 
@@ -95,6 +106,7 @@ class RefinementChecker:
         decompose: bool = True,
         check_assumptions: bool = False,
         oracle=None,
+        incremental: bool = False,
     ) -> None:
         self.mapping_template = mapping_template
         self.specification = specification
@@ -118,6 +130,20 @@ class RefinementChecker:
         # unsubstituted contracts across iterations.
         self._component_cache: Dict[tuple, Contract] = {}
         self._system_cache: Dict[tuple, Contract] = {}
+        #: Dependency-sliced carrying (see repro.explore.incremental):
+        #: with ``incremental=True`` the checker fingerprints every plan
+        #: entry and skips pairs whose dependency slice is unchanged
+        #: from the previous candidate, carrying the verdict forward.
+        self.delta: Optional[IterationDelta] = (
+            IterationDelta() if incremental else None
+        )
+        self.slicer: Optional[DependencySlicer] = (
+            DependencySlicer(self) if incremental else None
+        )
+        #: Per-entry provenance tally of the most recent candidate
+        #: (``None`` outside incremental mode): ``{"checks": n,
+        #: "verified": ..., "cache_hit": ..., "carried": ...}``.
+        self.last_provenance: Optional[Dict[str, int]] = None
 
     # -- public API ------------------------------------------------------------
 
@@ -138,6 +164,10 @@ class RefinementChecker:
     def _iter_violations(
         self, candidate: CandidateArchitecture
     ) -> "Iterator[Violation]":
+        if self.delta is not None:
+            yield from self._iter_violations_incremental(candidate)
+            return
+        self.last_provenance = None
         tracer = self.tracer
         for index, check in enumerate(self.candidate_plan(candidate)):
             span = None
@@ -149,14 +179,7 @@ class RefinementChecker:
                 )
                 hits_before = self.oracle.stats.hits if self.oracle else 0
             try:
-                result = check_refinement(
-                    check.composed,
-                    check.system,
-                    backend=self.backend,
-                    check_assumptions=self.check_assumptions,
-                    saturate_concrete=False,
-                    oracle=self.oracle,
-                )
+                result = self._check_entry(check)
                 if span is not None:
                     span.attrs["holds"] = bool(result)
             finally:
@@ -169,6 +192,97 @@ class RefinementChecker:
             if not result:
                 yield self.violation_for(candidate, check, result)
 
+    def _iter_violations_incremental(
+        self, candidate: CandidateArchitecture
+    ) -> "Iterator[Violation]":
+        """The dependency-sliced walk: carry unchanged pairs forward.
+
+        Evaluated eagerly (every entry decided before the first
+        violation is yielded): the delta must learn the fingerprint of
+        *every* pair to carry it into the next candidate, so a lazy
+        short-circuit would forfeit exactly the reuse this mode exists
+        for. Verdicts, violation order and cuts are identical to the
+        lazy walk either way.
+        """
+        assignment, paths, entries = self.plan_outline(candidate)
+        values = index_by_name(assignment)
+        memo: Dict[tuple, Contract] = {}
+        committed: Dict[tuple, tuple] = {}
+        counts = new_counts(len(entries))
+        failed: List[Tuple[PlanEntry, RefinementResult]] = []
+        tracer = self.tracer
+        for index, entry in enumerate(entries):
+            fingerprint = self.slicer.fingerprint(entry, values, paths)
+            prior = self.delta.match(entry.pair_id, fingerprint)
+            span = None
+            if tracer is not None:
+                span = tracer.start_span(
+                    "refinement_check",
+                    seq=index,
+                    attrs=self._entry_attrs(entry),
+                )
+            try:
+                if prior is not None:
+                    result = prior
+                    provenance = CARRIED
+                else:
+                    check = self.materialize(entry, assignment, paths, memo)
+                    before = self._oracle_progress()
+                    result = self._check_entry(check)
+                    provenance = (
+                        CACHE_HIT if self._all_hits_since(before) else VERIFIED
+                    )
+                counts[provenance] += 1
+                if span is not None:
+                    span.attrs["holds"] = bool(result)
+                    span.attrs["provenance"] = provenance
+                    span.attrs["cache_hit"] = provenance == CACHE_HIT
+            finally:
+                if span is not None:
+                    tracer.end_span(span)
+            committed[entry.pair_id] = (fingerprint, result)
+            if not result:
+                failed.append((entry, result))
+        self.delta.commit(committed)
+        self.last_provenance = counts
+        for entry, result in failed:
+            yield self.violation_for_entry(candidate, entry, result)
+
+    def _check_entry(self, check: "RefinementCheck") -> RefinementResult:
+        """Decide one materialized plan entry through the oracle seam."""
+        with self._classify_hint(check.spec):
+            return check_refinement(
+                check.composed,
+                check.system,
+                backend=self.backend,
+                check_assumptions=self.check_assumptions,
+                saturate_concrete=False,
+                oracle=self.oracle,
+            )
+
+    def _classify_hint(self, spec: ViewpointSpec):
+        """Portfolio classification context, when the oracle is one.
+
+        A :class:`repro.solver.portfolio.SolverPortfolio` sits behind
+        the same ``sat_query`` seam as the cache but routes per query
+        class; the hint tells it which viewpoint the next queries
+        belong to. Plain oracles have no ``hint`` and get a no-op.
+        """
+        hint = getattr(self.oracle, "hint", None)
+        if hint is None:
+            return nullcontext()
+        return hint(spec.name)
+
+    def _oracle_progress(self) -> Tuple[int, int]:
+        if self.oracle is None:
+            return (0, 0)
+        stats = self.oracle.stats
+        return (stats.misses, stats.uncacheable)
+
+    def _all_hits_since(self, before: Tuple[int, int]) -> bool:
+        """True when every query since ``before`` was served from cache."""
+        return self.oracle is not None and self._oracle_progress() == before
+
     @staticmethod
     def _check_attrs(check: "RefinementCheck") -> Dict[str, object]:
         """The span attributes identifying one plan entry."""
@@ -177,69 +291,122 @@ class RefinementChecker:
             "path": "->".join(check.path) if check.path else None,
         }
 
+    @staticmethod
+    def _entry_attrs(entry: PlanEntry) -> Dict[str, object]:
+        """Span attributes of an outline entry (same shape as a check's)."""
+        return {
+            "viewpoint": entry.spec.name,
+            "path": "->".join(entry.path) if entry.path else None,
+        }
+
     # -- the verification plan ---------------------------------------------------
 
-    def candidate_plan(
+    def plan_outline(
         self, candidate: CandidateArchitecture
-    ) -> List[RefinementCheck]:
-        """The candidate's refinement checks, in canonical order.
+    ) -> Tuple[Dict[Var, float], List[Sequence[str]], List[PlanEntry]]:
+        """The candidate's checks as cheap outline entries, in plan order.
 
         Canonical order is the serial evaluation order: path-specific
         viewpoints (spec by spec, path by path) before global viewpoints
         under decomposition; every viewpoint once, whole-candidate,
-        without. Component contracts are substituted at most once per
-        (viewpoint, component) — the assignment is fixed for the whole
-        candidate, so a component recurring on many paths reuses the
-        specialized contract.
+        without. No contract is substituted or composed here — entries
+        record only which components each check depends on, so the
+        dependency slicer can decide entry reuse before any formula
+        algebra runs.
         """
         assignment = self._candidate_assignment(candidate)
         paths = self._candidate_paths(candidate)
-        substituted: Dict[tuple, Contract] = {}
-
-        def component(spec: ViewpointSpec, name: str) -> Contract:
-            key = (spec.name, name)
-            if key not in substituted:
-                substituted[key] = self._component_contract(spec, name).substitute(
-                    assignment
-                )
-            return substituted[key]
-
-        plan: List[RefinementCheck] = []
-
-        def add_whole(spec: ViewpointSpec) -> None:
-            instantiated = sorted(candidate.selected_impls)
-            if not instantiated:
-                return
-            composed = compose(
-                [component(spec, name) for name in instantiated],
-                name=f"C_c^{spec.name}",
-                saturate=False,
-            )
-            system = self._system_contract_whole(spec, paths).substitute(assignment)
-            plan.append(RefinementCheck(spec, None, composed, system))
-
+        instantiated = tuple(sorted(candidate.selected_impls))
+        entries: List[PlanEntry] = []
         if self.decompose:
             for spec in self.specification.path_specific_specs:
                 for path in paths:
-                    composed = compose(
-                        [component(spec, name) for name in path],
-                        name=f"C_p^{spec.name}",
-                        saturate=False,
-                    )
-                    system = self._system_contract_for_path(spec, path).substitute(
-                        assignment
-                    )
-                    plan.append(
-                        RefinementCheck(spec, tuple(path), composed, system)
-                    )
+                    entries.append(PlanEntry(spec, tuple(path), tuple(path)))
             for spec in self.specification.global_specs:
-                add_whole(spec)
-            return plan
-
+                if instantiated:
+                    entries.append(
+                        PlanEntry(spec, None, instantiated, whole=True)
+                    )
+            return assignment, paths, entries
         # No decomposition: every viewpoint against the whole candidate.
         for spec in self.specification.viewpoint_specs:
-            add_whole(spec)
-        return plan
+            if instantiated:
+                entries.append(PlanEntry(spec, None, instantiated, whole=True))
+        return assignment, paths, entries
+
+    def materialize(
+        self,
+        entry: PlanEntry,
+        assignment: Dict[Var, float],
+        paths: List[Sequence[str]],
+        memo: Dict[tuple, Contract],
+    ) -> RefinementCheck:
+        """Substitute and compose one outline entry into a RefinementCheck.
+
+        ``memo`` holds per-candidate substituted component contracts
+        keyed by (viewpoint, component) — the assignment is fixed for
+        the whole candidate, so a component recurring on many paths
+        reuses the specialized contract. Share one memo across every
+        entry of a candidate.
+        """
+
+        def component(spec: ViewpointSpec, name: str) -> Contract:
+            key = (spec.name, name)
+            if key not in memo:
+                memo[key] = self._component_contract(spec, name).substitute(
+                    assignment
+                )
+            return memo[key]
+
+        spec = entry.spec
+        if entry.whole:
+            composed = compose(
+                [component(spec, name) for name in entry.components],
+                name=f"C_c^{spec.name}",
+                saturate=False,
+            )
+            system = self._system_contract_whole(spec, paths).substitute(
+                assignment
+            )
+            return RefinementCheck(spec, None, composed, system)
+        composed = compose(
+            [component(spec, name) for name in entry.components],
+            name=f"C_p^{spec.name}",
+            saturate=False,
+        )
+        system = self._system_contract_for_path(spec, entry.path).substitute(
+            assignment
+        )
+        return RefinementCheck(spec, entry.path, composed, system)
+
+    def candidate_plan(
+        self, candidate: CandidateArchitecture
+    ) -> List[RefinementCheck]:
+        """The candidate's refinement checks, fully materialized."""
+        assignment, paths, entries = self.plan_outline(candidate)
+        memo: Dict[tuple, Contract] = {}
+        return [
+            self.materialize(entry, assignment, paths, memo)
+            for entry in entries
+        ]
+
+    def violation_for_entry(
+        self,
+        candidate: CandidateArchitecture,
+        entry: PlanEntry,
+        result: RefinementResult,
+    ) -> Violation:
+        """Materialize the Violation for one failed outline entry."""
+        if entry.path is not None:
+            return Violation(
+                candidate.sub_architecture(list(entry.path)),
+                entry.spec.viewpoint,
+                result,
+                path=entry.path,
+            )
+        return Violation(
+            candidate.whole_architecture(), entry.spec.viewpoint, result
+        )
 
     def violation_for(
         self,

@@ -17,6 +17,7 @@ class IterationRecord:
         "violated_viewpoint",
         "violations",
         "cuts_added",
+        "verification",
     )
 
     def __init__(
@@ -29,6 +30,7 @@ class IterationRecord:
         violated_viewpoint: Optional[str] = None,
         violations: Optional[List[Dict[str, Any]]] = None,
         cuts_added: int = 0,
+        verification: Optional[Dict[str, int]] = None,
     ) -> None:
         self.index = index
         self.milp_time = milp_time
@@ -42,6 +44,11 @@ class IterationRecord:
         #: ``path`` is ``None`` for whole-candidate checks.
         self.violations = list(violations or [])
         self.cuts_added = cuts_added
+        #: Plan-entry provenance tally under dependency-sliced
+        #: verification (see repro.explore.incremental): ``{"checks": n,
+        #: "verified": ..., "cache_hit": ..., "carried": ...}``;
+        #: ``None`` when the run verified from scratch.
+        self.verification = dict(verification) if verification else None
 
     @property
     def total_time(self) -> float:
@@ -49,7 +56,7 @@ class IterationRecord:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible record (one telemetry/reporting row)."""
-        return {
+        data: Dict[str, Any] = {
             "index": self.index,
             "milp_time": self.milp_time,
             "refinement_time": self.refinement_time,
@@ -60,6 +67,9 @@ class IterationRecord:
             "violations": [dict(v) for v in self.violations],
             "cuts_added": self.cuts_added,
         }
+        if self.verification is not None:
+            data["verification"] = dict(self.verification)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "IterationRecord":
@@ -72,6 +82,7 @@ class IterationRecord:
             violated_viewpoint=data.get("violated_viewpoint"),
             violations=data.get("violations"),
             cuts_added=data.get("cuts_added", 0),
+            verification=data.get("verification"),
         )
 
     def __repr__(self) -> str:
@@ -105,6 +116,24 @@ class ExplorationStats:
         #: Previously these figures were only visible via ``JobResult``
         #: in sweeps; now every ``to_dict`` serialization carries them.
         self.oracle_cache: Optional[Dict[str, Any]] = None
+        #: Solver-portfolio run summary (races, routed counts, per-class
+        #: wins — see :meth:`repro.solver.portfolio.SolverPortfolio.summary`);
+        #: ``None`` when the run used a single backend.
+        self.portfolio: Optional[Dict[str, Any]] = None
+
+    @property
+    def verification(self) -> Optional[Dict[str, int]]:
+        """Run-total plan-entry provenance, or ``None`` without slicing."""
+        tallies = [
+            r.verification for r in self.iterations if r.verification
+        ]
+        if not tallies:
+            return None
+        totals: Dict[str, int] = {}
+        for tally in tallies:
+            for key, value in tally.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     @property
     def num_iterations(self) -> int:
@@ -149,6 +178,11 @@ class ExplorationStats:
             data["phase_profile"] = self.phase_profile
         if self.oracle_cache is not None:
             data["oracle_cache"] = self.oracle_cache
+        if self.portfolio is not None:
+            data["portfolio"] = self.portfolio
+        verification = self.verification
+        if verification is not None:
+            data["verification"] = verification
         if include_iterations:
             data["iterations"] = [r.to_dict() for r in self.iterations]
         return data
@@ -165,6 +199,7 @@ class ExplorationStats:
         stats.final_milp_constraints = data.get("final_milp_constraints", 0)
         stats.phase_profile = data.get("phase_profile")
         stats.oracle_cache = data.get("oracle_cache")
+        stats.portfolio = data.get("portfolio")
         # total_cuts was re-accumulated by record(); trust the explicit
         # figure when the iteration rows were elided.
         if "total_cuts" in data and not data.get("iterations"):

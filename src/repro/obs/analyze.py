@@ -15,6 +15,10 @@ performance work keeps asking:
   path) origin;
 * **cache effectiveness** — oracle and embedding-cache hit ratios from
   the metrics snapshot;
+* **verification reuse** — the carried-forward / cache-hit / verified
+  split of dependency-sliced verification (``verify_*`` counters);
+* **solver portfolio** — per-backend race wins and routed-query counts
+  when the run raced backends (``portfolio_*`` counters);
 * **worker utilization** — busy time per worker process relative to
   the traced parallel window.
 
@@ -260,6 +264,76 @@ def _cache_table(trace: Trace) -> str:
     )
 
 
+def _verification_table(trace: Trace) -> str:
+    """Plan-entry provenance under dependency-sliced verification.
+
+    Reads the ``verify_*`` counters the engine mirrors into the metrics
+    snapshot: how many (viewpoint, path) checks each run planned and
+    what share was answered without re-verifying (carried forward from
+    the previous candidate, or satisfied entirely by oracle cache
+    hits).
+    """
+    counters = (trace.metrics or {}).get("counters", {})
+    checks = counters.get("verify_checks", 0)
+    if not checks:
+        return "no verification-reuse counters (run without --no-incremental)"
+    rows: List[List[Any]] = []
+    for label, key in (
+        ("verified (solver)", "verify_verified"),
+        ("cache hit", "verify_cache_hit"),
+        ("carried forward", "verify_carried"),
+    ):
+        count = counters.get(key, 0)
+        rows.append([label, count, f"{100.0 * count / checks:.1f}%"])
+    reused = counters.get("verify_cache_hit", 0) + counters.get("verify_carried", 0)
+    rows.append(["reused (either)", reused, f"{100.0 * reused / checks:.1f}%"])
+    return render_table(
+        ["provenance", "checks", f"of {checks} planned"],
+        rows,
+        title="Verification reuse",
+    )
+
+
+def _portfolio_table(trace: Trace) -> str:
+    """Per-backend win/route split of the racing solver portfolio."""
+    counters = (trace.metrics or {}).get("counters", {})
+    races = counters.get("portfolio_races", 0)
+    wins = {
+        key[len("portfolio_wins_"):]: value
+        for key, value in counters.items()
+        if key.startswith("portfolio_wins_")
+    }
+    routed = {
+        key[len("portfolio_routed_"):]: value
+        for key, value in counters.items()
+        if key.startswith("portfolio_routed_")
+    }
+    if not races and not wins and not routed:
+        return "no portfolio counters (run with --portfolio)"
+    total_wins = sum(wins.values())
+    rows: List[List[Any]] = []
+    for backend in sorted(set(wins) | set(routed)):
+        won = wins.get(backend, 0)
+        rows.append(
+            [
+                backend,
+                won,
+                f"{100.0 * won / total_wins:.1f}%" if total_wins else "-",
+                routed.get(backend, 0),
+            ]
+        )
+    table = render_table(
+        ["backend", "race wins", "win rate", "routed direct"],
+        rows,
+        title="Solver portfolio",
+    )
+    footer = (
+        f"{races} race(s), "
+        f"{counters.get('portfolio_fallbacks', 0)} fallback(s) without a pool"
+    )
+    return f"{table}\n{footer}"
+
+
 def _worker_table(trace: Trace) -> str:
     remote = [s for s in trace.spans if s["attrs"].get("remote")]
     if not remote:
@@ -305,6 +379,8 @@ def render_report(trace: Trace, top: int = 10) -> str:
         _iteration_table(trace),
         _slowest_table(trace, top),
         _cache_table(trace),
+        _verification_table(trace),
+        _portfolio_table(trace),
         _worker_table(trace),
     ]
     return "\n\n".join(sections)

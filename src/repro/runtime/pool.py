@@ -40,7 +40,7 @@ import inspect
 import time
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime import faults
 
@@ -310,6 +310,67 @@ class WorkerPool:
             for snapshot in merged:
                 tracer.merge_metrics(snapshot)
         return results
+
+    def race(
+        self, kind: str, payloads: Sequence[Dict[str, Any]]
+    ) -> "Tuple[int, Any]":
+        """Run rival payloads concurrently; first sound answer wins.
+
+        Returns ``(winner_index, result)`` for the first payload to
+        *return* (a payload that raises is out of the race; its error
+        only propagates if every rival fails too). Pending rivals are
+        cancelled; a rival already running cannot be interrupted
+        mid-task — it finishes and its answer is discarded, so racing
+        trades pool capacity for latency (the portfolio's bet is that
+        the winner's answer is worth an occupied slot).
+
+        Unlike :meth:`map`, race payloads never carry trace context:
+        which rival wins is timing-dependent, and worker-side spans
+        from a nondeterministic winner would break the deterministic
+        span-id guarantee of traced runs. Callers account for races
+        with plain counters instead.
+
+        A worker crash (``BrokenProcessPool``) rebuilds the pool and
+        falls back to computing the *first* payload in-parent — the
+        deterministic choice, mirroring :meth:`map`'s fallback.
+        """
+        if not payloads:
+            raise ValueError("race needs at least one payload")
+        if self.profiler is not None:
+            self.profiler.count(f"pool_{kind}_races")
+        if len(payloads) == 1:
+            return 0, run_task(kind, dict(payloads[0]))
+        executor = self._ensure_executor()
+        try:
+            futures = {
+                executor.submit(run_task, kind, dict(payload)): index
+                for index, payload in enumerate(payloads)
+            }
+        except BrokenProcessPool:
+            self._discard_executor()
+            self.fallbacks += 1
+            return 0, run_task(kind, dict(payloads[0]))
+        errors: List[BaseException] = []
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = concurrent.futures.wait(
+                    pending,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    try:
+                        return futures[future], future.result()
+                    except BrokenProcessPool:
+                        self._discard_executor()
+                        self.fallbacks += 1
+                        return 0, run_task(kind, dict(payloads[0]))
+                    except Exception as error:
+                        errors.append(error)
+        finally:
+            for future in pending:
+                future.cancel()
+        raise errors[0]
 
     def __repr__(self) -> str:
         state = "live" if self._executor is not None else "idle"

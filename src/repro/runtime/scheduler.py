@@ -105,12 +105,18 @@ class Scheduler:
         backoff_base: float = 0.25,
         backoff_cap: float = 5.0,
         timeout_grace: Optional[float] = None,
+        portfolio: bool = False,
     ) -> None:
         self.max_workers = max_workers or default_workers()
         self.timeout = timeout
         self.retries = retries
         self.cache_path = cache_path
         self.use_cache = use_cache
+        #: Race/route refinement queries across MILP backends inside
+        #: every job (see repro.solver.portfolio). An execution-time
+        #: lever: job ids and results are unchanged; with a cache_path
+        #: the per-class win stats persist beside the oracle cache.
+        self.portfolio = portfolio
         self.telemetry = telemetry if telemetry is not None else NullTelemetry()
         self.serial = serial
         self.poll_interval = poll_interval
@@ -222,6 +228,7 @@ class Scheduler:
                 cache_path=self.cache_path,
                 use_cache=self.use_cache,
                 deadline=self.timeout,
+                portfolio=self.portfolio,
             )
             result = JobResult.from_dict(record)
             self._emit_end(result)
@@ -351,6 +358,7 @@ class Scheduler:
             use_cache=self.use_cache,
             run_workers_cap=1,
             deadline=self.timeout,
+            portfolio=self.portfolio,
         )
 
     def _requeue_or_fail(
@@ -440,6 +448,7 @@ class Scheduler:
                 cache_path=self.cache_path,
                 use_cache=self.use_cache,
                 deadline=self.timeout,
+                portfolio=self.portfolio,
             )
             record["attempts"] = pending.attempts
             result = JobResult.from_dict(record)

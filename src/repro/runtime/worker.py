@@ -153,6 +153,7 @@ def run_job(
     use_cache: bool = True,
     run_workers_cap: Optional[int] = None,
     deadline: Optional[float] = None,
+    portfolio: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """Execute one job and return its ``JobResult.to_dict()`` record.
 
@@ -172,6 +173,13 @@ def run_job(
     (see the module docstring): a job that exceeds it returns a
     ``timeout`` record and frees its slot. Like the workers clamp it is
     an execution-time override and never enters the job id.
+
+    ``portfolio`` turns on the racing solver portfolio for the run (see
+    :mod:`repro.solver.portfolio`). It changes only *how fast* queries
+    are answered, never the answers, so — like the other overrides — it
+    stays out of the job id; with a shared ``cache_path`` the per-class
+    win statistics persist to a ``.portfolio.json`` sidecar next to it,
+    so routing warms up across jobs and sweeps.
     """
     spec = JobSpec.from_dict(spec_dict)
     overrides: Dict[str, Any] = {}
@@ -179,6 +187,10 @@ def run_job(
         requested = spec.engine.get("workers", 1)
         if requested > run_workers_cap:
             overrides["workers"] = run_workers_cap
+    if portfolio:
+        overrides["portfolio"] = True
+        if cache_path is not None and use_cache:
+            overrides["portfolio_state"] = f"{cache_path}.portfolio.json"
     deadline_binding = False
     if deadline is not None:
         own_limit = spec.engine.get("time_limit")

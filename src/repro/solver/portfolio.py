@@ -1,0 +1,400 @@
+"""A racing/routing solver portfolio behind the oracle seam.
+
+``BENCH_solver_backends.json`` shows a real asymmetry between the two
+sat-query backends: the scipy/HiGHS backend wins on most refinement
+encodings, the native branch-and-bound on some small ones — and which
+wins is a stable property of the *query class* (viewpoint kind plus
+encoding size). :class:`SolverPortfolio` exploits this the standard
+algorithm-portfolio way:
+
+* every satisfiability query is classified by the viewpoint it belongs
+  to and a bucketed encoding size;
+* a class with enough history routes straight to its historically
+  faster backend;
+* a class still warming up *races* both backends through the run's
+  :class:`~repro.runtime.pool.WorkerPool` — first sound answer wins,
+  the loser is cancelled (or finishes and is discarded; a running MILP
+  cannot be interrupted mid-solve), and the win is recorded.
+
+Both backends are sound and complete deciders, so the SAT/UNSAT verdict
+never depends on the winner — only the witness values may differ, and
+witnesses are diagnostic payload only (the cuts are structural, see
+:mod:`repro.contracts.refinement`). Exploration results are therefore
+identical with the portfolio on or off.
+
+The portfolio implements the same protocol as
+:class:`~repro.runtime.oracle.OracleCache` (``sat_query``,
+``get_many``/``put_many``, ``stats``) and wraps an inner cache: answers
+are keyed under the dedicated backend namespace ``"portfolio"`` so a
+single-backend run never launders another backend's witness out of the
+cache (backend is part of every cache key, see
+:func:`repro.runtime.keys.formula_key`).
+
+Per-class win statistics optionally persist to a JSON sidecar next to
+the sweep's oracle cache (``<cache>.portfolio.json``), so routing warms
+up across runs: the first sweep races, later sweeps route. Saves are
+read-merge-write with an atomic replace — concurrent writers may lose a
+few counts to each other but never corrupt the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.expr.constraints import Formula
+from repro.runtime.keys import formula_key
+from repro.runtime.oracle import (
+    OracleCache,
+    decode_sat_result,
+    encode_sat_result,
+)
+from repro.solver.feasibility import check_sat
+
+#: Cache-key namespace for portfolio-decided answers. Distinct from any
+#: real backend name, so single-backend namespaces stay pure.
+PORTFOLIO_BACKEND = "portfolio"
+
+#: Encoding-size buckets by variable count: (upper bound, label).
+SIZE_BUCKETS: Tuple[Tuple[int, str], ...] = ((8, "s"), (24, "m"), (10**9, "l"))
+
+
+def size_bucket(formula: Formula) -> str:
+    """Bucket a formula by how many variables its encoding carries."""
+    count = len(formula.variables())
+    for bound, label in SIZE_BUCKETS:
+        if count <= bound:
+            return label
+    return SIZE_BUCKETS[-1][1]
+
+
+class SolverPortfolio:
+    """Routes or races sat queries across solver backends.
+
+    Parameters
+    ----------
+    inner:
+        The :class:`~repro.runtime.oracle.OracleCache` holding cached
+        answers (a fresh in-memory cache when omitted).
+    backends:
+        Rival backend names, in race-payload order.
+    base_backend:
+        Fallback backend when racing is impossible (no pool bound, or
+        a formula whose witness cannot be decoded by name).
+    state_path:
+        Optional JSON sidecar for per-class win statistics; loaded on
+        construction, merged back on :meth:`save`.
+    min_samples / confidence:
+        Route a class once it has at least ``min_samples`` recorded
+        wins and the leader holds at least ``confidence`` of them;
+        below either threshold the class keeps racing.
+    """
+
+    cache_backend = PORTFOLIO_BACKEND
+
+    def __init__(
+        self,
+        inner: Optional[OracleCache] = None,
+        backends: Sequence[str] = ("scipy", "native"),
+        base_backend: str = "scipy",
+        state_path: Optional[str] = None,
+        min_samples: int = 5,
+        confidence: float = 0.75,
+    ) -> None:
+        if len(backends) < 2:
+            raise ValueError("a portfolio needs at least two backends")
+        self.inner = inner if inner is not None else OracleCache()
+        self.backends = tuple(backends)
+        self.base_backend = base_backend
+        self.state_path = state_path
+        self.min_samples = min_samples
+        self.confidence = confidence
+        self.pool = None
+        self.profiler = None
+        #: Wins loaded from the sidecar (prior runs).
+        self._loaded: Dict[str, Dict[str, int]] = {}
+        #: Wins recorded by this run (merged into the sidecar on save).
+        self._new: Dict[str, Dict[str, int]] = {}
+        self.races = 0
+        self.fallbacks = 0
+        self.routed: Dict[str, int] = {}
+        self._hint: Optional[str] = None
+        if state_path:
+            self._loaded = _read_state(state_path)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def bind(self, pool, profiler=None) -> None:
+        """Attach the run's worker pool (racing needs one) and profiler."""
+        self.pool = pool
+        self.profiler = profiler
+
+    @contextmanager
+    def hint(self, viewpoint: str) -> Iterator[None]:
+        """Classification context for serial callers.
+
+        The serial refinement walk reaches :meth:`sat_query` through
+        ``check_sat``'s oracle seam, which carries no viewpoint — the
+        checker brackets each plan entry with its viewpoint name here.
+        """
+        previous, self._hint = self._hint, viewpoint
+        try:
+            yield
+        finally:
+            self._hint = previous
+
+    # -- classification and routing ---------------------------------------------
+
+    def classify(self, formula: Formula, viewpoint: Optional[str] = None) -> str:
+        name = viewpoint if viewpoint is not None else (self._hint or "any")
+        return f"{name}:{size_bucket(formula)}"
+
+    def wins_for(self, cls: str) -> Dict[str, int]:
+        """Combined (loaded + this-run) win counts for one class."""
+        combined: Dict[str, int] = {}
+        for source in (self._loaded, self._new):
+            for backend, count in source.get(cls, {}).items():
+                combined[backend] = combined.get(backend, 0) + count
+        return combined
+
+    def route(self, cls: str) -> Optional[str]:
+        """The backend to route ``cls`` to, or ``None`` to keep racing."""
+        wins = self.wins_for(cls)
+        total = sum(wins.values())
+        if total < self.min_samples:
+            return None
+        leader = max(sorted(wins), key=wins.get)
+        if wins[leader] / total < self.confidence:
+            return None
+        return leader
+
+    def _record_win(self, cls: str, backend: str) -> None:
+        per_class = self._new.setdefault(cls, {})
+        per_class[backend] = per_class.get(backend, 0) + 1
+        if self.profiler is not None:
+            self.profiler.count(f"portfolio_wins_{backend}")
+
+    # -- solving ----------------------------------------------------------------
+
+    def _solve_one(
+        self,
+        formula: Formula,
+        default_big_m: Optional[float],
+        cls: str,
+        raceable: bool = True,
+    ) -> Any:
+        routed = self.route(cls)
+        if routed is not None:
+            self.routed[routed] = self.routed.get(routed, 0) + 1
+            if self.profiler is not None:
+                self.profiler.count(f"portfolio_routed_{routed}")
+            return check_sat(
+                formula, backend=routed, default_big_m=default_big_m
+            )
+        if not raceable or self.pool is None:
+            # No pool to race on (serial run without a portfolio pool),
+            # or a witness that cannot round-trip by name: solve on the
+            # base backend and learn nothing.
+            self.fallbacks += 1
+            if self.profiler is not None:
+                self.profiler.count("portfolio_fallbacks")
+            return check_sat(
+                formula, backend=self.base_backend, default_big_m=default_big_m
+            )
+        self.races += 1
+        if self.profiler is not None:
+            self.profiler.count("portfolio_races")
+        payloads = [
+            {"queries": [(formula, backend, default_big_m)]}
+            for backend in self.backends
+        ]
+        winner, encoded = self.pool.race("sat_batch", payloads)
+        self._record_win(cls, self.backends[winner])
+        return decode_sat_result(formula, encoded[0])
+
+    def solve_encoded_batch(
+        self,
+        items: Sequence[Tuple[Formula, str]],
+        pool=None,
+    ) -> List[Dict[str, Any]]:
+        """Solve ``(formula, viewpoint)`` items; encoded answers in order.
+
+        The parallel checker's dispatch seam: routed classes are grouped
+        per backend and chunk-dispatched through the pool exactly like
+        the single-backend path; still-warming classes race one by one.
+        """
+        if pool is not None:
+            self.pool = pool
+        answers: List[Optional[Dict[str, Any]]] = [None] * len(items)
+        routed_groups: Dict[str, List[int]] = {}
+        racing: List[int] = []
+        classes = [
+            self.classify(formula, viewpoint) for formula, viewpoint in items
+        ]
+        for index, cls in enumerate(classes):
+            backend = self.route(cls)
+            if backend is None:
+                racing.append(index)
+            else:
+                routed_groups.setdefault(backend, []).append(index)
+        for backend in sorted(routed_groups):
+            indices = routed_groups[backend]
+            self.routed[backend] = self.routed.get(backend, 0) + len(indices)
+            if self.profiler is not None:
+                self.profiler.count(f"portfolio_routed_{backend}", len(indices))
+            encoded = self._dispatch_backend(
+                [items[index][0] for index in indices], backend
+            )
+            for index, value in zip(indices, encoded):
+                answers[index] = value
+        for index in racing:
+            formula, _ = items[index]
+            result = self._solve_one(formula, None, classes[index])
+            answers[index] = encode_sat_result(result)
+        return [answer for answer in answers if answer is not None]
+
+    def _dispatch_backend(
+        self, formulas: List[Formula], backend: str
+    ) -> List[Dict[str, Any]]:
+        if self.pool is None:
+            return [
+                encode_sat_result(check_sat(formula, backend=backend))
+                for formula in formulas
+            ]
+        chunks = max(1, min(len(formulas), self.pool.workers * 2))
+        size = -(-len(formulas) // chunks)
+        payloads = [
+            {
+                "queries": [
+                    (formula, backend, None)
+                    for formula in formulas[start : start + size]
+                ]
+            }
+            for start in range(0, len(formulas), size)
+        ]
+        encoded: List[Dict[str, Any]] = []
+        for chunk in self.pool.map("sat_batch", payloads):
+            encoded.extend(chunk)
+        return encoded
+
+    # -- the oracle protocol ----------------------------------------------------
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    def get_many(self, keys: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        return self.inner.get_many(keys)
+
+    def put_many(self, entries: Mapping[str, Dict[str, Any]]) -> None:
+        self.inner.put_many(entries)
+
+    def sat_query(
+        self,
+        formula: Formula,
+        backend: str,
+        default_big_m: Optional[float],
+        compute: Callable[[], Any],
+    ) -> Any:
+        """The ``check_sat`` oracle seam, with portfolio dispatch.
+
+        ``backend`` (the caller's configured backend) is deliberately
+        ignored for keying — portfolio answers live in their own
+        namespace — and for solving, where routing/racing decides.
+        """
+        by_name = {var.name: var for var in formula.variables()}
+        if len(by_name) != len(formula.variables()):
+            # Duplicate names: uncacheable, and a raced witness could
+            # not be re-attached unambiguously either — solve in-parent.
+            self.inner.stats.uncacheable += 1
+            cls = self.classify(formula)
+            return self._solve_one(formula, default_big_m, cls, raceable=False)
+        key = formula_key(
+            formula, backend=self.cache_backend, default_big_m=default_big_m
+        )
+        cached = self.inner._get(key)
+        if cached is not None:
+            return decode_sat_result(formula, cached)
+        result = self._solve_one(
+            formula, default_big_m, self.classify(formula)
+        )
+        self.inner._put(key, encode_sat_result(result))
+        return result
+
+    def close(self) -> None:
+        self.inner.close()
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self) -> None:
+        """Merge this run's wins into the sidecar (atomic replace).
+
+        Read-merge-write keeps concurrent sweep workers from clobbering
+        each other wholesale; the window between read and replace can
+        still drop a rival's increments — acceptable for advisory
+        routing statistics.
+        """
+        if not self.state_path or not self._new:
+            return
+        current = _read_state(self.state_path)
+        for cls, wins in self._new.items():
+            per_class = current.setdefault(cls, {})
+            for backend, count in wins.items():
+                per_class[backend] = per_class.get(backend, 0) + count
+        _write_state(self.state_path, current)
+        self._loaded = current
+        self._new = {}
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-compatible run summary (lands in ExplorationStats)."""
+        return {
+            "races": self.races,
+            "fallbacks": self.fallbacks,
+            "routed": dict(self.routed),
+            "wins": {cls: dict(wins) for cls, wins in self._new.items()},
+            "classes": len(set(self._loaded) | set(self._new)),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverPortfolio(backends={self.backends}, "
+            f"races={self.races}, routed={sum(self.routed.values())})"
+        )
+
+
+def _read_state(path: str) -> Dict[str, Dict[str, int]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    classes = data.get("classes", {})
+    if not isinstance(classes, dict):
+        return {}
+    cleaned: Dict[str, Dict[str, int]] = {}
+    for cls, wins in classes.items():
+        if isinstance(wins, dict):
+            cleaned[str(cls)] = {
+                str(backend): int(count)
+                for backend, count in wins.items()
+                if isinstance(count, (int, float))
+            }
+    return cleaned
+
+
+def _write_state(path: str, classes: Dict[str, Dict[str, int]]) -> None:
+    payload = {"version": 1, "classes": classes}
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(prefix=".portfolio-", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+        os.replace(tmp_path, path)
+    except OSError:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass

@@ -48,6 +48,19 @@ def solve_matrix(form: MatrixForm, time_limit: Optional[float] = None) -> SolveR
         options=options or None,
     )
     status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    if status is SolveStatus.ERROR:
+        # HiGHS occasionally reports "Solve error" (status 4) on small
+        # integer models its presolve mishandles (observed on scipy
+        # 1.17 / equality-constrained MIPs). Presolve-off is exact,
+        # just slower — retry once before surfacing the error.
+        result = milp(
+            c=form.objective,
+            constraints=constraints or None,
+            integrality=form.integrality,
+            bounds=Bounds(form.lower, form.upper),
+            options=dict(options, presolve=False),
+        )
+        status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
     if status is SolveStatus.OPTIMAL and result.x is not None:
         x = np.asarray(result.x, dtype=float)
         int_mask = form.integrality.astype(bool)

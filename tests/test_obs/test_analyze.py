@@ -127,3 +127,57 @@ class TestRenderReport:
         assert "traceEvents" in json.loads(open(path).read())
         report = render_report(load_trace(path), top=3)
         assert "Per-phase totals" in report
+
+    def test_degrades_without_new_counters(self, tmp_path):
+        # A trace recorded before (or without) sliced verification and
+        # the portfolio must still render, with explanatory stubs.
+        path = str(tmp_path / "trace.jsonl")
+        _record_sample(JsonlSink(path))
+        report = render_report(load_trace(path))
+        assert "no verification-reuse counters" in report
+        assert "no portfolio counters" in report
+
+
+class TestVerificationAndPortfolioSections:
+    def _record(self, sink):
+        with Tracer([sink]) as t:
+            with t.span("run"):
+                pass
+            t.metrics.counter("verify_checks", 20)
+            t.metrics.counter("verify_verified", 8)
+            t.metrics.counter("verify_cache_hit", 7)
+            t.metrics.counter("verify_carried", 5)
+            t.metrics.counter("portfolio_races", 4)
+            t.metrics.counter("portfolio_wins_native", 3)
+            t.metrics.counter("portfolio_wins_scipy", 1)
+            t.metrics.counter("portfolio_routed_native", 12)
+            t.metrics.counter("portfolio_fallbacks", 2)
+
+    def test_golden_section_text(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        self._record(JsonlSink(path))
+        report = render_report(load_trace(path))
+        assert "Verification reuse" in report
+        assert "carried forward   | 5      | 25.0%" in report
+        assert "cache hit         | 7      | 35.0%" in report
+        assert "reused (either)   | 12     | 60.0%" in report
+        assert "Solver portfolio" in report
+        assert "native  | 3         | 75.0%    | 12" in report
+        assert "scipy   | 1         | 25.0%    | 0" in report
+        assert "4 race(s), 2 fallback(s) without a pool" in report
+
+    def test_sections_render_from_a_real_run(self, tmp_path):
+        # End-to-end: a traced --portfolio exploration produces both
+        # sections through ``python -m repro obs``.
+        from repro.cli import main
+
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(
+            ["epn", "--left", "1", "--right", "0", "--portfolio",
+             "--trace", trace]
+        ) == 0
+        report = render_report(load_trace(trace))
+        assert "Verification reuse" in report
+        assert "no verification-reuse counters" not in report
+        assert "Solver portfolio" in report
+        assert "no portfolio counters" not in report

@@ -98,6 +98,39 @@ class TestEngineOverrides:
         tuned = JobSpec("epn", sizes={"left": 1}, engine={"workers": 4})
         assert base.job_id != tuned.job_id
 
+    def test_portfolio_override_keeps_job_id(self):
+        # The portfolio changes only how fast queries are answered, so
+        # it rides as an execution-time override: content-addressed job
+        # ids (and hence ledger/cache identities) stay byte-stable.
+        spec = JobSpec("epn", sizes={"left": 1})
+        baseline = spec.job_id
+        explorer = spec.make_explorer(engine_overrides={"portfolio": True})
+        assert explorer.portfolio is not None
+        assert spec.engine == {}  # spec untouched
+        assert spec.job_id == baseline
+
+    def test_run_job_portfolio_is_execution_time_only(self):
+        from repro.runtime.worker import run_job
+
+        spec = JobSpec(
+            "epn",
+            sizes={"left": 1, "right": 0, "apu": 0},
+            engine={"max_iterations": 100},
+        )
+        record = run_job(spec.to_dict(), use_cache=False, portfolio=True)
+        assert record["status"] == "optimal"
+        assert "portfolio" not in record["spec"]["engine"]
+        assert record["job_id"] == spec.job_id
+
+    def test_incremental_verify_override_keeps_job_id(self):
+        spec = JobSpec("epn", sizes={"left": 1})
+        baseline = spec.job_id
+        explorer = spec.make_explorer(
+            engine_overrides={"incremental_verify": False}
+        )
+        assert explorer.incremental_verify is False
+        assert spec.job_id == baseline
+
 
 class TestRunWorkersCap:
     def test_cap_clamps_in_run_workers(self):

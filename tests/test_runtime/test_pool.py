@@ -7,6 +7,7 @@ keyed off a sentinel file so exactly the intended attempt dies.
 """
 
 import os
+import time
 
 import pytest
 
@@ -16,6 +17,18 @@ from repro.runtime.pool import TASKS, WorkerPool, run_task
 
 def _echo(payload):
     return payload["value"] * 2
+
+
+def _sleepy(payload):
+    time.sleep(payload["delay"])
+    return payload["value"]
+
+
+def _rival_fail(payload):
+    if payload.get("fail"):
+        raise RuntimeError(f"rival {payload['value']} failed")
+    time.sleep(payload.get("delay", 0.0))
+    return payload["value"]
 
 
 def _crash_once(payload):
@@ -36,6 +49,8 @@ def _crash_in_worker(payload):
 TASKS["test_echo"] = _echo
 TASKS["test_crash_once"] = _crash_once
 TASKS["test_crash_in_worker"] = _crash_in_worker
+TASKS["test_sleepy"] = _sleepy
+TASKS["test_rival_fail"] = _rival_fail
 
 
 class TestWorkerPool:
@@ -94,6 +109,67 @@ class TestCrashRecovery:
                 [{"value": 7, "parent_pid": os.getpid()}],
             )
         assert results == [7]
+        assert pool.fallbacks == 1
+
+
+class TestRace:
+    def test_empty_race_rejected(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError):
+                pool.race("test_echo", [])
+
+    def test_single_payload_runs_in_parent(self):
+        # One rival is no race: the shortcut never spins up an executor.
+        pool = WorkerPool(2)
+        winner, result = pool.race("test_echo", [{"value": 21}])
+        assert (winner, result) == (0, 42)
+        assert pool._executor is None
+
+    def test_fastest_rival_wins(self):
+        with WorkerPool(2) as pool:
+            winner, result = pool.race(
+                "test_sleepy",
+                [{"value": "slow", "delay": 1.5}, {"value": "fast", "delay": 0.0}],
+            )
+        assert (winner, result) == (1, "fast")
+
+    def test_failing_rival_is_out_of_the_race(self):
+        with WorkerPool(2) as pool:
+            winner, result = pool.race(
+                "test_rival_fail",
+                [
+                    {"value": 1, "fail": True},
+                    {"value": 2, "delay": 0.05},
+                ],
+            )
+        assert (winner, result) == (1, 2)
+
+    def test_all_rivals_failing_raises(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError):
+                pool.race(
+                    "test_rival_fail",
+                    [{"value": 1, "fail": True}, {"value": 2, "fail": True}],
+                )
+
+    def test_race_counts_into_profiler(self):
+        from repro.explore.profiling import PhaseProfiler
+
+        profiler = PhaseProfiler()
+        with WorkerPool(2, profiler=profiler) as pool:
+            pool.race("test_echo", [{"value": 1}, {"value": 2}])
+        assert profiler.counters["pool_test_echo_races"] == 1
+
+    def test_crash_falls_back_to_first_payload_in_parent(self):
+        with WorkerPool(2, retries=0) as pool:
+            winner, result = pool.race(
+                "test_crash_in_worker",
+                [
+                    {"value": 7, "parent_pid": os.getpid()},
+                    {"value": 8, "parent_pid": os.getpid()},
+                ],
+            )
+        assert (winner, result) == (0, 7)
         assert pool.fallbacks == 1
 
 

@@ -1,0 +1,199 @@
+"""Unit tests for the racing/routing solver portfolio.
+
+End-to-end exploration equivalence (portfolio on == portfolio off,
+bit-identical) is pinned in
+``tests/test_explore/test_incremental_verification.py``; here the
+routing policy, the oracle protocol, the no-pool fallback and the
+sidecar persistence are exercised in isolation.
+"""
+
+import json
+
+import pytest
+
+from repro.expr.terms import continuous, integer
+from repro.runtime.keys import formula_key
+from repro.runtime.oracle import OracleCache
+from repro.runtime.pool import WorkerPool
+from repro.solver.feasibility import check_sat
+from repro.solver.portfolio import (
+    PORTFOLIO_BACKEND,
+    SolverPortfolio,
+    size_bucket,
+)
+
+
+def _sat_formula():
+    x = continuous("x", 0, 10)
+    return (x >= 2) & (x <= 3)
+
+
+def _unsat_formula():
+    x = continuous("x", 0, 10)
+    return (x >= 5) & (x <= 4)
+
+
+class TestClassification:
+    def test_size_buckets(self):
+        small = _sat_formula()  # one variable
+        assert size_bucket(small) == "s"
+        many = None
+        for i in range(12):
+            atom = integer(f"v{i}", 0, 3) >= 1
+            many = atom if many is None else many & atom
+        assert size_bucket(many) == "m"
+
+    def test_classify_uses_hint_then_viewpoint(self):
+        portfolio = SolverPortfolio()
+        formula = _sat_formula()
+        assert portfolio.classify(formula) == "any:s"
+        assert portfolio.classify(formula, viewpoint="timing") == "timing:s"
+        with portfolio.hint("flow"):
+            assert portfolio.classify(formula) == "flow:s"
+        assert portfolio.classify(formula) == "any:s"
+
+    def test_needs_two_backends(self):
+        with pytest.raises(ValueError):
+            SolverPortfolio(backends=("scipy",))
+
+
+class TestRouting:
+    def test_warming_class_keeps_racing(self):
+        portfolio = SolverPortfolio(min_samples=5)
+        for _ in range(4):
+            portfolio._record_win("timing:s", "native")
+        assert portfolio.route("timing:s") is None
+
+    def test_confident_class_routes_to_leader(self):
+        portfolio = SolverPortfolio(min_samples=5, confidence=0.75)
+        for _ in range(5):
+            portfolio._record_win("timing:s", "native")
+        assert portfolio.route("timing:s") == "native"
+
+    def test_contested_class_keeps_racing(self):
+        portfolio = SolverPortfolio(min_samples=5, confidence=0.75)
+        for _ in range(3):
+            portfolio._record_win("timing:s", "native")
+        for _ in range(2):
+            portfolio._record_win("timing:s", "scipy")
+        assert portfolio.route("timing:s") is None  # 60% < 75%
+
+    def test_loaded_history_counts_toward_routing(self, tmp_path):
+        state = tmp_path / "wins.json"
+        first = SolverPortfolio(state_path=str(state))
+        for _ in range(5):
+            first._record_win("flow:s", "scipy")
+        first.save()
+        warm = SolverPortfolio(state_path=str(state))
+        assert warm.route("flow:s") == "scipy"
+
+
+class TestOracleProtocol:
+    def test_fallback_without_pool_answers_and_caches(self):
+        inner = OracleCache()
+        portfolio = SolverPortfolio(inner=inner)
+        formula = _unsat_formula()
+        result = check_sat(formula, oracle=portfolio)
+        assert not result
+        assert portfolio.fallbacks == 1  # no pool bound: nothing raced
+        key = formula_key(formula, backend=PORTFOLIO_BACKEND)
+        assert key in inner._memory
+        # Second identical query is served from the cache.
+        again = check_sat(formula, oracle=portfolio)
+        assert not again
+        assert portfolio.fallbacks == 1
+        assert inner.stats.hits == 1
+
+    def test_portfolio_namespace_is_disjoint_from_backends(self):
+        formula = _sat_formula()
+        assert formula_key(formula, backend=PORTFOLIO_BACKEND) != formula_key(
+            formula, backend="scipy"
+        )
+
+    def test_duplicate_names_are_uncacheable_and_unraced(self):
+        inner = OracleCache()
+        portfolio = SolverPortfolio(inner=inner)
+        x1 = continuous("x", 0, 10)
+        x2 = continuous("x", 2, 3)
+        result = check_sat((x1 >= 1) & (x2 <= 3), oracle=portfolio)
+        assert result
+        assert inner.stats.uncacheable == 1
+        assert not inner._memory  # nothing stored under an ambiguous key
+
+    def test_routed_class_skips_the_race(self):
+        portfolio = SolverPortfolio(min_samples=1, confidence=0.5)
+        portfolio._record_win("any:s", "native")
+        result = check_sat(_sat_formula(), oracle=portfolio)
+        assert result
+        assert portfolio.routed == {"native": 1}
+        assert portfolio.races == 0
+
+
+class TestRacing:
+    def test_race_answers_match_direct_solve(self):
+        portfolio = SolverPortfolio()
+        with WorkerPool(2) as pool:
+            portfolio.bind(pool)
+            sat = check_sat(_sat_formula(), oracle=portfolio)
+            unsat = check_sat(_unsat_formula(), oracle=portfolio)
+        assert bool(sat) and not bool(unsat)
+        assert portfolio.races == 2
+        wins = portfolio.wins_for("any:s")
+        assert sum(wins.values()) == 2
+        assert set(wins) <= set(portfolio.backends)
+
+    def test_solve_encoded_batch_preserves_order(self):
+        from repro.runtime.oracle import decode_sat_result
+
+        portfolio = SolverPortfolio(min_samples=1, confidence=0.5)
+        portfolio._record_win("timing:s", "scipy")
+        items = [
+            (_sat_formula(), "timing"),
+            (_unsat_formula(), "timing"),
+            (_sat_formula(), "timing"),
+        ]
+        encoded = portfolio.solve_encoded_batch(items)  # no pool: in-parent
+        verdicts = [
+            bool(decode_sat_result(formula, answer))
+            for (formula, _), answer in zip(items, encoded)
+        ]
+        assert verdicts == [True, False, True]
+        assert portfolio.routed["scipy"] == 3
+
+
+class TestPersistence:
+    def test_save_merges_concurrent_writers(self, tmp_path):
+        state = tmp_path / "wins.json"
+        a = SolverPortfolio(state_path=str(state))
+        b = SolverPortfolio(state_path=str(state))
+        for _ in range(2):
+            a._record_win("timing:s", "native")
+        for _ in range(3):
+            b._record_win("timing:s", "scipy")
+        a.save()
+        b.save()  # read-merge-write: must keep a's counts
+        merged = SolverPortfolio(state_path=str(state))
+        assert merged.wins_for("timing:s") == {"native": 2, "scipy": 3}
+
+    def test_corrupt_sidecar_degrades_to_empty(self, tmp_path):
+        state = tmp_path / "wins.json"
+        state.write_text("not json at all")
+        portfolio = SolverPortfolio(state_path=str(state))
+        assert portfolio.wins_for("timing:s") == {}
+        portfolio._record_win("timing:s", "native")
+        portfolio.save()  # overwrites the corrupt file cleanly
+        data = json.loads(state.read_text())
+        assert data["classes"]["timing:s"] == {"native": 1}
+
+    def test_save_without_new_wins_is_a_no_op(self, tmp_path):
+        state = tmp_path / "wins.json"
+        SolverPortfolio(state_path=str(state)).save()
+        assert not state.exists()
+
+    def test_summary_shape(self):
+        portfolio = SolverPortfolio()
+        portfolio._record_win("timing:s", "native")
+        summary = portfolio.summary()
+        assert summary["wins"] == {"timing:s": {"native": 1}}
+        assert set(summary) == {"races", "fallbacks", "routed", "wins", "classes"}
+        assert json.dumps(summary)  # JSON-compatible for stats/telemetry
