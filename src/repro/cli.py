@@ -12,7 +12,9 @@ Commands:
   pool, with an optional on-disk oracle cache and JSONL telemetry;
 * ``obs``      — analyze a ``--trace`` artifact offline (top-k slowest
   queries, per-iteration critical path, cache effectiveness, worker
-  utilization).
+  utilization), render it as a self-contained HTML dashboard
+  (``--html``), merge a sweep journal into a fleet view (``--sweep``),
+  or diff two traces / benchmark twins (``obs diff BASE OTHER``).
 
 The exploration commands (and ``table2``/``sweep``) accept ``--trace
 FILE [--trace-format {jsonl,chrome}]`` to record a hierarchical run
@@ -520,9 +522,40 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_obs(args) -> int:
+    paths = list(args.paths)
+    # `repro obs diff BASE OTHER` is hand-dispatched off the positional
+    # list so the one subcommand covers report, dashboard and diff.
+    if paths and paths[0] == "diff":
+        from repro.obs.diff import main as diff_main
+
+        if len(paths) != 3:
+            print("usage: repro obs diff BASE OTHER", file=sys.stderr)
+            return 2
+        return diff_main(
+            paths[1],
+            paths[2],
+            as_json=args.json,
+            fail_on_regression=args.fail_on_regression,
+        )
+    trace_path = paths[0] if paths else None
+    if trace_path is None and args.sweep is None:
+        print("usage: repro obs TRACE | repro obs --sweep JOURNAL", file=sys.stderr)
+        return 2
+    if len(paths) > 1:
+        print("error: obs takes one trace (or `diff BASE OTHER`)", file=sys.stderr)
+        return 2
+    if args.html is not None or args.sweep is not None:
+        from repro.obs.dashboard import main as dashboard_main
+
+        return dashboard_main(
+            trace_path,
+            html_path=args.html,
+            sweep_path=args.sweep,
+            top=args.top,
+        )
     from repro.obs.analyze import main as analyze_main
 
-    return analyze_main(args.trace_path, top=args.top)
+    return analyze_main(trace_path, top=args.top)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -681,11 +714,53 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.set_defaults(func=_cmd_sweep)
 
     obs_cmd = commands.add_parser(
-        "obs", help="analyze a --trace file: slow queries, critical path, caches"
+        "obs",
+        help="analyze a --trace file: report, HTML dashboard, sweep fleet "
+        "view, trace diffing",
+        description="repro obs TRACE            text report; "
+        "repro obs TRACE --html OUT.html  self-contained dashboard; "
+        "repro obs --sweep JOURNAL [--html OUT]  fleet view; "
+        "repro obs diff BASE OTHER [--fail-on-regression PCT]  compare "
+        "two traces or BENCH_*.json twins",
     )
-    obs_cmd.add_argument("trace_path", help="trace file written with --trace")
+    obs_cmd.add_argument(
+        "paths",
+        nargs="*",
+        metavar="TRACE | diff BASE OTHER",
+        help="a trace file written with --trace, or the literal word "
+        "'diff' followed by two traces / benchmark twins",
+    )
     obs_cmd.add_argument(
         "--top", type=int, default=10, help="how many slowest queries to list"
+    )
+    obs_cmd.add_argument(
+        "--html",
+        metavar="OUT",
+        default=None,
+        help="render a self-contained HTML dashboard (no CDN, works "
+        "from file://, byte-identical across re-renders) instead of "
+        "the text report",
+    )
+    obs_cmd.add_argument(
+        "--sweep",
+        metavar="JOURNAL",
+        default=None,
+        help="merge a sweep telemetry journal in: job swimlanes, queue "
+        "depth, incidents, replayed-vs-fresh (combines with --html "
+        "and/or a TRACE)",
+    )
+    obs_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="(diff) machine-readable delta records instead of the table",
+    )
+    obs_cmd.add_argument(
+        "--fail-on-regression",
+        metavar="PCT",
+        type=float,
+        default=None,
+        help="(diff) exit 1 when any time-like metric grew more than "
+        "PCT percent over the base",
     )
     obs_cmd.set_defaults(func=_cmd_obs)
 

@@ -14,7 +14,17 @@ this package gives them **one** instrumentation substrate:
   propagation for :class:`repro.runtime.pool.WorkerPool` tasks;
 * :mod:`repro.obs.analyze` — the ``python -m repro obs`` offline
   report (top-k slowest queries, per-iteration critical path, cache
-  effectiveness, worker utilization).
+  effectiveness, worker utilization), computed into structured
+  dataclasses (:func:`repro.obs.analyze.analyze`);
+* :mod:`repro.obs.dashboard` — the same analysis rendered as a
+  self-contained, deterministic HTML dashboard (``--html``), plus the
+  sweep fleet view over a telemetry journal (``--sweep``);
+* :mod:`repro.obs.diff` — trace/benchmark regression diffing
+  (``obs diff BASE OTHER [--fail-on-regression PCT]``).
+
+The dashboard and diff modules are imported lazily by the CLI — this
+package's eager surface stays limited to tracing and metrics so worker
+processes importing :mod:`repro.runtime.pool` pay nothing for them.
 
 Enable with ``--trace PATH [--trace-format {jsonl,chrome}]`` on the
 ``rpl``/``epn``/``wsn``/``table2``/``sweep`` commands, or

@@ -1,12 +1,13 @@
 """Offline trace analysis: ``python -m repro obs TRACE``.
 
 Reads a trace produced with ``--trace`` (either sink format — JSONL or
-Chrome ``trace_event``) and prints the questions the ROADMAP's
+Chrome ``trace_event``) and computes the questions the ROADMAP's
 performance work keeps asking:
 
 * **per-phase totals** — where the run's wall-clock went, per phase
-  span name; agrees with the in-process ``PhaseProfiler`` totals
-  because both bracket the same code;
+  span name (with p50/p95/p99 latency estimates from the
+  ``<phase>_seconds`` histograms); agrees with the in-process
+  ``PhaseProfiler`` totals because both bracket the same code;
 * **per-iteration critical path** — the MILP / refinement /
   certificate split per iteration, plus the share of the iteration not
   covered by any phase span;
@@ -22,16 +23,24 @@ performance work keeps asking:
 * **worker utilization** — busy time per worker process relative to
   the traced parallel window.
 
-Everything renders through :mod:`repro.reporting.tables` so trace
-reports look like every other artifact of the repo.
+Every section is computed into a plain dataclass first
+(:func:`analyze` returns the bundle as an :class:`Analysis`); the text
+report here and the HTML dashboard (:mod:`repro.obs.dashboard`) are
+two renderers over the same structures. Text renders through
+:mod:`repro.reporting.tables` so trace reports look like every other
+artifact of the repo.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.metrics import Histogram
 from repro.reporting.tables import format_seconds, render_table
+from repro.runtime.telemetry import TruncatedJournalWarning
 
 #: Span names whose intervals are phase brackets (mirrors
 #: repro.explore.profiling's phase vocabulary).
@@ -50,6 +59,9 @@ QUERY_NAMES = ("sat_query", "refinement_check", "embedding", "embedding_partitio
 
 #: Phases whose sum defines an iteration's accounted critical path.
 _ITERATION_PHASES = ("milp_solve", "matrix_build", "refinement", "certificate_build")
+
+#: Quantiles reported by the phase table and the dashboard tiles.
+QUANTILES = (0.5, 0.95, 0.99)
 
 
 class Trace:
@@ -85,26 +97,57 @@ class Trace:
         wanted = set(names)
         return [s for s in self.spans if s["name"] in wanted]
 
+    @property
+    def origin(self) -> float:
+        """The earliest span start — time zero for relative rendering."""
+        return min((s["start"] for s in self.spans), default=0.0)
 
-def load_trace(path: str) -> Trace:
-    """Load either sink format, auto-detected from the file content."""
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """A named latency histogram rebuilt from the metrics snapshot."""
+        data = (self.metrics or {}).get("histograms", {}).get(name)
+        if not data:
+            return None
+        return Histogram.from_dict(data)
+
+
+def load_trace(path: str, strict: bool = False) -> Trace:
+    """Load either sink format, auto-detected from the file content.
+
+    Like the run ledger, the JSONL reader tolerates the torn final line
+    a killed run leaves behind: undecodable lines are skipped with a
+    :class:`~repro.runtime.telemetry.TruncatedJournalWarning` unless
+    ``strict=True`` restores the raising behavior. (A truncated Chrome
+    document cannot be half-read — it is one JSON value — so ``strict``
+    only affects JSONL traces.)
+    """
     with open(path, "r", encoding="utf-8") as stream:
         first = stream.read(4096)
         stream.seek(0)
         if '"traceEvents"' in first:
             return _load_chrome(json.load(stream))
-        return _load_jsonl(stream)
+        return _load_jsonl(stream, strict=strict, path=path)
 
 
-def _load_jsonl(stream: Any) -> Trace:
+def _load_jsonl(stream: Any, strict: bool = False, path: str = "<stream>") -> Trace:
     spans: List[Dict[str, Any]] = []
     metrics: Optional[Dict[str, Any]] = None
     meta: Optional[Dict[str, Any]] = None
-    for line in stream:
+    for number, line in enumerate(stream, start=1):
         line = line.strip()
         if not line:
             continue
-        record = json.loads(line)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if strict:
+                raise
+            warnings.warn(
+                f"{path}:{number}: skipping undecodable trace line "
+                f"(truncated by a crashed run?)",
+                TruncatedJournalWarning,
+                stacklevel=3,
+            )
+            continue
         kind = record.get("type")
         if kind == "span":
             spans.append(record)
@@ -144,7 +187,139 @@ def _load_chrome(document: Dict[str, Any]) -> Trace:
     return Trace(spans, metrics=metrics, meta=meta)
 
 
-# -- report sections -----------------------------------------------------------
+# -- structured results --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One ``run`` span's headline: status, wall clock, iterations."""
+
+    status: str
+    duration: float
+    iterations: Any
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """One row of the per-phase table."""
+
+    name: str
+    seconds: float
+    calls: int
+    share: float  # fraction of the run wall-clock, 0..1
+    p50: Optional[float] = None  # from the <name>_seconds histogram
+    p95: Optional[float] = None
+    p99: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class IterationStat:
+    """One iteration's critical-path split."""
+
+    index: Any
+    wall: float
+    milp: float
+    refinement: float
+    certificates: float
+    other: float
+    cuts: Any
+
+
+@dataclass(frozen=True)
+class QueryStat:
+    """One slow query with its origin."""
+
+    name: str
+    iteration: Any
+    viewpoint: str
+    path: str
+    remote: bool
+    seconds: float
+
+    @property
+    def origin(self) -> str:
+        if self.path:
+            return f"{self.viewpoint} [{self.path}]"
+        return self.viewpoint
+
+
+@dataclass(frozen=True)
+class CacheStat:
+    """Hit/miss totals of one cache."""
+
+    label: str
+    hits: int
+    misses: int
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class VerificationStats:
+    """Plan-entry provenance under dependency-sliced verification."""
+
+    checks: int
+    verified: int
+    cache_hit: int
+    carried: int
+
+    @property
+    def reused(self) -> int:
+        return self.cache_hit + self.carried
+
+    @property
+    def reuse_rate(self) -> float:
+        return self.reused / self.checks if self.checks else 0.0
+
+
+@dataclass(frozen=True)
+class PortfolioStats:
+    """Per-backend win/route split of the racing solver portfolio."""
+
+    races: int
+    fallbacks: int
+    wins: Dict[str, int]
+    routed: Dict[str, int]
+
+    @property
+    def backends(self) -> List[str]:
+        return sorted(set(self.wins) | set(self.routed))
+
+    @property
+    def total_wins(self) -> int:
+        return sum(self.wins.values())
+
+
+@dataclass(frozen=True)
+class WorkerStat:
+    """Busy time of one worker process within the parallel window."""
+
+    pid: Any
+    spans: int
+    busy: float
+    utilization: float  # fraction of the parallel window, 0..1
+
+
+@dataclass
+class Analysis:
+    """Everything the report and the dashboard need, precomputed."""
+
+    trace: Trace
+    runs: List[RunSummary] = field(default_factory=list)
+    phases: List[PhaseStat] = field(default_factory=list)
+    iterations: List[IterationStat] = field(default_factory=list)
+    queries: List[QueryStat] = field(default_factory=list)
+    caches: List[CacheStat] = field(default_factory=list)
+    verification: Optional[VerificationStats] = None
+    portfolio: Optional[PortfolioStats] = None
+    workers: List[WorkerStat] = field(default_factory=list)
+    worker_window: float = 0.0
 
 
 def phase_totals(trace: Trace) -> Dict[str, Tuple[float, int]]:
@@ -157,36 +332,35 @@ def phase_totals(trace: Trace) -> Dict[str, Tuple[float, int]]:
     return totals
 
 
-def _phase_table(trace: Trace) -> str:
+def phase_stats(trace: Trace) -> List[PhaseStat]:
+    """Phase rows sorted by total time, with histogram quantiles."""
     totals = phase_totals(trace)
-    if not totals:
-        return "no phase spans recorded (run with --trace on an exploration)"
     run_time = sum(s["duration"] for s in trace.named("run")) or sum(
         seconds for seconds, _ in totals.values()
     )
-    rows = [
-        [
-            name,
-            format_seconds(seconds),
-            calls,
-            f"{100.0 * seconds / run_time:.1f}%" if run_time else "-",
-        ]
-        for name, (seconds, calls) in sorted(
-            totals.items(), key=lambda kv: -kv[1][0]
+    stats = []
+    for name, (seconds, calls) in sorted(totals.items(), key=lambda kv: -kv[1][0]):
+        histogram = trace.histogram(f"{name}_seconds")
+        quantiles = histogram.quantiles(QUANTILES) if histogram else {}
+        stats.append(
+            PhaseStat(
+                name,
+                seconds,
+                calls,
+                seconds / run_time if run_time else 0.0,
+                p50=quantiles.get(0.5),
+                p95=quantiles.get(0.95),
+                p99=quantiles.get(0.99),
+            )
         )
-    ]
-    return render_table(
-        ["phase", "total(s)", "calls", "share"], rows, title="Per-phase totals"
-    )
+    return stats
 
 
-def _iteration_table(trace: Trace) -> str:
+def iteration_stats(trace: Trace) -> List[IterationStat]:
     iterations = sorted(
         trace.named("iteration"), key=lambda s: s["attrs"].get("index", 0)
     )
-    if not iterations:
-        return "no iteration spans recorded"
-    rows: List[List[Any]] = []
+    stats = []
     for iteration in iterations:
         phases: Dict[str, float] = {}
         for child in trace.children(iteration["id"]):
@@ -195,107 +369,68 @@ def _iteration_table(trace: Trace) -> str:
                     phases.get(child["name"], 0.0) + child["duration"]
                 )
         accounted = sum(phases.get(name, 0.0) for name in _ITERATION_PHASES)
-        rows.append(
-            [
+        stats.append(
+            IterationStat(
                 iteration["attrs"].get("index", "?"),
-                format_seconds(iteration["duration"]),
-                format_seconds(phases.get("milp_solve", 0.0)),
-                format_seconds(phases.get("refinement", 0.0)),
-                format_seconds(phases.get("certificate_build", 0.0)),
-                format_seconds(max(iteration["duration"] - accounted, 0.0)),
+                iteration["duration"],
+                phases.get("milp_solve", 0.0),
+                phases.get("refinement", 0.0),
+                phases.get("certificate_build", 0.0),
+                max(iteration["duration"] - accounted, 0.0),
                 iteration["attrs"].get("cuts_added", "-"),
-            ]
+            )
         )
-    return render_table(
-        ["iter", "wall(s)", "milp", "refinement", "certificates", "other", "cuts"],
-        rows,
-        title="Per-iteration critical path",
-    )
+    return stats
 
 
-def _slowest_table(trace: Trace, top: int) -> str:
+def query_stats(trace: Trace, top: int = 10) -> List[QueryStat]:
     queries = trace.named(*QUERY_NAMES)
-    if not queries:
-        return "no query spans recorded"
     queries.sort(key=lambda s: -s["duration"])
-    rows: List[List[Any]] = []
+    stats = []
     for span in queries[:top]:
         iteration = trace.ancestor(span, "iteration")
         attrs = span["attrs"]
-        origin = attrs.get("viewpoint", "-")
-        if attrs.get("path"):
-            origin = f"{origin} [{attrs['path']}]"
-        rows.append(
-            [
+        stats.append(
+            QueryStat(
                 span["name"],
                 iteration["attrs"].get("index", "-") if iteration else "-",
-                origin,
-                "yes" if attrs.get("remote") else "no",
-                format_seconds(span["duration"]),
-            ]
+                str(attrs.get("viewpoint", "-")),
+                str(attrs.get("path", "") or ""),
+                bool(attrs.get("remote")),
+                span["duration"],
+            )
         )
-    return render_table(
-        ["span", "iter", "origin (viewpoint [path])", "worker", "time(s)"],
-        rows,
-        title=f"Top {min(top, len(queries))} slowest queries",
-    )
+    return stats
 
 
-def _cache_table(trace: Trace) -> str:
+def cache_stats(trace: Trace) -> List[CacheStat]:
     counters = (trace.metrics or {}).get("counters", {})
     pairs = [
         ("oracle", "oracle_hits", "oracle_misses"),
         ("embedding cache", "embedding_cache_hits", "embedding_cache_misses"),
     ]
-    rows: List[List[Any]] = []
+    stats = []
     for label, hit_key, miss_key in pairs:
-        hits = counters.get(hit_key, 0)
-        misses = counters.get(miss_key, 0)
-        total = hits + misses
-        if not total:
-            continue
-        rows.append(
-            [label, hits, misses, f"{100.0 * hits / total:.1f}%"]
-        )
-    if not rows:
-        return "no cache counters recorded"
-    return render_table(
-        ["cache", "hits", "misses", "hit rate"], rows, title="Cache effectiveness"
-    )
+        stat = CacheStat(label, counters.get(hit_key, 0), counters.get(miss_key, 0))
+        if stat.total:
+            stats.append(stat)
+    return stats
 
 
-def _verification_table(trace: Trace) -> str:
-    """Plan-entry provenance under dependency-sliced verification.
-
-    Reads the ``verify_*`` counters the engine mirrors into the metrics
-    snapshot: how many (viewpoint, path) checks each run planned and
-    what share was answered without re-verifying (carried forward from
-    the previous candidate, or satisfied entirely by oracle cache
-    hits).
-    """
+def verification_stats(trace: Trace) -> Optional[VerificationStats]:
     counters = (trace.metrics or {}).get("counters", {})
     checks = counters.get("verify_checks", 0)
     if not checks:
-        return "no verification-reuse counters (run without --no-incremental)"
-    rows: List[List[Any]] = []
-    for label, key in (
-        ("verified (solver)", "verify_verified"),
-        ("cache hit", "verify_cache_hit"),
-        ("carried forward", "verify_carried"),
-    ):
-        count = counters.get(key, 0)
-        rows.append([label, count, f"{100.0 * count / checks:.1f}%"])
-    reused = counters.get("verify_cache_hit", 0) + counters.get("verify_carried", 0)
-    rows.append(["reused (either)", reused, f"{100.0 * reused / checks:.1f}%"])
-    return render_table(
-        ["provenance", "checks", f"of {checks} planned"],
-        rows,
-        title="Verification reuse",
+        return None
+    return VerificationStats(
+        checks,
+        counters.get("verify_verified", 0),
+        counters.get("verify_cache_hit", 0),
+        counters.get("verify_carried", 0),
     )
 
 
-def _portfolio_table(trace: Trace) -> str:
-    """Per-backend win/route split of the racing solver portfolio."""
+def portfolio_stats(trace: Trace) -> Optional[PortfolioStats]:
     counters = (trace.metrics or {}).get("counters", {})
     races = counters.get("portfolio_races", 0)
     wins = {
@@ -309,17 +444,181 @@ def _portfolio_table(trace: Trace) -> str:
         if key.startswith("portfolio_routed_")
     }
     if not races and not wins and not routed:
-        return "no portfolio counters (run with --portfolio)"
-    total_wins = sum(wins.values())
+        return None
+    return PortfolioStats(
+        races, counters.get("portfolio_fallbacks", 0), wins, routed
+    )
+
+
+def worker_stats(trace: Trace) -> Tuple[List[WorkerStat], float]:
+    """Per-pid busy stats and the parallel window they are measured in."""
+    remote = [s for s in trace.spans if s["attrs"].get("remote")]
+    if not remote:
+        return [], 0.0
+    window_lo = min(s["start"] for s in remote)
+    window_hi = max(s["end"] for s in remote)
+    window = max(window_hi - window_lo, 1e-9)
+    by_pid: Dict[Any, Tuple[float, int]] = {}
+    for span in remote:
+        busy, tasks = by_pid.get(span["pid"], (0.0, 0))
+        by_pid[span["pid"]] = (busy + span["duration"], tasks + 1)
+    stats = [
+        WorkerStat(pid, tasks, busy, busy / window)
+        for pid, (busy, tasks) in sorted(by_pid.items(), key=lambda kv: str(kv[0]))
+    ]
+    return stats, window
+
+
+def run_summaries(trace: Trace) -> List[RunSummary]:
+    return [
+        RunSummary(
+            str(r["attrs"].get("status", "?")),
+            r["duration"],
+            r["attrs"].get("iterations", "?"),
+        )
+        for r in trace.named("run")
+    ]
+
+
+def analyze(trace: Trace, top: int = 10) -> Analysis:
+    """Compute every section once; renderers consume the bundle."""
+    workers, window = worker_stats(trace)
+    return Analysis(
+        trace=trace,
+        runs=run_summaries(trace),
+        phases=phase_stats(trace),
+        iterations=iteration_stats(trace),
+        queries=query_stats(trace, top=top),
+        caches=cache_stats(trace),
+        verification=verification_stats(trace),
+        portfolio=portfolio_stats(trace),
+        workers=workers,
+        worker_window=window,
+    )
+
+
+# -- report sections -----------------------------------------------------------
+
+
+def format_quantile(value: Optional[float]) -> str:
+    """Histogram quantile cell: '-' without one, '>60' past the buckets."""
+    if value is None:
+        return "-"
+    if value == float("inf"):
+        return ">60"
+    return format_seconds(value)
+
+
+def _phase_table(analysis: Analysis) -> str:
+    if not analysis.phases:
+        return "no phase spans recorded (run with --trace on an exploration)"
+    rows = [
+        [
+            stat.name,
+            format_seconds(stat.seconds),
+            stat.calls,
+            f"{100.0 * stat.share:.1f}%" if stat.share else "-",
+            format_quantile(stat.p50),
+            format_quantile(stat.p95),
+            format_quantile(stat.p99),
+        ]
+        for stat in analysis.phases
+    ]
+    return render_table(
+        ["phase", "total(s)", "calls", "share", "p50", "p95", "p99"],
+        rows,
+        title="Per-phase totals",
+    )
+
+
+def _iteration_table(analysis: Analysis) -> str:
+    if not analysis.iterations:
+        return "no iteration spans recorded"
+    rows = [
+        [
+            it.index,
+            format_seconds(it.wall),
+            format_seconds(it.milp),
+            format_seconds(it.refinement),
+            format_seconds(it.certificates),
+            format_seconds(it.other),
+            it.cuts,
+        ]
+        for it in analysis.iterations
+    ]
+    return render_table(
+        ["iter", "wall(s)", "milp", "refinement", "certificates", "other", "cuts"],
+        rows,
+        title="Per-iteration critical path",
+    )
+
+
+def _slowest_table(analysis: Analysis) -> str:
+    if not analysis.queries:
+        return "no query spans recorded"
+    rows = [
+        [
+            q.name,
+            q.iteration,
+            q.origin,
+            "yes" if q.remote else "no",
+            format_seconds(q.seconds),
+        ]
+        for q in analysis.queries
+    ]
+    return render_table(
+        ["span", "iter", "origin (viewpoint [path])", "worker", "time(s)"],
+        rows,
+        title=f"Top {len(analysis.queries)} slowest queries",
+    )
+
+
+def _cache_table(analysis: Analysis) -> str:
+    if not analysis.caches:
+        return "no cache counters recorded"
+    rows = [
+        [c.label, c.hits, c.misses, f"{100.0 * c.hit_rate:.1f}%"]
+        for c in analysis.caches
+    ]
+    return render_table(
+        ["cache", "hits", "misses", "hit rate"], rows, title="Cache effectiveness"
+    )
+
+
+def _verification_table(analysis: Analysis) -> str:
+    stats = analysis.verification
+    if stats is None:
+        return "no verification-reuse counters (run without --no-incremental)"
     rows: List[List[Any]] = []
-    for backend in sorted(set(wins) | set(routed)):
-        won = wins.get(backend, 0)
+    for label, count in (
+        ("verified (solver)", stats.verified),
+        ("cache hit", stats.cache_hit),
+        ("carried forward", stats.carried),
+    ):
+        rows.append([label, count, f"{100.0 * count / stats.checks:.1f}%"])
+    rows.append(
+        ["reused (either)", stats.reused, f"{100.0 * stats.reuse_rate:.1f}%"]
+    )
+    return render_table(
+        ["provenance", "checks", f"of {stats.checks} planned"],
+        rows,
+        title="Verification reuse",
+    )
+
+
+def _portfolio_table(analysis: Analysis) -> str:
+    stats = analysis.portfolio
+    if stats is None:
+        return "no portfolio counters (run with --portfolio)"
+    rows: List[List[Any]] = []
+    for backend in stats.backends:
+        won = stats.wins.get(backend, 0)
         rows.append(
             [
                 backend,
                 won,
-                f"{100.0 * won / total_wins:.1f}%" if total_wins else "-",
-                routed.get(backend, 0),
+                f"{100.0 * won / stats.total_wins:.1f}%" if stats.total_wins else "-",
+                stats.routed.get(backend, 0),
             ]
         )
     table = render_table(
@@ -328,26 +627,23 @@ def _portfolio_table(trace: Trace) -> str:
         title="Solver portfolio",
     )
     footer = (
-        f"{races} race(s), "
-        f"{counters.get('portfolio_fallbacks', 0)} fallback(s) without a pool"
+        f"{stats.races} race(s), "
+        f"{stats.fallbacks} fallback(s) without a pool"
     )
     return f"{table}\n{footer}"
 
 
-def _worker_table(trace: Trace) -> str:
-    remote = [s for s in trace.spans if s["attrs"].get("remote")]
-    if not remote:
+def _worker_table(analysis: Analysis) -> str:
+    if not analysis.workers:
         return "serial run: no worker-side spans"
-    window_lo = min(s["start"] for s in remote)
-    window_hi = max(s["end"] for s in remote)
-    window = max(window_hi - window_lo, 1e-9)
-    by_pid: Dict[Any, Tuple[float, int]] = {}
-    for span in remote:
-        busy, tasks = by_pid.get(span["pid"], (0.0, 0))
-        by_pid[span["pid"]] = (busy + span["duration"], tasks + 1)
     rows = [
-        [pid, tasks, format_seconds(busy), f"{100.0 * busy / window:.1f}%"]
-        for pid, (busy, tasks) in sorted(by_pid.items(), key=lambda kv: str(kv[0]))
+        [
+            w.pid,
+            w.spans,
+            format_seconds(w.busy),
+            f"{100.0 * w.utilization:.1f}%",
+        ]
+        for w in analysis.workers
     ]
     return render_table(
         ["worker (pid)", "spans", "busy(s)", "of parallel window"],
@@ -358,30 +654,29 @@ def _worker_table(trace: Trace) -> str:
 
 def render_report(trace: Trace, top: int = 10) -> str:
     """The full offline report, section by section."""
+    analysis = analyze(trace, top=top)
     header = []
     if trace.meta.get("trace_id"):
         header.append(f"trace:  {trace.meta['trace_id']}")
-    runs = trace.named("run")
-    header.append(f"spans:  {len(trace.spans)} ({len(runs)} run(s))")
-    if runs:
+    header.append(f"spans:  {len(trace.spans)} ({len(analysis.runs)} run(s))")
+    if analysis.runs:
         header.append(
             "runs:   "
             + "; ".join(
-                f"{r['attrs'].get('status', '?')} in "
-                f"{format_seconds(r['duration'])}s, "
-                f"{r['attrs'].get('iterations', '?')} iterations"
-                for r in runs
+                f"{r.status} in {format_seconds(r.duration)}s, "
+                f"{r.iterations} iterations"
+                for r in analysis.runs
             )
         )
     sections = [
         "\n".join(header),
-        _phase_table(trace),
-        _iteration_table(trace),
-        _slowest_table(trace, top),
-        _cache_table(trace),
-        _verification_table(trace),
-        _portfolio_table(trace),
-        _worker_table(trace),
+        _phase_table(analysis),
+        _iteration_table(analysis),
+        _slowest_table(analysis),
+        _cache_table(analysis),
+        _verification_table(analysis),
+        _portfolio_table(analysis),
+        _worker_table(analysis),
     ]
     return "\n\n".join(sections)
 

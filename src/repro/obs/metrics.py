@@ -75,7 +75,12 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: upper bound of the covering bucket."""
+        """Approximate quantile: upper bound of the covering bucket.
+
+        Observations that landed in the +inf overflow slot report
+        ``float("inf")`` — the histogram only knows they exceeded the
+        last bound.
+        """
         if not self.count:
             return 0.0
         target = q * self.count
@@ -85,6 +90,29 @@ class Histogram:
             if seen >= target and bucket:
                 return self.bounds[i] if i < len(self.bounds) else float("inf")
         return float("inf")
+
+    def quantiles(
+        self, qs: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[float, float]:
+        """p50/p95/p99 (by default) in one call, for report tables."""
+        return {q: self.quantile(q) for q in qs}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        """Rebuild a histogram from its :meth:`to_dict` snapshot.
+
+        This is how offline consumers (the trace analyzer, the
+        dashboard) get :meth:`quantile` estimates back out of a
+        serialized metrics snapshot.
+        """
+        histogram = cls(tuple(data["bounds"]))
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != len(histogram.counts):
+            raise ValueError("histogram snapshot has mismatched bucket count")
+        histogram.counts = counts
+        histogram.total = float(data["sum"])
+        histogram.count = int(data["count"])
+        return histogram
 
     def to_dict(self) -> Dict[str, Any]:
         return {

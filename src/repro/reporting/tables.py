@@ -25,6 +25,18 @@ def format_seconds(value: Optional[float]) -> str:
     return f"{value:.2f}"
 
 
+def format_signed(delta: float, unit: str = "", nd: int = 3) -> str:
+    """Render a signed delta cell ("+0.120s", "-3", "+0.0%").
+
+    Zero keeps an explicit "+0" so diff tables stay column-stable: the
+    sign column never collapses when a metric happens to be unchanged.
+    """
+    text = f"{delta:+.{nd}f}".rstrip("0").rstrip(".")
+    if text in ("+", "-"):
+        text = "+0"
+    return f"{text}{unit}"
+
+
 def _render_cell(cell: Cell) -> str:
     if cell is None:
         return "-"

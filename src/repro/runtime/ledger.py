@@ -29,7 +29,8 @@ uninterrupted sweep's records modulo wall-clock-dependent fields.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.runtime.job import JobSpec
 from repro.runtime.telemetry import iter_events
@@ -89,6 +90,167 @@ def plan_resume(
         if spec.job_id in completed
     }
     return todo, replay
+
+
+#: Journal events that record the runtime fighting something — retries,
+#: degradation, backstop timeouts, cancellation — as opposed to the
+#: ordinary job lifecycle. The fleet dashboard plots these as markers.
+INCIDENT_EVENTS = frozenset(
+    {"job_retry", "scheduler_degraded", "job_timeout", "sweep_cancelled"}
+)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One runtime incident extracted from a sweep journal."""
+
+    kind: str  # the journal event name
+    ts: float  # absolute journal timestamp (Unix seconds)
+    job_id: Optional[str] = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class JobLane:
+    """One job's swimlane: first submission to terminal outcome."""
+
+    job_id: str
+    label: str
+    start: float  # first job_start ts (or end ts for replayed jobs)
+    end: float  # terminal job_end ts
+    status: str
+    attempts: int
+    replayed: bool  # terminal record predates the last sweep_resume
+
+
+@dataclass
+class SweepTimeline:
+    """A sweep journal reduced to what the fleet view plots.
+
+    ``origin`` is the first event timestamp — all rendering is relative
+    to it, so two identical journals produce identical views regardless
+    of when they were recorded.
+    """
+
+    origin: float = 0.0
+    end: float = 0.0
+    jobs: List[JobLane] = field(default_factory=list)
+    incidents: List[Incident] = field(default_factory=list)
+    total_jobs: int = 0  # from sweep_start, 0 if the header is missing
+    workers: int = 0
+    resume_ts: Optional[float] = None  # last sweep_resume, if any
+    replayed: int = 0  # jobs replayed from the ledger on resume
+    depth: List[Tuple[float, int]] = field(default_factory=list)  # (ts, in-flight)
+
+
+def extract_incidents(path: str, strict: bool = False) -> List[Incident]:
+    """Pull retry/backoff/degradation incidents out of a sweep journal.
+
+    Each :data:`INCIDENT_EVENTS` record becomes one :class:`Incident`
+    with a human-readable ``detail`` line, in journal order — the
+    mechanical input behind the dashboard's incident markers and table.
+    """
+    incidents: List[Incident] = []
+    for event in iter_events(path, strict=strict):
+        kind = event.get("event")
+        if kind not in INCIDENT_EVENTS:
+            continue
+        ts = float(event.get("ts", 0.0))
+        if kind == "job_retry":
+            detail = (
+                f"attempt {event.get('attempt', '?')} crashed, "
+                f"backoff {event.get('backoff', 0.0):.2f}s"
+            )
+        elif kind == "scheduler_degraded":
+            detail = (
+                f"{event.get('rebuilds', '?')} pool rebuilds, "
+                f"{event.get('remaining', '?')} jobs drained serially"
+            )
+        elif kind == "job_timeout":
+            detail = (
+                f"no response after {event.get('after', '?')}s "
+                f"({event.get('stage', 'worker')})"
+            )
+        else:  # sweep_cancelled
+            detail = f"{event.get('completed', '?')} jobs completed before cancel"
+        incidents.append(Incident(kind, ts, event.get("job_id"), detail))
+    return incidents
+
+
+def sweep_timeline(path: str, strict: bool = False) -> SweepTimeline:
+    """Reduce a sweep journal to job swimlanes, incidents and queue depth.
+
+    Jobs keep journal (start) order. A job whose terminal ``job_end``
+    precedes the last ``sweep_resume`` marker was replayed from the
+    ledger rather than executed by the resuming run. The ``depth``
+    series steps at every start/end: how many jobs were in flight.
+    """
+    events = list(iter_events(path, strict=strict))
+    timeline = SweepTimeline()
+    if not events:
+        return timeline
+    timeline.origin = float(events[0].get("ts", 0.0))
+    timeline.end = float(events[-1].get("ts", timeline.origin))
+    first_start: Dict[str, float] = {}
+    order: List[str] = []
+    terminal: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        kind = event.get("event")
+        ts = float(event.get("ts", 0.0))
+        job_id = event.get("job_id")
+        if kind == "sweep_start":
+            timeline.total_jobs = int(event.get("jobs", 0))
+            timeline.workers = int(event.get("workers", 0))
+        elif kind == "sweep_resume":
+            timeline.resume_ts = ts
+            timeline.replayed = int(event.get("replayed", 0))
+        elif kind == "job_start" and job_id:
+            if job_id not in first_start:
+                first_start[job_id] = ts
+                order.append(job_id)
+        elif kind == "job_end" and job_id:
+            if job_id not in first_start:
+                order.append(job_id)  # replayed: no start in this journal slice
+            terminal[job_id] = dict(event, ts=ts)
+    for job_id in order:
+        record = terminal.get(job_id)
+        end_ts = float(record["ts"]) if record else timeline.end
+        start_ts = first_start.get(job_id, end_ts)
+        replayed = (
+            timeline.resume_ts is not None
+            and record is not None
+            and float(record["ts"]) < timeline.resume_ts
+        )
+        spec = (record or {}).get("spec") or {}
+        timeline.jobs.append(
+            JobLane(
+                job_id,
+                str(spec.get("label") or (record or {}).get("label") or job_id[:8]),
+                start_ts,
+                end_ts,
+                str((record or {}).get("status", "unfinished")),
+                int((record or {}).get("attempts", 1) or 1),
+                bool(replayed),
+            )
+        )
+    timeline.incidents = extract_incidents(path, strict=strict)
+    # In-flight depth: +1 at each first start, -1 at each terminal end.
+    steps: List[Tuple[float, int]] = []
+    for lane in timeline.jobs:
+        if not lane.replayed and lane.start < lane.end:
+            steps.append((lane.start, +1))
+            steps.append((lane.end, -1))
+    steps.sort()
+    depth = 0
+    series: List[Tuple[float, int]] = []
+    for ts, delta in steps:
+        depth += delta
+        if series and series[-1][0] == ts:
+            series[-1] = (ts, depth)
+        else:
+            series.append((ts, depth))
+    timeline.depth = series
+    return timeline
 
 
 def canonical_record(record: Dict[str, Any]) -> Dict[str, Any]:

@@ -285,6 +285,58 @@ class TestTracing:
         assert "Per-iteration critical path" in out
         assert "Cache effectiveness" in out
 
+    def test_obs_html_dashboard_from_traced_run(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        out = str(tmp_path / "dash.html")
+        assert main(["epn", "--left", "1", "--right", "0",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["obs", trace, "--html", out]) == 0
+        page = open(out, encoding="utf-8").read()
+        assert page.startswith("<!DOCTYPE html>")
+        assert 'id="waterfall"' in page
+        assert "https://" not in page  # self-contained, no CDN
+
+    def test_obs_sweep_fleet_view(self, capsys, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        out = str(tmp_path / "fleet.html")
+        assert main(
+            ["sweep", "--grid", "fig5-rpl", "--limit", "1", "--serial",
+             "--max-iterations", "200", "--telemetry", journal]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "--sweep", journal, "--html", out]) == 0
+        page = open(out, encoding="utf-8").read()
+        assert 'id="sweep"' in page
+        assert 'id="fleet-svg"' in page
+        # Text fleet summary without --html.
+        assert main(["obs", "--sweep", journal]) == 0
+        assert "Sweep fleet" in capsys.readouterr().out
+
+    def test_obs_diff_dispatch_and_exit_codes(self, capsys, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["epn", "--left", "1", "--right", "0",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        # Self-diff: zero deltas, exit 0 even with a 0% threshold.
+        assert main(["obs", "diff", trace, trace,
+                     "--fail-on-regression", "0"]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+        # --json emits machine-readable records.
+        assert main(["obs", "diff", trace, trace, "--json"]) == 0
+        import json as json_mod
+
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["regressions"] == 0
+
+    def test_obs_usage_errors(self, capsys, tmp_path):
+        assert main(["obs"]) == 2
+        assert "usage:" in capsys.readouterr().err
+        assert main(["obs", "diff", "just-one"]) == 2
+        assert "diff BASE OTHER" in capsys.readouterr().err
+        assert main(["obs", "a.jsonl", "b.jsonl"]) == 2
+        assert "one trace" in capsys.readouterr().err
+
     def test_profile_output_is_stable_under_tracing(self, capsys, tmp_path):
         # Golden check: --profile's phase table must list the same
         # phases with the same call counts whether or not --trace rides

@@ -1,0 +1,131 @@
+"""Regenerate the committed obs fixtures (mini trace + sweep journal).
+
+Run from the repo root:
+
+    PYTHONPATH=src python tests/test_obs/data/gen_fixtures.py
+
+The fixtures use hand-picked synthetic timestamps (origin 1000.0 for
+the trace, 2000.0 for the journal) instead of a live Tracer — the
+dashboard golden tests need byte-stable inputs, and ``time.time()``
+would re-stamp them on every regeneration. Record shapes mirror
+``JsonlSink`` (trace) and ``TelemetryLogger`` (journal) exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.metrics import Metrics
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def span(name, sid, parent, start, end, attrs=None, pid=101):
+    return {
+        "type": "span",
+        "name": name,
+        "id": sid,
+        "parent": parent,
+        "start": start,
+        "end": end,
+        "duration": end - start,
+        "attrs": attrs or {},
+        "pid": pid,
+    }
+
+
+def trace_records():
+    yield {"type": "trace", "trace_id": "mini-trace", "format": "jsonl"}
+    yield span("run", "r0", None, 1000.0, 1010.0,
+               {"status": "optimal", "iterations": 2})
+    # iteration 0: matrix build + solve + refinement, one local query
+    yield span("iteration", "i0", "r0", 1000.0, 1004.0,
+               {"index": 0, "cuts_added": 2})
+    yield span("matrix_build", "i0p0", "i0", 1000.0, 1000.5)
+    yield span("milp_solve", "i0p1", "i0", 1000.5, 1002.5)
+    yield span("refinement", "i0p2", "i0", 1002.5, 1003.8)
+    yield span("sat_query", "i0q0", "i0p2", 1002.6, 1003.4,
+               {"viewpoint": "timing", "path": "A/B"})
+    # iteration 1: solve + parallel refinement on two workers
+    yield span("iteration", "i1", "r0", 1004.0, 1010.0,
+               {"index": 1, "cuts_added": 0})
+    yield span("milp_solve", "i1p0", "i1", 1004.0, 1005.0)
+    yield span("refinement", "i1p1", "i1", 1005.0, 1008.5)
+    yield span("parallel_dispatch", "i1p2", "i1", 1005.0, 1005.2)
+    yield span("worker_wait", "i1p3", "i1", 1008.5, 1008.7)
+    yield span("certificate_build", "i1p4", "i1", 1008.7, 1009.9)
+    yield span("sat_query", "i1q0", "i1p1", 1005.3, 1007.9,
+               {"viewpoint": "power", "path": "A/C", "remote": True}, pid=202)
+    yield span("sat_query", "i1q1", "i1p1", 1005.3, 1006.6,
+               {"viewpoint": "timing", "remote": True}, pid=203)
+    yield span("embedding_partition", "i1q2", "i1p1", 1006.7, 1007.2,
+               {"remote": True}, pid=203)
+    metrics = Metrics()
+    for name, values in (
+        ("milp_solve_seconds", (2.0, 1.0)),
+        ("refinement_seconds", (1.3, 3.5)),
+        ("sat_query_seconds", (0.8, 2.6, 1.3)),
+    ):
+        for value in values:
+            metrics.observe(name, value)
+    for name, value in (
+        ("oracle_hits", 6),
+        ("oracle_misses", 2),
+        ("embedding_cache_hits", 3),
+        ("embedding_cache_misses", 1),
+        ("verify_checks", 20),
+        ("verify_verified", 3),
+        ("verify_cache_hit", 12),
+        ("verify_carried", 5),
+        ("portfolio_races", 4),
+        ("portfolio_fallbacks", 2),
+        ("portfolio_wins_native", 3),
+        ("portfolio_wins_scipy", 1),
+        ("portfolio_routed_native", 12),
+    ):
+        metrics.counter(name, value)
+    yield {"type": "metrics", "metrics": metrics.snapshot()}
+
+
+def journal_events():
+    yield {"event": "sweep_start", "ts": 2000.0, "jobs": 4, "workers": 2,
+           "grid": "table2"}
+    # job A finished in the journal before this (resumed) run started.
+    yield {"event": "job_end", "ts": 2000.5, "job_id": "aaaa1111" * 5,
+           "status": "optimal", "attempts": 1, "duration": 3.0,
+           "spec": {"label": "epn-1,0,0"}}
+    yield {"event": "sweep_resume", "ts": 2001.0, "replayed": 1, "pending": 3}
+    yield {"event": "job_start", "ts": 2001.2, "job_id": "bbbb2222" * 5,
+           "label": "epn-2,0,0"}
+    yield {"event": "job_start", "ts": 2001.3, "job_id": "cccc3333" * 5,
+           "label": "epn-2,1,0"}
+    yield {"event": "job_retry", "ts": 2002.0, "job_id": "bbbb2222" * 5,
+           "attempt": 1, "backoff": 0.5, "error": "worker crashed"}
+    yield {"event": "job_end", "ts": 2003.0, "job_id": "cccc3333" * 5,
+           "status": "optimal", "attempts": 1, "duration": 1.7,
+           "spec": {"label": "epn-2,1,0"}}
+    yield {"event": "job_end", "ts": 2004.0, "job_id": "bbbb2222" * 5,
+           "status": "optimal", "attempts": 2, "duration": 2.8,
+           "spec": {"label": "epn-2,0,0"}}
+    yield {"event": "job_start", "ts": 2004.1, "job_id": "dddd4444" * 5,
+           "label": "epn-3,0,0"}
+    yield {"event": "job_timeout", "ts": 2006.0, "job_id": "dddd4444" * 5,
+           "after": 2.0, "stage": "worker"}
+    yield {"event": "job_end", "ts": 2006.2, "job_id": "dddd4444" * 5,
+           "status": "timeout", "attempts": 1, "duration": 2.1,
+           "spec": {"label": "epn-3,0,0"}}
+    yield {"event": "scheduler_degraded", "ts": 2006.5, "rebuilds": 3,
+           "remaining": 0}
+
+
+def write_jsonl(path, records):
+    with open(path, "w", encoding="utf-8") as stream:
+        for record in records:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+if __name__ == "__main__":
+    write_jsonl(os.path.join(HERE, "mini_trace.jsonl"), trace_records())
+    write_jsonl(os.path.join(HERE, "mini_sweep.jsonl"), journal_events())
+    print("wrote mini_trace.jsonl and mini_sweep.jsonl")

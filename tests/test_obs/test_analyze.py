@@ -181,3 +181,93 @@ class TestVerificationAndPortfolioSections:
         assert "no verification-reuse counters" not in report
         assert "Solver portfolio" in report
         assert "no portfolio counters" not in report
+
+
+class TestTornLineTolerance:
+    """JSONL traces tolerate the torn final line a killed run leaves."""
+
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path):
+        import pytest
+
+        from repro.runtime.telemetry import TruncatedJournalWarning
+
+        path = str(tmp_path / "trace.jsonl")
+        _record_sample(JsonlSink(path))
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"type": "span", "na')  # SIGKILL mid-write
+        with pytest.warns(TruncatedJournalWarning):
+            trace = load_trace(path)
+        assert len(trace.spans) == 5  # the torn line is dropped, rest kept
+        assert trace.metrics["counters"]["oracle_hits"] == 3
+
+    def test_strict_mode_raises(self, tmp_path):
+        import pytest
+
+        path = str(tmp_path / "trace.jsonl")
+        _record_sample(JsonlSink(path))
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"type": "span", "na')
+        with pytest.raises(json.JSONDecodeError):
+            load_trace(path, strict=True)
+
+
+class TestQuantileColumns:
+    """The phase table surfaces p50/p95/p99 from the histograms."""
+
+    def _record_with_latencies(self, sink):
+        with Tracer([sink]) as t:
+            with t.span("run") as run:
+                run.attrs["status"] = "optimal"
+                with t.span("milp_solve"):
+                    pass
+            for value in (0.05, 0.08, 0.09, 2.0):
+                t.metrics.observe("milp_solve_seconds", value)
+
+    def test_phase_table_has_quantiles(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        self._record_with_latencies(JsonlSink(path))
+        report = render_report(load_trace(path))
+        assert "| p50" in report and "| p95" in report and "| p99" in report
+        # p50 of (0.05, 0.08, 0.09, 2.0) covers the 0.1 bucket bound;
+        # p95/p99 land in the 2.5 bucket.
+        assert "0.10" in report
+        assert "2.50" in report
+
+    def test_overflow_bucket_renders_as_gt60(self, tmp_path):
+        from repro.obs.analyze import format_quantile
+
+        assert format_quantile(float("inf")) == ">60"
+        assert format_quantile(None) == "-"
+        path = str(tmp_path / "trace.jsonl")
+        with Tracer([JsonlSink(path)]) as t:
+            with t.span("milp_solve"):
+                pass
+            t.metrics.observe("milp_solve_seconds", 90.0)  # past 60s bound
+        report = render_report(load_trace(path))
+        assert ">60" in report  # and no infinite loop in format_seconds
+
+    def test_phases_without_histograms_show_dashes(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        _record_sample(JsonlSink(path))
+        report = render_report(load_trace(path))
+        assert "| -" in report
+
+
+class TestStructuredAnalysis:
+    """analyze() bundles every section as dataclasses for renderers."""
+
+    def test_bundle_fields(self, tmp_path):
+        from repro.obs.analyze import analyze
+
+        path = str(tmp_path / "trace.jsonl")
+        _record_sample(JsonlSink(path))
+        analysis = analyze(load_trace(path))
+        assert analysis.runs[0].status == "optimal"
+        assert analysis.phases[0].calls >= 1
+        assert analysis.iterations[0].cuts == 2
+        assert analysis.queries[0].origin == "timing [src->sink]"
+        oracle = {c.label: c for c in analysis.caches}["oracle"]
+        assert oracle.hit_rate == 0.75
+        assert analysis.verification is None  # no verify counters here
+        assert analysis.portfolio is None
+        assert analysis.workers == []

@@ -1,0 +1,194 @@
+"""Tests for the self-contained HTML dashboard and sweep fleet view.
+
+The committed fixtures (``data/mini_trace.jsonl``,
+``data/mini_sweep.jsonl`` — regenerate with ``data/gen_fixtures.py``)
+use synthetic timestamps, so these tests can pin structure and bytes:
+the golden test locks the section ids and their order, the determinism
+test locks byte-identity across renders, and both CI and the docs rely
+on those guarantees.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.analyze import analyze, load_trace
+from repro.obs.dashboard import (
+    main as dashboard_main,
+    render_dashboard,
+    render_fleet_text,
+)
+from repro.runtime.ledger import sweep_timeline
+
+DATA = os.path.join(os.path.dirname(os.path.abspath(__file__)), "data")
+MINI_TRACE = os.path.join(DATA, "mini_trace.jsonl")
+MINI_SWEEP = os.path.join(DATA, "mini_sweep.jsonl")
+
+#: Stable section ids, in document order — the structural golden. Any
+#: re-ordering or removal is a deliberate, test-visible change.
+GOLDEN_SECTION_IDS = [
+    'id="header"',
+    'id="summary"',
+    'id="waterfall"',
+    'id="waterfall-svg"',
+    'id="workers"',
+    'id="workers-svg"',
+    'id="reuse"',
+    'id="reuse-svg"',
+    'id="portfolio"',
+    'id="portfolio-svg"',
+    'id="queries"',
+    'id="queries-table"',
+    'id="sweep"',
+    'id="fleet-svg"',
+    'id="sweep-depth"',
+    'id="depth-svg"',
+    'id="sweep-incidents"',
+    'id="incidents-table"',
+    'id="tooltip"',
+]
+
+
+@pytest.fixture(scope="module")
+def page():
+    analysis = analyze(load_trace(MINI_TRACE))
+    timeline = sweep_timeline(MINI_SWEEP)
+    return render_dashboard(analysis=analysis, timeline=timeline)
+
+
+class TestGoldenStructure:
+    def test_section_ids_in_order(self, page):
+        position = -1
+        for marker in GOLDEN_SECTION_IDS:
+            found = page.find(marker)
+            assert found > position, f"{marker} missing or out of order"
+            position = found
+
+    def test_self_contained(self, page):
+        """Works from file://: no CDN, no external fetch of any kind."""
+        assert "http://" not in page
+        assert "https://" not in page
+        for tag in ("<link", "src=", "@import", "url("):
+            assert tag not in page
+
+    def test_no_wall_clock_stamp(self, page):
+        """No generated-at timestamp — the determinism prerequisite."""
+        assert "created" not in page
+        assert "2026" not in page  # no absolute dates anywhere
+
+    def test_waterfall_has_iteration_rows_and_phases(self, page):
+        assert 'id="iter-0"' in page
+        assert 'id="iter-1"' in page
+        assert 'class="mark ph-milp_solve"' in page
+        assert 'class="mark ph-refinement"' in page
+
+    def test_stat_tiles(self, page):
+        assert "oracle hit rate" in page
+        assert "75.0%" in page
+        assert "verification reuse" in page
+        assert "85.0%" in page
+        # Quantile tiles from the <phase>_seconds histograms.
+        assert "refinement p95" in page
+        assert "p50" in page and "p99" in page
+
+    def test_worker_lanes(self, page):
+        assert "pid 202" in page
+        assert "pid 203" in page
+
+    def test_dark_mode_palette_selected(self, page):
+        """Dark mode is its own stepped palette, not an automatic flip."""
+        assert "prefers-color-scheme: dark" in page
+        assert "#2a78d6" in page  # light blue step
+        assert "#3987e5" in page  # dark blue step
+
+    def test_tooltips_attached_to_marks(self, page):
+        assert page.count("data-tip=") > 10
+        assert 'id="tooltip"' in page
+
+
+class TestFleetView:
+    def test_swimlanes_and_status_colors(self, page):
+        for label in ("epn-1,0,0", "epn-2,0,0", "epn-2,1,0", "epn-3,0,0"):
+            assert label in page
+        assert 'class="mark job-good"' in page  # optimal jobs
+        assert 'class="mark job-serious"' in page  # the timeout
+        assert "job-replayed" in page  # replayed lane is ghosted
+
+    def test_replayed_vs_fresh_split(self, page):
+        assert "fresh vs replayed" in page
+        assert "3 / 1" in page
+
+    def test_incident_markers_and_table(self, page):
+        assert 'id="incident-0"' in page
+        assert "attempt 1 crashed, backoff 0.50s" in page
+        assert "scheduler_degraded" in page
+        assert "no response after 2.0s (worker)" in page
+
+    def test_resume_marker(self, page):
+        assert "resume-line" in page
+
+    def test_queue_depth_curve(self, page):
+        assert 'id="depth-svg"' in page
+        assert "depth-line" in page
+        assert "in flight (peak 2)" in page
+
+
+class TestDeterminism:
+    def test_byte_identical_renders(self):
+        analysis = analyze(load_trace(MINI_TRACE))
+        timeline = sweep_timeline(MINI_SWEEP)
+        first = render_dashboard(analysis=analysis, timeline=timeline)
+        second = render_dashboard(
+            analysis=analyze(load_trace(MINI_TRACE)),
+            timeline=sweep_timeline(MINI_SWEEP),
+        )
+        assert first == second
+
+    def test_main_writes_identical_files(self, tmp_path):
+        a, b = tmp_path / "a.html", tmp_path / "b.html"
+        assert dashboard_main(MINI_TRACE, html_path=str(a)) == 0
+        assert dashboard_main(MINI_TRACE, html_path=str(b)) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestPartialInputs:
+    def test_trace_only(self):
+        page = render_dashboard(analysis=analyze(load_trace(MINI_TRACE)))
+        assert 'id="waterfall"' in page
+        assert 'id="sweep"' not in page
+
+    def test_sweep_only(self):
+        page = render_dashboard(timeline=sweep_timeline(MINI_SWEEP))
+        assert 'id="sweep"' in page
+        assert 'id="waterfall"' not in page
+
+    def test_neither_raises(self):
+        with pytest.raises(ValueError):
+            render_dashboard()
+
+    def test_empty_trace_renders_empty_states(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"type": "trace", "trace_id": "t"}\n')
+        page = render_dashboard(analysis=analyze(load_trace(str(path))))
+        assert "no iteration spans recorded" in page
+        assert "serial run: no worker-side spans" in page
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        code = dashboard_main(
+            str(tmp_path / "nope.jsonl"), html_path=str(tmp_path / "o.html")
+        )
+        assert code == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestFleetText:
+    def test_text_summary(self):
+        text = render_fleet_text(sweep_timeline(MINI_SWEEP))
+        assert "Sweep fleet (4 jobs)" in text
+        assert "replayed" in text and "fresh" in text
+        assert "job_retry" in text
+
+    def test_main_sweep_without_html(self, capsys):
+        assert dashboard_main(None, sweep_path=MINI_SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "Sweep fleet (4 jobs)" in out

@@ -87,3 +87,32 @@ class TestMetrics:
         m.gauge("b", 1.5)
         m.observe("c", 0.1)
         json.dumps(m.snapshot())  # must not raise
+
+
+class TestQuantileHelpers:
+    def test_quantiles_default_triple(self):
+        h = Histogram()
+        for value in (0.05, 0.08, 0.09, 2.0):
+            h.observe(value)
+        qs = h.quantiles()
+        assert set(qs) == {0.5, 0.95, 0.99}
+        assert qs[0.5] == 0.1
+        assert qs[0.95] == 2.5
+
+    def test_from_dict_round_trip(self):
+        h = Histogram()
+        for value in (0.003, 0.4, 75.0):
+            h.observe(value)
+        rebuilt = Histogram.from_dict(h.to_dict())
+        assert rebuilt.counts == h.counts
+        assert rebuilt.count == 3
+        assert rebuilt.mean == h.mean
+        assert rebuilt.quantile(0.99) == float("inf")  # 75s overflowed
+
+    def test_from_dict_rejects_mismatched_counts(self):
+        import pytest
+
+        data = Histogram().to_dict()
+        data["counts"] = data["counts"][:-1]
+        with pytest.raises(ValueError):
+            Histogram.from_dict(data)

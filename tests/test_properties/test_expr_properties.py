@@ -135,8 +135,17 @@ class TestFormulaProperties:
         assert folded.value == formula.evaluate(point)
 
 
-def _near_boundary(formula, point, margin=1e-3) -> bool:
-    """Whether any comparison atom evaluates within ``margin`` of 0."""
+def _near_boundary(formula, point, margin=None) -> bool:
+    """Whether any comparison atom evaluates within ``margin`` of 0.
+
+    The margin must cover the full NEGATION_EPS shift: a negated atom's
+    verdict may legitimately flip anywhere inside ``|value| < eps``, not
+    just within some tighter band.
+    """
+    if margin is None:
+        from repro.expr.transform import NEGATION_EPS
+
+        margin = NEGATION_EPS
     for atom in formula.atoms():
         if isinstance(atom, Comparison):
             if abs(atom.expr.evaluate(point)) < margin:

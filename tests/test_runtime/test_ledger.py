@@ -223,3 +223,116 @@ class TestCanonicalRecord:
             assert gone not in canonical
         for gone in ("total_time", "milp_time", "oracle_cache"):
             assert gone not in canonical["stats"]
+
+
+class TestIncidentExtraction:
+    def _journal(self, tmp_path, events):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(
+            "".join(json.dumps(e) + "\n" for e in events), encoding="utf-8"
+        )
+        return str(path)
+
+    def test_extracts_each_incident_kind(self, tmp_path):
+        from repro.runtime.ledger import extract_incidents
+
+        path = self._journal(tmp_path, [
+            {"event": "sweep_start", "ts": 1.0, "jobs": 2, "workers": 2},
+            {"event": "job_retry", "ts": 2.0, "job_id": "j1", "attempt": 1,
+             "backoff": 0.25},
+            {"event": "job_timeout", "ts": 3.0, "job_id": "j2", "after": 5.0,
+             "stage": "worker"},
+            {"event": "scheduler_degraded", "ts": 4.0, "rebuilds": 3,
+             "remaining": 1},
+            {"event": "sweep_cancelled", "ts": 5.0, "completed": 1},
+        ])
+        incidents = extract_incidents(path)
+        assert [i.kind for i in incidents] == [
+            "job_retry", "job_timeout", "scheduler_degraded", "sweep_cancelled",
+        ]
+        assert incidents[0].job_id == "j1"
+        assert "backoff 0.25s" in incidents[0].detail
+        assert "after 5.0s" in incidents[1].detail
+        assert "3 pool rebuilds" in incidents[2].detail
+
+    def test_lifecycle_events_are_not_incidents(self, tmp_path):
+        from repro.runtime.ledger import extract_incidents
+
+        path = self._journal(tmp_path, [
+            {"event": "job_start", "ts": 1.0, "job_id": "j1"},
+            {"event": "job_end", "ts": 2.0, "job_id": "j1",
+             "status": "optimal"},
+        ])
+        assert extract_incidents(path) == []
+
+
+class TestSweepTimeline:
+    def _journal(self, tmp_path, events):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(
+            "".join(json.dumps(e) + "\n" for e in events), encoding="utf-8"
+        )
+        return str(path)
+
+    def test_lanes_keep_journal_order_and_labels(self, tmp_path):
+        from repro.runtime.ledger import sweep_timeline
+
+        path = self._journal(tmp_path, [
+            {"event": "sweep_start", "ts": 10.0, "jobs": 2, "workers": 2},
+            {"event": "job_start", "ts": 11.0, "job_id": "b" * 40},
+            {"event": "job_start", "ts": 11.5, "job_id": "a" * 40},
+            {"event": "job_end", "ts": 13.0, "job_id": "a" * 40,
+             "status": "optimal", "attempts": 1, "spec": {"label": "g-a"}},
+            {"event": "job_end", "ts": 14.0, "job_id": "b" * 40,
+             "status": "error", "attempts": 2, "spec": {"label": "g-b"}},
+        ])
+        timeline = sweep_timeline(path)
+        assert timeline.origin == 10.0 and timeline.end == 14.0
+        assert timeline.workers == 2
+        assert [l.label for l in timeline.jobs] == ["g-b", "g-a"]
+        assert [l.status for l in timeline.jobs] == ["error", "optimal"]
+        assert timeline.jobs[0].attempts == 2
+        assert not any(l.replayed for l in timeline.jobs)
+
+    def test_replayed_lanes_precede_resume_marker(self, tmp_path):
+        from repro.runtime.ledger import sweep_timeline
+
+        path = self._journal(tmp_path, [
+            {"event": "job_end", "ts": 1.0, "job_id": "a" * 40,
+             "status": "optimal", "spec": {"label": "old"}},
+            {"event": "sweep_resume", "ts": 2.0, "replayed": 1, "pending": 1},
+            {"event": "job_start", "ts": 2.5, "job_id": "b" * 40},
+            {"event": "job_end", "ts": 3.0, "job_id": "b" * 40,
+             "status": "optimal", "spec": {"label": "new"}},
+        ])
+        timeline = sweep_timeline(path)
+        assert timeline.resume_ts == 2.0 and timeline.replayed == 1
+        by_label = {l.label: l for l in timeline.jobs}
+        assert by_label["old"].replayed is True
+        assert by_label["new"].replayed is False
+
+    def test_depth_steps_and_unfinished_jobs(self, tmp_path):
+        from repro.runtime.ledger import sweep_timeline
+
+        path = self._journal(tmp_path, [
+            {"event": "job_start", "ts": 1.0, "job_id": "a" * 40},
+            {"event": "job_start", "ts": 2.0, "job_id": "b" * 40},
+            {"event": "job_end", "ts": 3.0, "job_id": "a" * 40,
+             "status": "optimal"},
+            {"event": "job_start", "ts": 3.5, "job_id": "c" * 40},
+        ])
+        timeline = sweep_timeline(path)
+        # c and b never ended: unfinished lanes close at journal end.
+        by_status = [l.status for l in timeline.jobs]
+        assert by_status.count("unfinished") == 2
+        assert timeline.depth[0] == (1.0, 1)
+        assert (2.0, 2) in timeline.depth
+        assert (3.0, 1) in timeline.depth
+
+    def test_empty_journal(self, tmp_path):
+        from repro.runtime.ledger import sweep_timeline
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        timeline = sweep_timeline(str(path))
+        assert timeline.jobs == [] and timeline.incidents == []
