@@ -10,6 +10,12 @@ Commands:
 * ``diagnose`` — explain why an over-constrained design space is empty;
 * ``sweep``    — fan a job grid (Table II / Fig. 5) out over a process
   pool, with an optional on-disk oracle cache and JSONL telemetry;
+* ``serve``    — run the exploration job server: HTTP+JSON submission
+  with content-addressed dedup, priority scheduling over the same
+  worker pool, per-client namespace ledgers with crash-restart
+  resume, and SSE telemetry streaming (see ``docs/service.md``);
+* ``submit``   — submit a job to a running server, optionally waiting
+  for (or streaming) the result;
 * ``obs``      — analyze a ``--trace`` artifact offline (top-k slowest
   queries, per-iteration critical path, cache effectiveness, worker
   utilization), render it as a self-contained HTML dashboard
@@ -521,6 +527,130 @@ def _cmd_sweep(args) -> int:
     return 1 if any(r.status in failures for r in report.results) else 0
 
 
+def _cmd_serve(args) -> int:
+    import os
+
+    from repro.serve.server import JobServer
+
+    cache_path = args.cache
+    if cache_path is None and not args.no_cache:
+        # A long-lived server keeps its oracle memoization beside its
+        # ledgers, so cache temperature survives restarts too.
+        cache_path = os.path.join(args.data_dir, "oracle.db")
+    server = JobServer(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        serial=args.serial,
+        cache_path=cache_path,
+        use_cache=not args.no_cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        portfolio=args.portfolio,
+    )
+
+    def _banner(srv: "JobServer") -> None:
+        # One parseable line first: tooling (and the restart test)
+        # reads the bound port off it, so it must flush before jobs run.
+        print(
+            f"repro serve listening on http://{srv.host}:{srv.port}",
+            flush=True,
+        )
+        print(
+            f"data dir {srv.store.data_dir} "
+            f"(resumed {srv.resumed_jobs} queued job(s))",
+            flush=True,
+        )
+
+    server.on_ready = _banner
+    return server.run_forever()
+
+
+def _submit_spec(args) -> "JobSpec":
+    """Build the JobSpec for ``repro submit`` (case flags or --spec)."""
+    from repro.runtime.job import JobSpec
+
+    if args.spec:
+        if args.case:
+            raise SystemExit("error: give either CASE flags or --spec, not both")
+        if args.spec == "-":
+            data = json.load(sys.stdin)
+        else:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        return JobSpec.from_dict(data)
+    if not args.case:
+        raise SystemExit("error: submit needs a CASE (rpl/epn/wsn) or --spec")
+    # Mirror the one-shot commands exactly — same sizes/problem/engine
+    # dicts — so a submitted job gets the same content-addressed id (and
+    # canonical record) as `repro <case> --json` run locally.
+    if args.case == "rpl":
+        deadline = args.deadline if args.deadline is not None else rpl.DEFAULT_DEADLINE
+        sizes = {"n_a": args.n_a, "n_b": args.n_b}
+        problem = {"deadline": deadline}
+    elif args.case == "epn":
+        deadline = args.deadline if args.deadline is not None else epn.DEFAULT_DEADLINE
+        sizes = {"left": args.left, "right": args.right, "apu": args.apu}
+        problem = {"deadline": deadline, "loss_budget": args.loss_budget}
+    else:
+        deadline = args.deadline if args.deadline is not None else wsn.DEFAULT_DEADLINE
+        sizes = {
+            "num_sensors": args.sensors,
+            "num_relays": args.relays,
+            "tiers": args.tiers,
+        }
+        problem = {
+            "deadline": deadline,
+            "min_reliability": args.min_reliability,
+        }
+    return _case_spec(args.case, args, sizes, problem)
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    spec = _submit_spec(args)
+    client = ServeClient(args.server)
+    try:
+        view = client.submit(
+            spec, namespace=args.namespace, priority=args.priority
+        )
+        if not (args.wait or args.stream):
+            print(json.dumps(view, sort_keys=True))
+            return 0
+        if args.stream:
+            record = None
+            for event in client.stream(spec.job_id):
+                if event.get("event") == "job_end":
+                    record = {
+                        k: v for k, v in event.items()
+                        if k not in ("event", "ts")
+                    }
+                if not args.json:
+                    print(json.dumps(event, sort_keys=True))
+            if record is None:
+                # Stream ended without a terminal record (e.g. the job
+                # was already terminal before we attached) — poll it.
+                record = client.wait(spec.job_id, timeout=args.poll_timeout)
+        else:
+            record = client.wait(spec.job_id, timeout=args.poll_timeout)
+    except (ServeError, TimeoutError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        # Byte-identical to the one-shot `repro <case> --json` line.
+        print(json.dumps(record, sort_keys=True))
+    else:
+        print(
+            f"{record['job_id']}  {record['status']}"
+            + (f"  cost {record['cost']:g}" if record.get("cost") is not None
+               else "")
+        )
+    return 0 if record.get("status") == "optimal" else 1
+
+
 def _cmd_obs(args) -> int:
     paths = list(args.paths)
     # `repro obs diff BASE OTHER` is hand-dispatched off the positional
@@ -712,6 +842,145 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flags(sweep_cmd)
     sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the exploration job server (HTTP+JSON, SSE streaming)",
+        description="Expose the batch runtime as a service: "
+        "content-addressed job submission with dedup, priority "
+        "scheduling over the existing worker pool, per-client "
+        "namespace ledgers with crash-restart resume, and SSE "
+        "telemetry streaming. See docs/service.md.",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (0 picks a free port, printed in the banner)",
+    )
+    serve_cmd.add_argument(
+        "--data-dir",
+        required=True,
+        help="root for namespace ledgers, the server log and the "
+        "default oracle cache; the server resumes unfinished "
+        "submissions found here on boot",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cores-1)"
+    )
+    serve_cmd.add_argument(
+        "--serial", action="store_true", help="run jobs in-process, no pool"
+    )
+    serve_cmd.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="queued-job backlog bound; submissions beyond it get HTTP 429",
+    )
+    serve_cmd.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="shared on-disk SQLite oracle cache "
+        "(default: DATA_DIR/oracle.db)",
+    )
+    serve_cmd.add_argument(
+        "--no-cache", action="store_true", help="disable the oracle cache"
+    )
+    serve_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock bound (s), enforced inside the worker",
+    )
+    serve_cmd.add_argument(
+        "--retries", type=int, default=1, help="resubmissions after a crash"
+    )
+    serve_cmd.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race/route refinement queries across MILP backends",
+    )
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    submit_cmd = commands.add_parser(
+        "submit",
+        help="submit a job to a running `repro serve` instance",
+        description="Build a JobSpec from the same flags as the one-shot "
+        "commands (or read one from --spec) and POST it to the server. "
+        "--wait/--stream block until the job is terminal; with --json "
+        "the printed record is byte-identical to `repro CASE --json`.",
+    )
+    submit_cmd.add_argument(
+        "case", nargs="?", choices=["rpl", "epn", "wsn"], default=None
+    )
+    submit_cmd.add_argument(
+        "--server",
+        default="http://127.0.0.1:8765",
+        help="base URL of the job server",
+    )
+    submit_cmd.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="submit this JobSpec JSON file instead of case flags "
+        "('-' reads stdin)",
+    )
+    submit_cmd.add_argument("--namespace", default="default")
+    submit_cmd.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="higher runs first (FIFO within a priority)",
+    )
+    submit_cmd.add_argument(
+        "--wait", action="store_true", help="poll until the job is terminal"
+    )
+    submit_cmd.add_argument(
+        "--stream",
+        action="store_true",
+        help="follow the job's telemetry over SSE until it is terminal",
+    )
+    submit_cmd.add_argument(
+        "--poll-timeout",
+        type=float,
+        default=600.0,
+        help="give up waiting after this many seconds",
+    )
+    # Case/size flags mirroring rpl/epn/wsn one-shot commands.
+    submit_cmd.add_argument("--n-a", type=int, default=2)
+    submit_cmd.add_argument("--n-b", type=int, default=0)
+    submit_cmd.add_argument("--left", type=int, default=1)
+    submit_cmd.add_argument("--right", type=int, default=1)
+    submit_cmd.add_argument("--apu", type=int, default=0)
+    submit_cmd.add_argument("--sensors", type=int, default=2)
+    submit_cmd.add_argument("--relays", type=int, default=2)
+    submit_cmd.add_argument("--tiers", type=int, default=2)
+    submit_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="case deadline (default: the case's standard deadline)",
+    )
+    submit_cmd.add_argument(
+        "--loss-budget", type=float, default=epn.DEFAULT_LOSS_BUDGET
+    )
+    submit_cmd.add_argument(
+        "--min-reliability", type=float, default=wsn.DEFAULT_MIN_RELIABILITY
+    )
+    submit_cmd.add_argument(
+        "--backend", default="scipy", choices=["scipy", "native"]
+    )
+    submit_cmd.add_argument("--no-isomorphism", action="store_true")
+    submit_cmd.add_argument("--no-decomposition", action="store_true")
+    submit_cmd.add_argument("--max-iterations", type=int, default=2000)
+    submit_cmd.add_argument("--time-limit", type=float, default=None)
+    submit_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the terminal JobResult record (with --wait/--stream)",
+    )
+    submit_cmd.set_defaults(func=_cmd_submit)
 
     obs_cmd = commands.add_parser(
         "obs",

@@ -55,6 +55,7 @@ from repro.runtime.telemetry import (
     TelemetryLogger,
     iter_events,
     read_events,
+    tail_events,
 )
 from repro.runtime.worker import run_job
 
@@ -87,5 +88,6 @@ __all__ = [
     "TelemetryLogger",
     "iter_events",
     "read_events",
+    "tail_events",
     "run_job",
 ]

@@ -25,6 +25,11 @@ The :class:`Scheduler` turns a list of :class:`JobSpec` into a list of
   having executed.
 * ``KeyboardInterrupt`` cancels everything pending and returns the
   results gathered so far (each un-run job reported as ``cancelled``).
+* :meth:`Scheduler.cancel` retires one job by id from any thread — the
+  seam the ``repro serve`` job server uses for its cancel endpoint. A
+  job still queued (including one in a crash-retry backoff window) is
+  terminated with exactly one ``cancelled`` ``job_end``; a job already
+  executing completes with its real outcome.
 
 Every terminal outcome is journaled as a ``job_end`` telemetry event —
 the journal doubles as the durable run ledger that ``sweep --resume``
@@ -36,9 +41,10 @@ from __future__ import annotations
 import concurrent.futures
 import hashlib
 import os
+import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.runtime import faults
 from repro.runtime.job import JobResult, JobSpec
@@ -144,8 +150,39 @@ class Scheduler:
         self._sweep_span = None
         self._job_spans: Dict[str, Any] = {}
         self._job_seqs: Dict[str, int] = {}
+        #: Job-level cancellation requests, settable from any thread
+        #: (the ``repro serve`` dispatcher cancels jobs mid-batch on
+        #: behalf of HTTP clients). Only the :meth:`run` thread mutates
+        #: queue/future book-keeping; this set is the sole cross-thread
+        #: channel, so each cancelled job reaches exactly one terminal
+        #: path and emits exactly one ``job_end``.
+        self._cancel_lock = threading.Lock()
+        self._cancel_requested: Set[str] = set()
 
     # -- public API ------------------------------------------------------------
+
+    def cancel(self, job_id: str) -> None:
+        """Request cancellation of a job (thread-safe, idempotent).
+
+        Takes effect at the next scheduling point of the current (or
+        next) :meth:`run`: a job still queued — including one sitting
+        out a crash-retry backoff window — is retired with a single
+        terminal ``job_end`` of status ``cancelled`` and is never
+        (re)submitted. A job already executing in a worker cannot be
+        interrupted and completes with its real outcome; the stale
+        request is dropped when its terminal record is emitted.
+        """
+        with self._cancel_lock:
+            self._cancel_requested.add(job_id)
+
+    def uncancel(self, job_id: str) -> None:
+        """Withdraw a pending cancellation (e.g. on deliberate resubmit)."""
+        with self._cancel_lock:
+            self._cancel_requested.discard(job_id)
+
+    def _is_cancelled(self, job_id: str) -> bool:
+        with self._cancel_lock:
+            return job_id in self._cancel_requested
 
     def run(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         """Execute all jobs; results come back in input order."""
@@ -221,6 +258,9 @@ class Scheduler:
     def _run_serial(self, specs: Sequence[JobSpec]) -> List[JobResult]:
         results: List[JobResult] = []
         for spec in specs:
+            if self._is_cancelled(spec.job_id):
+                results.append(self._finish_cancelled(_Pending(spec, 0)))
+                continue
             self.telemetry.emit("job_start", job_id=spec.job_id, label=spec.label)
             self._start_job_span(spec)
             record = run_job(
@@ -248,6 +288,7 @@ class Scheduler:
                     self._drain_inline(queue, by_id)
                     break
                 now = time.perf_counter()
+                self._apply_cancellations(futures, queue, by_id)
                 self._submit_eligible(executor, queue, futures, now)
                 if futures:
                     done, _ = concurrent.futures.wait(
@@ -255,6 +296,10 @@ class Scheduler:
                         timeout=self.poll_interval,
                         return_when=concurrent.futures.FIRST_COMPLETED,
                     )
+                elif not queue:
+                    # Cancellation just retired the last pending job;
+                    # nothing is in flight, so the loop is done.
+                    break
                 else:
                     # Everything runnable is backing off; sleep until
                     # the earliest becomes eligible (bounded by the poll
@@ -361,6 +406,50 @@ class Scheduler:
             portfolio=self.portfolio,
         )
 
+    def _finish_cancelled(self, pending: _Pending) -> JobResult:
+        """Retire a cancelled job: one terminal ``cancelled`` record."""
+        self.uncancel(pending.spec.job_id)  # consumed; a resubmit starts clean
+        result = JobResult(
+            pending.spec.job_id,
+            pending.spec,
+            "cancelled",
+            attempts=pending.attempts,
+        )
+        self._emit_end(result)
+        return result
+
+    def _apply_cancellations(
+        self,
+        futures: Dict[concurrent.futures.Future, _Pending],
+        queue: List[_Pending],
+        by_id: Dict[str, JobResult],
+    ) -> None:
+        """Retire every cancel-requested job that has not started.
+
+        Covers both plainly queued jobs and jobs sitting out a crash
+        backoff window, plus submitted-but-not-yet-running futures the
+        executor agrees to drop. Jobs already executing are left alone
+        (a pool worker cannot be interrupted mid-job); their stale
+        request is discarded at terminal-record time.
+        """
+        with self._cancel_lock:
+            wanted = set(self._cancel_requested)
+        if not wanted:
+            return
+        keep: List[_Pending] = []
+        for pending in queue:
+            if pending.spec.job_id in wanted:
+                result = self._finish_cancelled(pending)
+                by_id[result.job_id] = result
+            else:
+                keep.append(pending)
+        queue[:] = keep
+        for future, pending in list(futures.items()):
+            if pending.spec.job_id in wanted and future.cancel():
+                del futures[future]
+                result = self._finish_cancelled(pending)
+                by_id[result.job_id] = result
+
     def _requeue_or_fail(
         self,
         pending: _Pending,
@@ -370,6 +459,14 @@ class Scheduler:
     ) -> None:
         """Retry (with backoff) or fail a job whose worker died."""
         error = future.exception()
+        if self._is_cancelled(pending.spec.job_id):
+            # Cancelled while (or after) crashing: the pending retry
+            # must not resubmit the job. Retire it here — this is the
+            # only terminal path it takes, so exactly one ``job_end``
+            # (status ``cancelled``) reaches the ledger.
+            result = self._finish_cancelled(pending)
+            by_id[result.job_id] = result
+            return
         if pending.attempts <= self.retries:
             delay = backoff_delay(
                 pending.spec.job_id,
@@ -435,6 +532,10 @@ class Scheduler:
         (in-parent execution is exactly the serial path).
         """
         for pending in queue:
+            if self._is_cancelled(pending.spec.job_id):
+                result = self._finish_cancelled(pending)
+                by_id[result.job_id] = result
+                continue
             self.telemetry.emit(
                 "job_start",
                 job_id=pending.spec.job_id,
@@ -510,5 +611,9 @@ class Scheduler:
             self._end_job_span(result)
 
     def _emit_end(self, result: JobResult) -> None:
+        # A cancel that arrived while the job was already executing is
+        # unenforceable; drop it with the terminal record so a later
+        # resubmission of the same spec is not spuriously cancelled.
+        self.uncancel(result.job_id)
         self.telemetry.emit("job_end", **result.to_dict())
         self._end_job_span(result)

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.runtime.job import JobResult, JobSpec, SCENARIOS
 from repro.runtime.ledger import completed_records, plan_resume
 from repro.runtime.scheduler import Scheduler
+from repro.runtime.telemetry import iter_events
 from repro.reporting.tables import format_seconds, render_table
 
 #: The representative Table II subset used when a full sweep is not
@@ -117,6 +118,54 @@ class SweepReport:
         #: being executed in this run.
         self.replayed = replayed
 
+    @classmethod
+    def from_journal(cls, path: str, strict: bool = False) -> "SweepReport":
+        """Rebuild a report from a journal's last-record-wins ledger view.
+
+        Aggregates over the same view as
+        :func:`repro.runtime.ledger.load_ledger` — one record per job
+        id, the last ``job_end`` winning — never over raw events: a
+        journal holding both a crashed attempt and its retried (or
+        resume-replayed) terminal record for one job counts that job
+        once. Wall clock spans the journal's first to last timestamp.
+        The ``repro serve`` namespace report endpoint is built on this.
+        """
+        ledger: Dict[str, Dict[str, Any]] = {}
+        first_ts: Optional[float] = None
+        last_ts: Optional[float] = None
+        for event in iter_events(path, strict=strict):
+            ts = event.get("ts")
+            if ts is not None:
+                first_ts = ts if first_ts is None else first_ts
+                last_ts = ts
+            if event.get("event") != "job_end":
+                continue
+            job_id = event.get("job_id")
+            if job_id and event.get("spec"):
+                ledger[job_id] = {
+                    key: value
+                    for key, value in event.items()
+                    if key not in ("event", "ts")
+                }
+        results = [JobResult.from_dict(record) for record in ledger.values()]
+        wall_clock = (
+            last_ts - first_ts if first_ts is not None and last_ts else 0.0
+        )
+        return cls(results, wall_clock)
+
+    def _latest_by_job(self) -> List[JobResult]:
+        """Last-record-wins view of the rows, in first-seen job order.
+
+        A report assembled from journal rows can legitimately carry
+        several records for one job (a crashed attempt plus its
+        replayed terminal record); every aggregate must count each job
+        exactly once, mirroring ``load_ledger`` semantics.
+        """
+        latest: Dict[str, JobResult] = {}
+        for result in self.results:
+            latest[result.job_id] = result
+        return list(latest.values())
+
     @property
     def records(self) -> List[Dict[str, Any]]:
         """The machine-readable rows (``JobResult.to_dict()`` each)."""
@@ -124,8 +173,9 @@ class SweepReport:
 
     @property
     def cache_totals(self) -> Dict[str, Any]:
-        hits = sum(r.cache.get("hits", 0) for r in self.results)
-        misses = sum(r.cache.get("misses", 0) for r in self.results)
+        jobs = self._latest_by_job()
+        hits = sum(r.cache.get("hits", 0) for r in jobs)
+        misses = sum(r.cache.get("misses", 0) for r in jobs)
         queries = hits + misses
         return {
             "hits": hits,
@@ -135,8 +185,12 @@ class SweepReport:
 
     @property
     def total_job_time(self) -> float:
-        """Sum of per-job durations (serial-equivalent wall clock)."""
-        return sum(r.duration for r in self.results)
+        """Sum of per-job durations (serial-equivalent wall clock).
+
+        Counts each job once (last record wins) even when the row set
+        holds both a failed attempt and its terminal record.
+        """
+        return sum(r.duration for r in self._latest_by_job())
 
     def render(self, title: str = "sweep") -> str:
         rows = []
@@ -165,7 +219,8 @@ class SweepReport:
             f" ({self.replayed} replayed from ledger)" if self.replayed else ""
         )
         footer = (
-            f"wall-clock {self.wall_clock:.2f}s over {len(self.results)} jobs"
+            f"wall-clock {self.wall_clock:.2f}s over "
+            f"{len(self._latest_by_job())} jobs"
             f"{resumed} "
             f"(sum of job times {self.total_job_time:.2f}s); "
             f"oracle cache: {totals['hits']} hits / "

@@ -14,6 +14,8 @@ artifact offline.
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 import warnings
 from typing import Any, Dict, IO, Iterator, List, Optional, Union
@@ -21,8 +23,6 @@ from typing import Any, Dict, IO, Iterator, List, Optional, Union
 
 def _torn_tail(path: str) -> bool:
     """True if ``path`` exists, is non-empty and lacks a final newline."""
-    import os
-
     try:
         with open(path, "rb") as probe:
             probe.seek(-1, os.SEEK_END)
@@ -51,9 +51,27 @@ class TelemetryLogger:
     :meth:`close` is idempotent and exception-safe (a flush failure
     still releases an owned stream; a closed logger ignores further
     ``close`` calls, so ``with``-blocks and explicit teardown compose).
+
+    Thread safety: ``emit`` and ``close`` serialize on one lock, so
+    ``close`` is a *drain-then-seal* barrier — any emit already in
+    flight on another thread completes (and is flushed) before the
+    stream is sealed, and no emit can interleave with the close-time
+    flush and hit the underlying stream mid-teardown. An emit that
+    arrives *after* the seal still raises ``ValueError``: that is a
+    lifecycle bug in the caller, not a race. Long-lived processes (the
+    ``repro serve`` job server) rely on this barrier when shutting down
+    while scheduler threads are still journaling.
+
+    ``fsync=True`` additionally fsyncs the file after every emitted
+    line (and after the torn-tail repair newline below), pinning each
+    record to disk before the writer moves on — a SIGKILLed server can
+    at worst tear the *final* line of a journal, never an interior one,
+    which is exactly the case the tolerant readers repair.
     """
 
-    def __init__(self, sink: Union[str, IO[str]]) -> None:
+    def __init__(self, sink: Union[str, IO[str]], fsync: bool = False) -> None:
+        self._lock = threading.Lock()
+        self._fsync = fsync
         if isinstance(sink, str):
             self._stream: IO[str] = open(sink, "a", encoding="utf-8")
             self._owns_stream = True
@@ -63,6 +81,8 @@ class TelemetryLogger:
                 # fresh line so the first appended event is not fused
                 # into (and lost with) the truncated one.
                 self._stream.write("\n")
+                self._stream.flush()
+                self._sync()
         else:
             self._stream = sink
             self._owns_stream = False
@@ -70,28 +90,45 @@ class TelemetryLogger:
         self.events_emitted = 0
         self._closed = False
 
+    def _sync(self) -> None:
+        """Pin buffered bytes to disk (no-op for non-file sinks)."""
+        if not self._fsync:
+            return
+        try:
+            os.fsync(self._stream.fileno())
+        except (OSError, ValueError):
+            pass  # StringIO and friends have no fileno; nothing to pin
+
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
         """Write one event (flushed immediately); returns the record."""
-        if self._closed:
-            raise ValueError("emit() on a closed TelemetryLogger")
-        record = {"event": event, "ts": time.time()}
-        record.update(fields)
-        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
-        self._stream.flush()
-        self.events_emitted += 1
-        return record
+        with self._lock:
+            if self._closed:
+                raise ValueError("emit() on a closed TelemetryLogger")
+            record = {"event": event, "ts": time.time()}
+            record.update(fields)
+            self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+            self._stream.flush()
+            self._sync()
+            self.events_emitted += 1
+            return record
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        try:
-            self._stream.flush()
-        except ValueError:
-            pass  # underlying stream already closed by its owner
-        finally:
-            if self._owns_stream:
-                self._stream.close()
+        # Taking the emit lock *is* the drain: an in-flight emit holds
+        # it until its record is written and flushed, so sealing cannot
+        # interleave with a write. Everything after the seal is
+        # exception-safe teardown.
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._stream.flush()
+                self._sync()
+            except ValueError:
+                pass  # underlying stream already closed by its owner
+            finally:
+                if self._owns_stream:
+                    self._stream.close()
 
     def __enter__(self) -> "TelemetryLogger":
         return self
@@ -128,6 +165,42 @@ def read_events(
         for record in iter_events(path, strict=strict)
         if event is None or record.get("event") == event
     ]
+
+
+def tail_events(
+    path: str, offset: int = 0
+) -> "tuple[List[Dict[str, Any]], int]":
+    """Incrementally read a live journal from a byte offset.
+
+    Returns ``(new_records, new_offset)``. Only *complete* lines (ending
+    in a newline) are consumed: a line the writer is mid-way through
+    appending is left for the next call, so a tailer never sees a torn
+    record — the polling analogue of :func:`iter_events`'s tolerance.
+    Complete-but-undecodable lines (the repaired tail of a previous
+    killed run) are skipped silently. A missing file yields no records
+    and leaves the offset untouched, so tailing may begin before the
+    writer's first emit.
+    """
+    try:
+        with open(path, "rb") as stream:
+            stream.seek(offset)
+            chunk = stream.read()
+    except OSError:
+        return [], offset
+    cut = chunk.rfind(b"\n")
+    if cut < 0:
+        return [], offset
+    complete, consumed = chunk[: cut + 1], offset + cut + 1
+    records: List[Dict[str, Any]] = []
+    for line in complete.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line.decode("utf-8")))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue  # torn line from a previous writer's death
+    return records, consumed
 
 
 def iter_events(path: str, strict: bool = False) -> Iterator[Dict[str, Any]]:

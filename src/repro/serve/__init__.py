@@ -1,0 +1,27 @@
+"""Exploration as a service: the ``repro serve`` job server.
+
+A zero-dependency asyncio HTTP+JSON server over the batch runtime:
+content-addressed :class:`~repro.runtime.job.JobSpec` submission with
+dedup, a priority queue feeding the existing
+:class:`~repro.runtime.scheduler.Scheduler`, per-client namespace
+ledgers with crash-restart resume, and server-sent-event streaming of
+each job's telemetry. See ``docs/service.md`` for the wire protocol.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import ProtocolError, Request
+from repro.serve.queue import JobEntry, JobQueue, QueueFull
+from repro.serve.server import JobServer
+from repro.serve.session import SessionStore
+
+__all__ = [
+    "JobEntry",
+    "JobQueue",
+    "JobServer",
+    "ProtocolError",
+    "QueueFull",
+    "Request",
+    "ServeClient",
+    "ServeError",
+    "SessionStore",
+]

@@ -1,0 +1,149 @@
+"""Stdlib client for the ``repro serve`` HTTP protocol.
+
+``urllib``-based, dependency-free — usable from tests, CI smoke jobs
+and the ``repro submit`` CLI command alike. Every method mirrors one
+endpoint of :mod:`repro.serve.protocol`; errors the server refuses with
+a JSON body surface as :class:`ServeError` carrying the HTTP status.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.runtime.job import JobSpec
+from repro.serve.queue import TERMINAL_STATES
+
+
+class ServeError(Exception):
+    """A request the server refused (4xx/5xx with a JSON error body)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                body = json.loads(error.read().decode("utf-8"))
+                message = body.get("error", error.reason)
+            except (ValueError, UnicodeDecodeError):
+                message = str(error.reason)
+            raise ServeError(error.code, message) from None
+
+    # -- endpoints -------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self,
+        spec: JobSpec,
+        namespace: str = "default",
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit a spec; the response view carries ``created``."""
+        return self._request(
+            "POST",
+            "/jobs",
+            {
+                "spec": spec.to_dict(),
+                "namespace": namespace,
+                "priority": priority,
+            },
+        )
+
+    def jobs(self, namespace: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/jobs"
+        if namespace is not None:
+            path += f"?namespace={namespace}"
+        return self._request("GET", path)["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The terminal ``JobResult`` record (409 while still running)."""
+        return self._request("GET", f"/jobs/{job_id}/result")["result"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def namespace_report(self, namespace: str) -> Dict[str, Any]:
+        return self._request("GET", f"/namespaces/{namespace}")
+
+    # -- conveniences ----------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_interval: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its result record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view["state"] in TERMINAL_STATES:
+                return self.result(job_id)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['state']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield the job's journal records live from the SSE endpoint.
+
+        Terminates after the server's ``stream_end`` marker (which is
+        not yielded — it is framing, not a journal record).
+        """
+        request = urllib.request.Request(
+            self.base_url + f"/jobs/{job_id}/stream",
+            headers={"Accept": "text/event-stream"},
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            try:
+                body = json.loads(error.read().decode("utf-8"))
+                message = body.get("error", error.reason)
+            except (ValueError, UnicodeDecodeError):
+                message = str(error.reason)
+            raise ServeError(error.code, message) from None
+        with response:
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n")
+                if not line.startswith("data: "):
+                    continue  # event name / blank separator lines
+                record = json.loads(line[len("data: "):])
+                if record.get("event") == "stream_end":
+                    return
+                yield record

@@ -1,0 +1,175 @@
+"""Wire protocol for ``repro serve``: minimal HTTP/1.1 + JSON + SSE.
+
+The server speaks a deliberately small, stdlib-only subset of HTTP/1.1:
+one request per connection (``Connection: close`` semantics), JSON
+request and response bodies, and ``text/event-stream`` for the job
+telemetry stream. Keeping the framing hand-rolled (rather than
+``http.server``) lets the whole server run on one asyncio event loop —
+no thread per connection — while remaining dependency-free.
+
+Endpoints, all JSON unless noted (see ``docs/service.md``):
+
+========  ==========================  =======================================
+method    path                        meaning
+========  ==========================  =======================================
+GET       ``/healthz``                liveness + queue/worker counters
+POST      ``/jobs``                   submit a spec (content-addressed dedup)
+GET       ``/jobs``                   list job views (``?namespace=`` filter)
+GET       ``/jobs/<id>``              one job's view (poll target)
+GET       ``/jobs/<id>/result``       full terminal ``JobResult`` record
+POST      ``/jobs/<id>/cancel``       best-effort cancellation
+GET       ``/jobs/<id>/stream``       SSE: the job's journal events, live
+GET       ``/namespaces/<ns>``        ledger-aggregated namespace report
+========  ==========================  =======================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Upper bounds keeping one misbehaving client from ballooning server
+#: memory; both are far above any legitimate spec or header block.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class ProtocolError(Exception):
+    """A request the server refuses, carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Dict[str, Any]:
+        """Decode the body as a JSON object (400 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ProtocolError(400, f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # client connected and left without sending
+        raise ProtocolError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(413, "request head too large")
+    try:
+        text = head.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, target, _version = request_line.split(" ", 2)
+    except ValueError:
+        raise ProtocolError(400, "malformed request line")
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+    body = b""
+    length_header = headers.get("content-length", "0")
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise ProtocolError(400, f"bad Content-Length {length_header!r}")
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError(413, f"body of {length} bytes exceeds the limit")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "body shorter than Content-Length")
+    return Request(method.upper(), split.path, query, headers, body)
+
+
+def json_response(
+    status: int, payload: Any, extra_headers: Optional[Dict[str, str]] = None
+) -> bytes:
+    """Serialize one complete JSON response (sorted keys: byte-stable)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json; charset=utf-8",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def error_response(status: int, message: str) -> bytes:
+    return json_response(status, {"error": message, "status": status})
+
+
+def sse_preamble() -> bytes:
+    """Response head opening a server-sent-event stream."""
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream; charset=utf-8\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def sse_event(record: Dict[str, Any]) -> bytes:
+    """Frame one journal record as an SSE message.
+
+    The journal's ``event`` field becomes the SSE event name and the
+    whole record rides in ``data:`` — one JSON object per message, so
+    ``repro submit --stream`` (and curl) can replay the journal live.
+    """
+    name = str(record.get("event", "message"))
+    data = json.dumps(record, sort_keys=True)
+    return f"event: {name}\ndata: {data}\n\n".encode("utf-8")

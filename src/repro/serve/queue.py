@@ -1,0 +1,264 @@
+"""Thread-safe priority queue with content-addressed dedup.
+
+The server's in-memory job table. Submission is deduplicated on the
+spec's content-addressed ``job_id``: re-submitting a spec that is
+queued, dispatched, running or successfully finished returns the
+existing entry; a spec whose last outcome was a *runtime failure*
+(``error``/``crashed``/``timeout``/``cancelled``) is re-enqueued — the
+client asked again, so the runtime gets another go, mirroring the
+``sweep --resume`` ledger semantics.
+
+Ordering: higher ``priority`` first, FIFO (submission sequence) within
+a priority. The dispatcher claims batches under the same lock the HTTP
+handlers mutate entries under, so a claim and a cancel can never both
+win the same entry.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.job import JobSpec
+from repro.runtime.ledger import RUNTIME_FAILURES
+
+#: Entry lifecycle states. ``queued`` entries sit in the heap;
+#: ``dispatched`` entries belong to the scheduler batch in flight;
+#: ``running`` is observed from ``job_start`` telemetry; ``done`` and
+#: ``cancelled`` are terminal (``done`` covers every outcome carried by
+#: a ``JobResult`` record, including runtime failures).
+QUEUED = "queued"
+DISPATCHED = "dispatched"
+RUNNING = "running"
+DONE = "done"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({DONE, CANCELLED})
+
+
+class QueueFull(Exception):
+    """Submission refused: the backlog reached ``max_queue``."""
+
+
+class JobEntry:
+    """One job's server-side state (guarded by the queue's lock)."""
+
+    __slots__ = (
+        "spec",
+        "namespace",
+        "priority",
+        "seq",
+        "state",
+        "result",
+        "replayed",
+        "cancel_requested",
+        "submitted_ts",
+    )
+
+    def __init__(
+        self, spec: JobSpec, namespace: str, priority: int, seq: int
+    ) -> None:
+        self.spec = spec
+        self.namespace = namespace
+        self.priority = priority
+        self.seq = seq
+        self.state = QUEUED
+        #: Terminal ``JobResult.to_dict()`` record, once known.
+        self.result: Optional[Dict[str, Any]] = None
+        #: True when the record came from a boot-time ledger replay
+        #: rather than an execution by this server process.
+        self.replayed = False
+        #: Cancel arrived after dispatch; forwarded to the scheduler.
+        self.cancel_requested = False
+        self.submitted_ts = time.time()
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    def view(self) -> Dict[str, Any]:
+        """The poll-endpoint projection of this entry."""
+        return {
+            "job_id": self.job_id,
+            "label": self.spec.label,
+            "namespace": self.namespace,
+            "priority": self.priority,
+            "state": self.state,
+            "status": (self.result or {}).get("status"),
+            "replayed": self.replayed,
+            "cancel_requested": self.cancel_requested,
+        }
+
+
+class JobQueue:
+    """Priority queue + job table behind the HTTP endpoints."""
+
+    def __init__(self, max_queue: int = 1024) -> None:
+        self.max_queue = max_queue
+        self._lock = threading.RLock()
+        self._ready = threading.Condition(self._lock)
+        #: (-priority, seq, job_id): min-heap pops highest priority,
+        #: then lowest submission seq — client priority with FIFO ties.
+        self._heap: List[Tuple[int, int, str]] = []
+        self._entries: Dict[str, JobEntry] = {}
+        self._seq = 0
+        self._stopped = False
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: JobSpec,
+        namespace: str,
+        priority: int = 0,
+        replayed_record: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[JobEntry, bool]:
+        """Register a spec; returns ``(entry, created)``.
+
+        ``created`` is False when dedup matched an existing live or
+        successful entry. Passing ``replayed_record`` registers a
+        terminal entry straight from a boot-time ledger scan (no queue
+        traffic).
+        """
+        with self._ready:
+            existing = self._entries.get(spec.job_id)
+            if existing is not None and not self._resubmittable(existing):
+                return existing, False
+            if replayed_record is None and self.depth() >= self.max_queue:
+                raise QueueFull(
+                    f"queue limit of {self.max_queue} queued jobs reached"
+                )
+            self._seq += 1
+            entry = JobEntry(spec, namespace, priority, self._seq)
+            self._entries[spec.job_id] = entry
+            if replayed_record is not None:
+                entry.state = DONE
+                entry.result = replayed_record
+                entry.replayed = True
+            else:
+                heapq.heappush(
+                    self._heap, (-priority, entry.seq, spec.job_id)
+                )
+                self._ready.notify_all()
+            return entry, True
+
+    @staticmethod
+    def _resubmittable(entry: JobEntry) -> bool:
+        """A finished-but-failed job may be asked for again."""
+        if entry.state == CANCELLED:
+            return True
+        if entry.state != DONE:
+            return False
+        return (entry.result or {}).get("status") in RUNTIME_FAILURES
+
+    # -- dispatch --------------------------------------------------------------
+
+    def claim_batch(
+        self, limit: int, timeout: Optional[float] = None
+    ) -> List[JobEntry]:
+        """Pop up to ``limit`` queued entries in priority order.
+
+        Blocks up to ``timeout`` seconds for the first entry. Claimed
+        entries move to ``dispatched`` atomically, so a concurrent
+        cancel of the same job observes either a queued entry (and
+        retires it locally) or a dispatched one (and routes the cancel
+        to the scheduler) — never both.
+        """
+        with self._ready:
+            if not self._heap and not self._stopped:
+                self._ready.wait(timeout)
+            batch: List[JobEntry] = []
+            while self._heap and len(batch) < limit:
+                _, _, job_id = heapq.heappop(self._heap)
+                entry = self._entries.get(job_id)
+                if entry is None or entry.state != QUEUED:
+                    continue  # cancelled (stale heap tuple) or superseded
+                entry.state = DISPATCHED
+                batch.append(entry)
+            return batch
+
+    def stop(self) -> None:
+        """Wake any blocked dispatcher so it can observe shutdown."""
+        with self._ready:
+            self._stopped = True
+            self._ready.notify_all()
+
+    # -- lifecycle transitions -------------------------------------------------
+
+    def mark_running(self, job_id: str) -> None:
+        with self._lock:
+            entry = self._entries.get(job_id)
+            if entry is not None and entry.state == DISPATCHED:
+                entry.state = RUNNING
+
+    def finish(self, job_id: str, record: Dict[str, Any]) -> None:
+        """Record a terminal ``JobResult`` record (idempotent)."""
+        with self._lock:
+            entry = self._entries.get(job_id)
+            if entry is None:
+                return
+            if entry.state in TERMINAL_STATES:
+                # A queue-side cancel flips the state first and hands
+                # us its record right after; attach it, but never let a
+                # late record overwrite an established outcome.
+                if entry.result is None:
+                    entry.result = record
+                return
+            entry.result = record
+            entry.state = (
+                CANCELLED if record.get("status") == "cancelled" else DONE
+            )
+
+    def cancel(self, job_id: str) -> Optional[str]:
+        """Request cancellation; returns the action taken.
+
+        ``"cancelled"``  — entry was still queued and is now terminal
+        (the caller owns journaling its single ``job_end``);
+        ``"requested"`` — entry is dispatched/running, the scheduler
+        must be asked; ``"finished"`` — already terminal; ``None`` —
+        unknown job.
+        """
+        with self._lock:
+            entry = self._entries.get(job_id)
+            if entry is None:
+                return None
+            if entry.state == QUEUED:
+                entry.state = CANCELLED
+                entry.cancel_requested = True
+                return "cancelled"
+            if entry.state in (DISPATCHED, RUNNING):
+                entry.cancel_requested = True
+                return "requested"
+            return "finished"
+
+    # -- inspection ------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobEntry]:
+        with self._lock:
+            return self._entries.get(job_id)
+
+    def depth(self) -> int:
+        """How many entries are waiting (queued, not yet dispatched)."""
+        with self._lock:
+            return sum(
+                1 for entry in self._entries.values() if entry.state == QUEUED
+            )
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for entry in self._entries.values():
+                counts[entry.state] = counts.get(entry.state, 0) + 1
+            return counts
+
+    def views(self, namespace: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Submission-ordered entry views, optionally per namespace."""
+        with self._lock:
+            entries = sorted(self._entries.values(), key=lambda e: e.seq)
+            return [
+                entry.view()
+                for entry in entries
+                if namespace is None or entry.namespace == namespace
+            ]

@@ -1,8 +1,9 @@
-"""Scheduler tests: serial path, pooled fan-out, retry and timeout."""
+"""Scheduler tests: serial path, pooled fan-out, retry, cancel, timeout."""
 
 import concurrent.futures
 import io
 import json
+import threading
 import time
 
 import pytest
@@ -152,6 +153,94 @@ class TestBrokenBatchHarvest:
         assert starts.count(specs[1].job_id) == 1  # never re-submitted
         assert ends.count(specs[1].job_id) == 1  # job_end not double-emitted
         assert starts.count(specs[0].job_id) == 2  # crash + retry
+
+
+class TestCancel:
+    """Cross-thread cancellation retires jobs with one terminal record."""
+
+    @staticmethod
+    def _events(stream):
+        return [
+            json.loads(line) for line in stream.getvalue().splitlines() if line
+        ]
+
+    def test_primed_cancel_serial_skips_execution(self):
+        specs = _tiny_specs(2)
+        stream = io.StringIO()
+        scheduler = Scheduler(
+            serial=True, use_cache=False, telemetry=TelemetryLogger(stream)
+        )
+        scheduler.cancel(specs[0].job_id)
+        results = scheduler.run(specs)
+        assert [r.status for r in results] == ["cancelled", "optimal"]
+        events = self._events(stream)
+        ends = [e for e in events if e["event"] == "job_end"]
+        assert [e["job_id"] for e in ends].count(specs[0].job_id) == 1
+        # The cancelled job never started.
+        starts = [e["job_id"] for e in events if e["event"] == "job_start"]
+        assert specs[0].job_id not in starts
+
+    def test_primed_cancel_pooled_never_submits(self, monkeypatch):
+        specs = _tiny_specs(2)
+        scheduler = Scheduler(max_workers=1, use_cache=False)
+        executor = _FakeExecutor(crashes=0)
+        monkeypatch.setattr(scheduler, "_new_executor", lambda: executor)
+        scheduler.cancel(specs[0].job_id)
+        results = scheduler.run(specs)
+        by_id = {r.job_id: r for r in results}
+        assert by_id[specs[0].job_id].status == "cancelled"
+        assert by_id[specs[1].job_id].status == "optimal"
+        assert executor.submitted == 1  # only the surviving job
+
+    def test_cancel_during_backoff_window_is_not_retried(self, monkeypatch):
+        # Regression: a crashed job waiting out its retry backoff used
+        # to ignore cancellation — the pending resubmission went ahead
+        # and the job ran again anyway. The cancel must win the race:
+        # no resubmission, exactly one terminal job_end, status
+        # ``cancelled``.
+        spec = _tiny_specs(1)[0]
+        stream = io.StringIO()
+        scheduler = Scheduler(
+            max_workers=1,
+            retries=3,
+            use_cache=False,
+            telemetry=TelemetryLogger(stream),
+            poll_interval=0.02,
+            # Backoff of >= 2.5s: the timer below fires mid-window.
+            backoff_base=5.0,
+        )
+        executor = _FakeExecutor(crashes=1)
+        monkeypatch.setattr(scheduler, "_new_executor", lambda: executor)
+        timer = threading.Timer(0.2, scheduler.cancel, args=[spec.job_id])
+        timer.start()
+        started = time.perf_counter()
+        try:
+            results = scheduler.run([spec])
+        finally:
+            timer.cancel()
+        elapsed = time.perf_counter() - started
+        assert results[0].status == "cancelled"
+        assert executor.submitted == 1  # the crash; never the retry
+        # run() returned as soon as the cancel landed — it did not sit
+        # out the multi-second backoff window.
+        assert elapsed < 2.0
+        events = self._events(stream)
+        ends = [e for e in events if e["event"] == "job_end"]
+        assert len(ends) == 1 and ends[0]["status"] == "cancelled"
+        retries = [e for e in events if e["event"] == "job_retry"]
+        assert len(retries) == 1  # the crash was requeued once...
+        assert executor.submitted == 1  # ...but never re-executed
+
+    def test_terminal_emission_clears_stale_cancel(self):
+        # A cancel consumed by a terminal record must not linger and
+        # kill a later resubmission of the same content-addressed spec.
+        spec = _tiny_specs(1)[0]
+        scheduler = Scheduler(serial=True, use_cache=False)
+        scheduler.cancel(spec.job_id)
+        first = scheduler.run([spec])
+        assert first[0].status == "cancelled"
+        second = scheduler.run([spec])
+        assert second[0].status == "optimal"
 
 
 class TestTimeoutClock:

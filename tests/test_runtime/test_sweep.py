@@ -66,3 +66,61 @@ class TestRunSweep:
         )
         rendered = report.render()
         assert "crashed" in rendered
+
+
+class TestAggregationDedup:
+    """Crashed-then-replayed journals must not double-count a job."""
+
+    @staticmethod
+    def _result(status, hits=0, misses=0, duration=1.0):
+        from repro.runtime.job import JobResult, JobSpec
+
+        spec = JobSpec("rpl", sizes={"n_a": 1})
+        return JobResult(
+            spec.job_id,
+            spec,
+            status,
+            duration=duration,
+            cache={"hits": hits, "misses": misses},
+        )
+
+    def test_duplicate_rows_aggregate_once(self):
+        # Regression: a journal holding both a crashed attempt and its
+        # replayed terminal record produced two rows for one job, and
+        # cache_totals / total_job_time summed them both. Aggregation
+        # must use the ledger's last-record-wins view.
+        crashed = self._result("crashed", duration=2.0)
+        final = self._result("optimal", hits=3, misses=1, duration=5.0)
+        assert crashed.job_id == final.job_id
+        report = SweepReport([crashed, final], wall_clock=6.0)
+        assert report.total_job_time == 5.0  # not 7.0
+        totals = report.cache_totals
+        assert (totals["hits"], totals["misses"]) == (3, 1)
+        # The rendered footer counts jobs, not rows.
+        assert "1 jobs" in report.render()
+
+    def test_last_record_wins_order(self):
+        final = self._result("optimal", hits=2, duration=4.0)
+        crashed = self._result("crashed", duration=1.0)
+        # Whatever landed last in the row list is the job's truth.
+        report = SweepReport([final, crashed], wall_clock=5.0)
+        assert report.total_job_time == 1.0
+
+    def test_from_journal_applies_ledger_view(self, tmp_path):
+        from repro.runtime.telemetry import TelemetryLogger
+
+        path = str(tmp_path / "journal.jsonl")
+        logger = TelemetryLogger(path)
+        crashed = self._result("crashed", duration=2.0)
+        final = self._result("optimal", hits=3, misses=1, duration=5.0)
+        logger.emit("sweep_start", jobs=1)
+        logger.emit("job_end", **crashed.to_dict())
+        logger.emit("job_end", **final.to_dict())
+        logger.emit("sweep_end", jobs=1)
+        logger.close()
+        report = SweepReport.from_journal(path)
+        assert len(report.results) == 1
+        assert report.results[0].status == "optimal"
+        assert report.total_job_time == 5.0
+        assert report.cache_totals["hits"] == 3
+        assert report.wall_clock >= 0.0

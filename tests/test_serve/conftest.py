@@ -1,0 +1,50 @@
+"""Fixtures for the job-server tests: in-process background servers.
+
+The servers run the real asyncio loop and real HTTP sockets (bound to
+an ephemeral port on loopback) but a serial, cache-less scheduler — the
+identity guarantee under test is about records, and the oracle cache's
+temperature would legitimately perturb provenance counters.
+"""
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import JobServer
+
+
+def make_server(tmp_path, **overrides) -> JobServer:
+    options = dict(
+        data_dir=str(tmp_path / "data"),
+        port=0,
+        serial=True,
+        use_cache=False,
+    )
+    options.update(overrides)
+    return JobServer(**options)
+
+
+@pytest.fixture
+def server(tmp_path):
+    instance = make_server(tmp_path)
+    instance.start_background()
+    yield instance
+    instance.stop_background()
+
+
+@pytest.fixture
+def idle_server(tmp_path):
+    """A server whose dispatcher is off: submissions stay queued."""
+    instance = make_server(tmp_path, dispatch=False)
+    instance.start_background()
+    yield instance
+    instance.stop_background()
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(f"http://127.0.0.1:{server.port}")
+
+
+@pytest.fixture
+def idle_client(idle_server):
+    return ServeClient(f"http://127.0.0.1:{idle_server.port}")

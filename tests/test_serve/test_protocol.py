@@ -1,0 +1,113 @@
+"""Unit tests for the hand-rolled HTTP/SSE framing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    error_response,
+    json_response,
+    read_request,
+    sse_event,
+    sse_preamble,
+)
+
+
+def _parse(raw: bytes):
+    async def scenario():
+        reader = asyncio.StreamReader()
+        if raw:
+            reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(scenario())
+
+
+class TestReadRequest:
+    def test_parses_method_path_query_and_body(self):
+        request = _parse(
+            b"POST /jobs?namespace=ci HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 13\r\n"
+            b"\r\n"
+            b'{"spec": {}}\n'
+        )
+        assert request.method == "POST"
+        assert request.path == "/jobs"
+        assert request.query == {"namespace": "ci"}
+        assert request.headers["content-type"] == "application/json"
+        assert json.loads(request.body) == {"spec": {}}
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_head_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            _parse(b"GET /jobs HTTP/1.1\r\n")  # head never terminated
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            _parse(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            _parse(
+                f"POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}"
+                "\r\n\r\n".encode()
+            )
+        assert excinfo.value.status == 413
+
+    def test_body_shorter_than_declared_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert excinfo.value.status == 400
+
+
+class TestRequestJson:
+    def _request(self, body: bytes) -> Request:
+        return Request("POST", "/jobs", {}, {}, body)
+
+    def test_empty_body_is_empty_object(self):
+        assert self._request(b"").json() == {}
+
+    def test_invalid_json_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            self._request(b"{oops").json()
+        assert excinfo.value.status == 400
+
+    def test_non_object_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            self._request(b"[1, 2]").json()
+        assert excinfo.value.status == 400
+
+
+class TestResponses:
+    def test_json_response_is_byte_stable(self):
+        first = json_response(200, {"b": 1, "a": 2})
+        second = json_response(200, {"a": 2, "b": 1})
+        assert first == second  # sorted keys
+        head, _, body = first.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert json.loads(body) == {"a": 2, "b": 1}
+
+    def test_error_response_carries_status(self):
+        payload = json.loads(error_response(404, "gone").split(b"\r\n\r\n")[1])
+        assert payload == {"error": "gone", "status": 404}
+
+    def test_sse_framing(self):
+        assert b"text/event-stream" in sse_preamble()
+        frame = sse_event({"event": "job_end", "job_id": "x"})
+        assert frame.startswith(b"event: job_end\ndata: ")
+        assert frame.endswith(b"\n\n")
+        assert json.loads(frame.split(b"data: ")[1]) == {
+            "event": "job_end",
+            "job_id": "x",
+        }

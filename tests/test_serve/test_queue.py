@@ -1,0 +1,138 @@
+"""The in-memory job table: dedup, priority order, cancel states."""
+
+import pytest
+
+from repro.runtime.job import JobSpec
+from repro.serve.queue import JobQueue, QueueFull
+
+
+def _spec(tag: str) -> JobSpec:
+    return JobSpec(
+        "rpl", sizes={"n_a": 1, "n_b": 0}, engine={"tag": tag}, label=tag
+    )
+
+
+class TestSubmit:
+    def test_dedup_returns_existing_entry(self):
+        queue = JobQueue()
+        spec = _spec("a")
+        first, created = queue.submit(spec, "ns")
+        second, again = queue.submit(spec, "ns")
+        assert created and not again
+        assert first is second
+        assert queue.depth() == 1
+
+    def test_queue_full_refuses_live_submissions(self):
+        queue = JobQueue(max_queue=1)
+        queue.submit(_spec("a"), "ns")
+        with pytest.raises(QueueFull):
+            queue.submit(_spec("b"), "ns")
+
+    def test_replayed_record_bypasses_queue_and_limit(self):
+        queue = JobQueue(max_queue=1)
+        queue.submit(_spec("a"), "ns")
+        spec = _spec("b")
+        record = {"job_id": spec.job_id, "status": "optimal"}
+        entry, created = queue.submit(spec, "ns", replayed_record=record)
+        assert created and entry.replayed
+        assert entry.state == "done"
+        assert queue.depth() == 1  # the replay never queued
+
+    def test_failed_job_is_resubmittable(self):
+        queue = JobQueue()
+        spec = _spec("a")
+        queue.submit(spec, "ns")
+        batch = queue.claim_batch(1)
+        queue.finish(spec.job_id, {"status": "crashed"})
+        entry, created = queue.submit(spec, "ns")
+        assert created
+        assert entry is not batch[0]
+        assert entry.state == "queued"
+
+    def test_successful_job_is_not_resubmittable(self):
+        queue = JobQueue()
+        spec = _spec("a")
+        queue.submit(spec, "ns")
+        queue.claim_batch(1)
+        queue.finish(spec.job_id, {"status": "optimal"})
+        _, created = queue.submit(spec, "ns")
+        assert not created
+
+
+class TestOrdering:
+    def test_priority_then_fifo(self):
+        queue = JobQueue()
+        low = _spec("low")
+        first = _spec("first")
+        second = _spec("second")
+        queue.submit(low, "ns", priority=0)
+        queue.submit(first, "ns", priority=5)
+        queue.submit(second, "ns", priority=5)
+        claimed = queue.claim_batch(3)
+        assert [e.job_id for e in claimed] == [
+            first.job_id,
+            second.job_id,
+            low.job_id,
+        ]
+        assert all(e.state == "dispatched" for e in claimed)
+
+    def test_claim_skips_cancelled_heap_tuples(self):
+        queue = JobQueue()
+        doomed = _spec("doomed")
+        alive = _spec("alive")
+        queue.submit(doomed, "ns", priority=9)
+        queue.submit(alive, "ns")
+        assert queue.cancel(doomed.job_id) == "cancelled"
+        claimed = queue.claim_batch(2)
+        assert [e.job_id for e in claimed] == [alive.job_id]
+
+
+class TestCancelStates:
+    def test_cancel_queued_is_terminal(self):
+        queue = JobQueue()
+        spec = _spec("a")
+        queue.submit(spec, "ns")
+        assert queue.cancel(spec.job_id) == "cancelled"
+        assert queue.get(spec.job_id).state == "cancelled"
+
+    def test_cancel_dispatched_is_requested(self):
+        queue = JobQueue()
+        spec = _spec("a")
+        queue.submit(spec, "ns")
+        queue.claim_batch(1)
+        assert queue.cancel(spec.job_id) == "requested"
+        assert queue.get(spec.job_id).cancel_requested
+
+    def test_cancel_finished_and_unknown(self):
+        queue = JobQueue()
+        spec = _spec("a")
+        queue.submit(spec, "ns")
+        queue.claim_batch(1)
+        queue.finish(spec.job_id, {"status": "optimal"})
+        assert queue.cancel(spec.job_id) == "finished"
+        assert queue.cancel("nope") is None
+
+
+class TestLifecycle:
+    def test_finish_is_idempotent(self):
+        queue = JobQueue()
+        spec = _spec("a")
+        queue.submit(spec, "ns")
+        queue.claim_batch(1)
+        queue.finish(spec.job_id, {"status": "optimal"})
+        queue.finish(spec.job_id, {"status": "crashed"})  # ignored
+        assert queue.get(spec.job_id).result["status"] == "optimal"
+
+    def test_views_filter_by_namespace(self):
+        queue = JobQueue()
+        queue.submit(_spec("a"), "alpha")
+        queue.submit(_spec("b"), "beta")
+        assert len(queue.views()) == 2
+        assert [v["namespace"] for v in queue.views("beta")] == ["beta"]
+
+    def test_counts(self):
+        queue = JobQueue()
+        queue.submit(_spec("a"), "ns")
+        queue.submit(_spec("b"), "ns")
+        queue.claim_batch(1)
+        assert queue.counts() == {"queued": 1, "dispatched": 1}

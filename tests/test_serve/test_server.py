@@ -1,0 +1,169 @@
+"""End-to-end job-server tests over real HTTP on an ephemeral port."""
+
+import json
+
+import pytest
+
+from repro.runtime.job import JobSpec
+from repro.runtime.ledger import canonical_record
+from repro.runtime.telemetry import read_events
+from repro.serve.client import ServeError
+
+
+def _tiny_spec(scenario="complete") -> JobSpec:
+    return JobSpec(
+        "rpl",
+        sizes={"n_a": 1, "n_b": 0},
+        engine={"scenario": scenario, "max_iterations": 200},
+        label=f"serve {scenario}",
+    )
+
+
+class TestSubmitAndPoll:
+    def test_health(self, client, server):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["data_dir"] == server.store.data_dir
+
+    def test_poll_to_completion_matches_oneshot_record(self, client):
+        # The identity guarantee: an HTTP-submitted job produces the
+        # same content-addressed id and the same canonical record as
+        # the one-shot runtime path.
+        from repro.runtime.worker import run_job
+
+        spec = _tiny_spec()
+        view = client.submit(spec, namespace="ci")
+        assert view["created"] is True
+        assert view["job_id"] == spec.job_id
+        record = client.wait(spec.job_id, timeout=120)
+        assert record["status"] == "optimal"
+        oneshot = run_job(spec.to_dict(), None, False)
+        assert json.dumps(canonical_record(record), sort_keys=True) == (
+            json.dumps(canonical_record(oneshot), sort_keys=True)
+        )
+
+    def test_duplicate_spec_dedups(self, client):
+        spec = _tiny_spec("only-iso")
+        first = client.submit(spec)
+        second = client.submit(spec)
+        assert first["created"] is True
+        assert second["created"] is False
+        assert second["job_id"] == spec.job_id
+        client.wait(spec.job_id, timeout=120)
+        # Exactly one terminal record in the namespace journal.
+        report = client.namespace_report("default")
+        assert report["jobs"] == 1
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.job("deadbeef00000000")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_malformed_spec_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._request("POST", "/jobs", {"spec": {"sizes": {}}})
+        assert excinfo.value.status == 400
+
+    def test_invalid_namespace_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client._request(
+                "POST",
+                "/jobs",
+                {"spec": _tiny_spec().to_dict(), "namespace": "../escape"},
+            )
+        assert excinfo.value.status == 400
+
+
+class TestStream:
+    def test_sse_events_arrive_in_lifecycle_order(self, client):
+        spec = _tiny_spec()
+        client.submit(spec, namespace="stream")
+        events = [record["event"] for record in client.stream(spec.job_id)]
+        assert events == ["job_submitted", "job_start", "job_end"]
+
+    def test_stream_of_finished_job_replays_journal(self, client):
+        spec = _tiny_spec()
+        client.submit(spec, namespace="stream")
+        client.wait(spec.job_id, timeout=120)
+        events = [record["event"] for record in client.stream(spec.job_id)]
+        assert events == ["job_submitted", "job_start", "job_end"]
+
+    def test_stream_unknown_job_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            list(client.stream("deadbeef00000000"))
+        assert excinfo.value.status == 404
+
+
+class TestCancel:
+    def test_cancel_queued_job_is_terminal_with_one_record(
+        self, idle_client, idle_server
+    ):
+        # Dispatcher off: the submission stays queued, so cancel is the
+        # queue-side path — the server journals the only job_end.
+        spec = _tiny_spec()
+        idle_client.submit(spec, namespace="ci")
+        view = idle_client.cancel(spec.job_id)
+        assert view["action"] == "cancelled"
+        assert view["state"] == "cancelled"
+        record = idle_client.result(spec.job_id)
+        assert record["status"] == "cancelled"
+        journal = idle_server.store.namespace("ci").journal_path
+        ends = [e for e in read_events(journal) if e["event"] == "job_end"]
+        assert len(ends) == 1 and ends[0]["status"] == "cancelled"
+
+    def test_result_before_terminal_is_409(self, idle_client):
+        spec = _tiny_spec()
+        idle_client.submit(spec)
+        with pytest.raises(ServeError) as excinfo:
+            idle_client.result(spec.job_id)
+        assert excinfo.value.status == 409
+
+    def test_cancelled_job_is_resubmittable(self, idle_client):
+        spec = _tiny_spec()
+        idle_client.submit(spec)
+        idle_client.cancel(spec.job_id)
+        view = idle_client.submit(spec)
+        assert view["created"] is True
+        assert view["state"] == "queued"
+
+
+class TestNamespaces:
+    def test_report_aggregates_ledger_view(self, client):
+        specs = [_tiny_spec("complete"), _tiny_spec("only-iso")]
+        for spec in specs:
+            client.submit(spec, namespace="report")
+        for spec in specs:
+            client.wait(spec.job_id, timeout=120)
+        report = client.namespace_report("report")
+        assert report["jobs"] == 2
+        assert report["statuses"] == {"optimal": 2}
+        assert report["total_job_time"] > 0
+
+    def test_unknown_namespace_is_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.namespace_report("nope")
+        assert excinfo.value.status == 404
+
+    def test_job_listing_filters_by_namespace(self, idle_client):
+        idle_client.submit(_tiny_spec("complete"), namespace="alpha")
+        idle_client.submit(_tiny_spec("only-iso"), namespace="beta")
+        assert len(idle_client.jobs()) == 2
+        beta = idle_client.jobs(namespace="beta")
+        assert [v["namespace"] for v in beta] == ["beta"]
+
+
+class TestPriority:
+    def test_higher_priority_claims_first(self, idle_server):
+        # Queue inspection via the server's own queue: the dispatcher
+        # is off, so the claim order is exactly the priority order.
+        low = _tiny_spec("complete")
+        high = _tiny_spec("only-iso")
+        idle_server.submit(low, priority=0)
+        idle_server.submit(high, priority=10)
+        claimed = idle_server.queue.claim_batch(2)
+        assert [e.job_id for e in claimed] == [high.job_id, low.job_id]
