@@ -622,14 +622,23 @@ def _cmd_submit(args) -> int:
             return 0
         if args.stream:
             record = None
-            for event in client.stream(spec.job_id):
-                if event.get("event") == "job_end":
-                    record = {
-                        k: v for k, v in event.items()
-                        if k not in ("event", "ts")
-                    }
-                if not args.json:
-                    print(json.dumps(event, sort_keys=True))
+            try:
+                for event in client.stream(spec.job_id):
+                    if event.get("event") == "job_end":
+                        record = {
+                            k: v for k, v in event.items()
+                            if k not in ("event", "ts")
+                        }
+                    if not args.json:
+                        print(json.dumps(event, sort_keys=True))
+            except OSError as error:
+                # A dropped stream is not a failed job: fall back to
+                # polling for the terminal record.
+                print(
+                    f"warning: stream interrupted ({error}); polling",
+                    file=sys.stderr,
+                )
+                record = None
             if record is None:
                 # Stream ended without a terminal record (e.g. the job
                 # was already terminal before we attached) — poll it.

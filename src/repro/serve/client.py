@@ -119,18 +119,25 @@ class ServeClient:
                 )
             time.sleep(poll_interval)
 
-    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
+    def stream(
+        self, job_id: str, read_timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
         """Yield the job's journal records live from the SSE endpoint.
 
         Terminates after the server's ``stream_end`` marker (which is
-        not yielded — it is framing, not a journal record).
+        not yielded — it is framing, not a journal record). Unlike the
+        request/response endpoints this read blocks for as long as the
+        job runs, so ``self.timeout`` does not apply: by default there
+        is no read timeout (the server ends every stream with
+        ``stream_end`` and sends keepalive comments while the job is
+        quiet); pass ``read_timeout`` to bound each socket read anyway.
         """
         request = urllib.request.Request(
             self.base_url + f"/jobs/{job_id}/stream",
             headers={"Accept": "text/event-stream"},
         )
         try:
-            response = urllib.request.urlopen(request, timeout=self.timeout)
+            response = urllib.request.urlopen(request, timeout=read_timeout)
         except urllib.error.HTTPError as error:
             try:
                 body = json.loads(error.read().decode("utf-8"))

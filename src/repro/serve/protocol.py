@@ -163,6 +163,16 @@ def sse_preamble() -> bytes:
     ).encode("latin-1")
 
 
+def sse_comment(text: str = "keepalive") -> bytes:
+    """Frame an SSE comment — a liveness ping clients must ignore.
+
+    Sent while a quiet job runs so the connection carries bytes often
+    enough that client (and proxy) read timeouts never fire between
+    ``job_start`` and ``job_end``.
+    """
+    return f": {text}\n\n".encode("utf-8")
+
+
 def sse_event(record: Dict[str, Any]) -> bytes:
     """Frame one journal record as an SSE message.
 

@@ -171,10 +171,13 @@ class JobQueue:
                 self._ready.wait(timeout)
             batch: List[JobEntry] = []
             while self._heap and len(batch) < limit:
-                _, _, job_id = heapq.heappop(self._heap)
+                _, seq, job_id = heapq.heappop(self._heap)
                 entry = self._entries.get(job_id)
-                if entry is None or entry.state != QUEUED:
-                    continue  # cancelled (stale heap tuple) or superseded
+                if entry is None or entry.state != QUEUED or entry.seq != seq:
+                    # Stale tuple: the job was cancelled, or re-submitted
+                    # (the fresh tuple carries the live entry's seq and
+                    # new priority — only it may claim the entry).
+                    continue
                 entry.state = DISPATCHED
                 batch.append(entry)
             return batch

@@ -32,6 +32,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import threading
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.exceptions import ExplorationError
@@ -64,12 +65,15 @@ class JobServer:
         portfolio: bool = False,
         batch_limit: Optional[int] = None,
         stream_poll: float = 0.05,
+        stream_keepalive: float = 15.0,
         dispatch: bool = True,
     ) -> None:
         self.host = host
         self.port = port
         self.workers = workers or default_workers()
         self.stream_poll = stream_poll
+        #: Idle seconds between SSE keepalive comments on /stream.
+        self.stream_keepalive = stream_keepalive
         #: Jobs claimed per scheduler batch. Small enough that a burst
         #: of high-priority submissions jumps the line at the next
         #: batch boundary, large enough to keep the pool saturated.
@@ -185,12 +189,25 @@ class JobServer:
                     spec = JobSpec.from_dict(event["spec"])
                 except ExplorationError:
                     continue
-                _, created = self.submit(
-                    spec,
-                    namespace=name,
-                    priority=int(event.get("priority", 0)),
-                    resumed=True,
-                )
+                try:
+                    _, created = self.submit(
+                        spec,
+                        namespace=name,
+                        priority=int(event.get("priority", 0)),
+                        resumed=True,
+                    )
+                except QueueFull:
+                    # A backlog larger than --max-queue must not abort
+                    # boot: resume what fits, journal the overflow (the
+                    # dropped job's job_submitted is still in the
+                    # namespace ledger, so the next restart — or a
+                    # client re-submission — picks it up again).
+                    self.telemetry.emit(
+                        "resume_overflow",
+                        job_id=spec.job_id,
+                        namespace=name,
+                    )
+                    continue
                 if created:
                     self.resumed_jobs += 1
 
@@ -376,17 +393,23 @@ class JobServer:
         writer.write(protocol.sse_preamble())
         await writer.drain()
         offset = 0
+        last_write = time.monotonic()
         while True:
+            # Order matters: read the entry state BEFORE tailing. The
+            # journal write precedes the table flip to terminal, so a
+            # terminal state observed here guarantees the job_end is
+            # already on disk and this pass's tail read relays it —
+            # stream_end can never race ahead of the terminal record.
+            current = self.queue.get(job_id)
+            terminal = current is None or current.state in TERMINAL_STATES
             records, offset = tail_events(path, offset)
             for record in records:
                 if record.get("job_id") != job_id:
                     continue
                 writer.write(protocol.sse_event(record))
                 await writer.drain()
-            current = self.queue.get(job_id)
-            if not records and (
-                current is None or current.state in TERMINAL_STATES
-            ):
+                last_write = time.monotonic()
+            if terminal:
                 state = current.state if current is not None else "unknown"
                 writer.write(
                     protocol.sse_event(
@@ -397,6 +420,13 @@ class JobServer:
                 await writer.drain()
                 return
             if not records:
+                if time.monotonic() - last_write >= self.stream_keepalive:
+                    # SSE comment: keeps quiet long-running jobs from
+                    # tripping client/proxy read timeouts; clients
+                    # ignore comment frames.
+                    writer.write(protocol.sse_comment("keepalive"))
+                    await writer.drain()
+                    last_write = time.monotonic()
                 await asyncio.sleep(self.stream_poll)
 
     def health(self) -> Dict[str, Any]:

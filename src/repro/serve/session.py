@@ -10,8 +10,12 @@ records that makes the journal a complete account of the namespace:
 
 * last ``job_end`` per job id (``load_ledger`` view) — the job's
   terminal record, replayed into the job table on boot;
-* ``job_submitted`` without any ``job_end`` — work that was in flight
-  (or queued) when the previous server died, re-enqueued on boot.
+* ``job_submitted`` with no later ``job_end`` — work that was in
+  flight (or queued) when the previous server died, re-enqueued on
+  boot. Ordering matters: a job that crashed and was then accepted
+  again (its last ``job_submitted`` appears *after* its last
+  ``job_end``) is an acknowledged re-submission, so it is classified
+  pending, not terminal — kill -9 loses nothing acknowledged.
 
 A job whose last record is ``cancelled`` stays cancelled across
 restarts — the client asked for that; crashed/timeout/error records are
@@ -46,27 +50,41 @@ def scan_journal(
     """Classify one namespace journal for boot-time resume.
 
     Returns ``(terminal, pending)``: the last-record-wins ledger view
-    of terminal records, and the ``job_submitted`` events (in journal
-    order) of jobs with no terminal record at all — the queue the dead
-    server never finished.
+    of terminal records, and the latest ``job_submitted`` event of
+    every job whose last relevant record is a submission — no terminal
+    record at all, or (an acknowledged re-submission of a failed job)
+    a ``job_submitted`` after its last ``job_end``. Pending events are
+    ordered by their position in the journal; a re-submitted job is
+    excluded from ``terminal`` so the boot replay re-enqueues it
+    instead of resurrecting the stale terminal record.
     """
     submitted: Dict[str, Dict[str, Any]] = {}
-    for event in iter_events(path):
-        if event.get("event") != "job_submitted":
-            continue
+    last_submitted: Dict[str, int] = {}
+    last_end: Dict[str, int] = {}
+    for index, event in enumerate(iter_events(path)):
         job_id = event.get("job_id")
-        if job_id and job_id not in submitted and event.get("spec"):
+        if not job_id:
+            continue
+        name = event.get("event")
+        if name == "job_submitted" and event.get("spec"):
             submitted[job_id] = event
+            last_submitted[job_id] = index
+        elif name == "job_end":
+            last_end[job_id] = index
+    pending_ids = sorted(
+        (
+            job_id
+            for job_id in submitted
+            if last_submitted[job_id] > last_end.get(job_id, -1)
+        ),
+        key=lambda job_id: last_submitted[job_id],
+    )
     terminal = {
         job_id: record
         for job_id, record in load_ledger(path).items()
-        if record.get("spec")
+        if record.get("spec") and job_id not in set(pending_ids)
     }
-    pending = [
-        event
-        for job_id, event in submitted.items()
-        if job_id not in terminal
-    ]
+    pending = [submitted[job_id] for job_id in pending_ids]
     return terminal, pending
 
 

@@ -86,6 +86,24 @@ class TestOrdering:
         claimed = queue.claim_batch(2)
         assert [e.job_id for e in claimed] == [alive.job_id]
 
+    def test_resubmission_dispatches_at_new_priority(self):
+        # Cancelling a queued job leaves its heap tuple behind; the
+        # re-submission pushes a fresh tuple. The stale tuple (old
+        # priority 9, older seq) pops first but must not claim the new
+        # entry — only the fresh tuple (priority 0) may, so the
+        # re-submission dispatches at its own priority, after `other`.
+        queue = JobQueue()
+        spec = _spec("re")
+        other = _spec("other")
+        queue.submit(spec, "ns", priority=9)
+        assert queue.cancel(spec.job_id) == "cancelled"
+        queue.submit(other, "ns", priority=5)
+        entry, created = queue.submit(spec, "ns", priority=0)
+        assert created
+        claimed = queue.claim_batch(3)
+        assert [e.job_id for e in claimed] == [other.job_id, spec.job_id]
+        assert claimed[1] is entry
+
 
 class TestCancelStates:
     def test_cancel_queued_is_terminal(self):

@@ -1,13 +1,16 @@
 """End-to-end job-server tests over real HTTP on an ephemeral port."""
 
 import json
+import os
 
 import pytest
 
 from repro.runtime.job import JobSpec
 from repro.runtime.ledger import canonical_record
-from repro.runtime.telemetry import read_events
+from repro.runtime.telemetry import TelemetryLogger, read_events
 from repro.serve.client import ServeError
+
+from tests.test_serve.conftest import make_server
 
 
 def _tiny_spec(scenario="complete") -> JobSpec:
@@ -98,6 +101,36 @@ class TestStream:
             list(client.stream("deadbeef00000000"))
         assert excinfo.value.status == 404
 
+    def test_quiet_stream_sends_keepalive_comments(self, tmp_path):
+        # A queued-forever job emits no journal records; the stream
+        # must still carry bytes (SSE comments) so client read
+        # timeouts never fire between job_start and job_end.
+        import urllib.request
+
+        from repro.serve.client import ServeClient
+
+        server = make_server(tmp_path, dispatch=False, stream_keepalive=0.05)
+        server.start_background()
+        try:
+            spec = _tiny_spec()
+            ServeClient(f"http://127.0.0.1:{server.port}").submit(
+                spec, namespace="quiet"
+            )
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/jobs/{spec.job_id}/stream",
+                headers={"Accept": "text/event-stream"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                seen = []
+                for _ in range(40):
+                    line = response.readline().decode("utf-8").rstrip("\n")
+                    seen.append(line)
+                    if line.startswith(":"):
+                        break
+                assert any(l.startswith(": keepalive") for l in seen)
+        finally:
+            server.stop_background()
+
 
 class TestCancel:
     def test_cancel_queued_job_is_terminal_with_one_record(
@@ -155,6 +188,85 @@ class TestNamespaces:
         assert len(idle_client.jobs()) == 2
         beta = idle_client.jobs(namespace="beta")
         assert [v["namespace"] for v in beta] == ["beta"]
+
+
+def _seed_journal(data_dir, namespace, events):
+    """Pre-write a namespace journal as a dead server left it."""
+    ns_dir = os.path.join(str(data_dir), namespace)
+    os.makedirs(ns_dir)
+    logger = TelemetryLogger(os.path.join(ns_dir, "journal.jsonl"))
+    for name, fields in events:
+        logger.emit(name, **fields)
+    logger.close()
+
+
+class TestBootResume:
+    def test_acknowledged_resubmission_is_reenqueued(self, tmp_path):
+        # Journal: job crashed, client re-submitted (202 acknowledged),
+        # server SIGKILLed before the retry ran. Boot must queue the
+        # re-submission at its new priority, not resurrect the stale
+        # crashed record as the job's answer.
+        spec = _tiny_spec()
+        data_dir = tmp_path / "data"
+        _seed_journal(
+            data_dir,
+            "ci",
+            [
+                ("job_submitted",
+                 {"job_id": spec.job_id, "spec": spec.to_dict(),
+                  "priority": 0}),
+                ("job_end",
+                 {"job_id": spec.job_id, "spec": spec.to_dict(),
+                  "status": "crashed"}),
+                ("job_submitted",
+                 {"job_id": spec.job_id, "spec": spec.to_dict(),
+                  "priority": 2}),
+            ],
+        )
+        server = make_server(tmp_path, dispatch=False)
+        server.start_background()
+        try:
+            assert server.resumed_jobs == 1
+            entry = server.queue.get(spec.job_id)
+            assert entry.state == "queued"
+            assert entry.priority == 2
+            assert not entry.replayed
+        finally:
+            server.stop_background()
+
+    def test_resume_backlog_beyond_max_queue_does_not_abort_boot(
+        self, tmp_path
+    ):
+        specs = [
+            JobSpec("rpl", sizes={"n_a": 1, "n_b": 0},
+                    engine={"tag": i}, label=f"overflow {i}")
+            for i in range(3)
+        ]
+        data_dir = tmp_path / "data"
+        _seed_journal(
+            data_dir,
+            "ci",
+            [
+                ("job_submitted",
+                 {"job_id": spec.job_id, "spec": spec.to_dict(),
+                  "priority": 0})
+                for spec in specs
+            ],
+        )
+        server = make_server(tmp_path, dispatch=False, max_queue=1)
+        server.start_background()  # must not raise QueueFull
+        try:
+            assert server.resumed_jobs == 1
+            overflow = [
+                e for e in read_events(
+                    os.path.join(str(data_dir), "server.jsonl")
+                )
+                if e["event"] == "resume_overflow"
+            ]
+            assert len(overflow) == 2
+            assert {e["namespace"] for e in overflow} == {"ci"}
+        finally:
+            server.stop_background()
 
 
 class TestPriority:
